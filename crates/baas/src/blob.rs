@@ -1,0 +1,259 @@
+//! A BaaS blob store (S3 class): buckets, keys, version ETags,
+//! list-by-prefix, and the per-GB-month + per-request billing of §2.2's
+//! "users are billed only for the amount of storage they utilize, and the
+//! volume of reads and writes".
+//!
+//! Latency is injected from the calibrated persistent-store profiles, so
+//! experiments comparing blob-based state exchange to Jiffy see realistic
+//! gaps (E3). The Pulsar tiered-storage extension offloads sealed ledgers
+//! here.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand_chacha::ChaCha8Rng;
+use taureau_core::bytesize::ByteSize;
+use taureau_core::clock::SharedClock;
+use taureau_core::cost::{Dollars, StoragePricing};
+use taureau_core::latency::{profiles, LatencyModel};
+use taureau_core::rng::det_rng;
+
+/// Metadata of a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobMeta {
+    /// Object size.
+    pub size: ByteSize,
+    /// Monotone per-object version (ETag analogue).
+    pub version: u64,
+    /// Store time (clock timestamp).
+    pub stored_at: Duration,
+}
+
+#[derive(Debug)]
+struct Object {
+    data: Vec<u8>,
+    meta: BlobMeta,
+}
+
+#[derive(Debug, Default)]
+struct BlobState {
+    /// bucket -> key -> object. BTreeMaps so listing is ordered.
+    buckets: BTreeMap<String, BTreeMap<Vec<u8>, Object>>,
+    reads: u64,
+    writes: u64,
+    bytes_stored: u64,
+}
+
+/// The blob store. Cheap to clone; clones share state.
+pub struct BlobStore {
+    clock: SharedClock,
+    read_latency: LatencyModel,
+    write_latency: LatencyModel,
+    pricing: StoragePricing,
+    state: Mutex<BlobState>,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl BlobStore {
+    /// Store with S3-calibrated latencies and default pricing.
+    pub fn new(clock: SharedClock) -> Self {
+        Self::with_latency(clock, profiles::persistent_read(), profiles::persistent_write())
+    }
+
+    /// Store with explicit latency models (tests pass
+    /// [`LatencyModel::zero`]).
+    pub fn with_latency(
+        clock: SharedClock,
+        read_latency: LatencyModel,
+        write_latency: LatencyModel,
+    ) -> Self {
+        Self {
+            clock,
+            read_latency,
+            write_latency,
+            pricing: StoragePricing::default(),
+            state: Mutex::new(BlobState::default()),
+            rng: Mutex::new(det_rng(0xB10B)),
+        }
+    }
+
+    fn pay(&self, model: &LatencyModel) {
+        let d = model.sample(&mut *self.rng.lock());
+        self.clock.sleep(d);
+    }
+
+    /// Create a bucket (idempotent).
+    pub fn create_bucket(&self, bucket: &str) {
+        self.state.lock().buckets.entry(bucket.to_string()).or_default();
+    }
+
+    /// PUT an object; returns its new version.
+    pub fn put(&self, bucket: &str, key: &[u8], data: &[u8]) -> u64 {
+        let now = self.clock.now();
+        let version = {
+            let mut st = self.state.lock();
+            st.writes += 1;
+            let old_len = st
+                .buckets
+                .get(bucket)
+                .and_then(|b| b.get(key))
+                .map(|o| o.data.len() as u64);
+            st.bytes_stored -= old_len.unwrap_or(0);
+            st.bytes_stored += data.len() as u64;
+            let b = st.buckets.entry(bucket.to_string()).or_default();
+            let version = b.get(key).map_or(0, |o| o.meta.version + 1);
+            b.insert(
+                key.to_vec(),
+                Object {
+                    data: data.to_vec(),
+                    meta: BlobMeta {
+                        size: ByteSize::b(data.len() as u64),
+                        version,
+                        stored_at: now,
+                    },
+                },
+            );
+            version
+        };
+        self.pay(&self.write_latency);
+        version
+    }
+
+    /// GET an object.
+    pub fn get(&self, bucket: &str, key: &[u8]) -> Option<Vec<u8>> {
+        let out = {
+            let mut st = self.state.lock();
+            st.reads += 1;
+            st.buckets.get(bucket)?.get(key).map(|o| o.data.clone())
+        };
+        self.pay(&self.read_latency);
+        out
+    }
+
+    /// HEAD an object's metadata (no read fee in this model).
+    pub fn head(&self, bucket: &str, key: &[u8]) -> Option<BlobMeta> {
+        self.state.lock().buckets.get(bucket)?.get(key).map(|o| o.meta.clone())
+    }
+
+    /// DELETE an object; returns whether it existed.
+    pub fn delete(&self, bucket: &str, key: &[u8]) -> bool {
+        let existed = {
+            let mut st = self.state.lock();
+            st.writes += 1;
+            match st.buckets.get_mut(bucket).and_then(|b| b.remove(key)) {
+                Some(o) => {
+                    st.bytes_stored -= o.data.len() as u64;
+                    true
+                }
+                None => false,
+            }
+        };
+        self.pay(&self.write_latency);
+        existed
+    }
+
+    /// List keys in a bucket with a prefix, in order.
+    pub fn list(&self, bucket: &str, prefix: &[u8]) -> Vec<Vec<u8>> {
+        let st = self.state.lock();
+        st.buckets
+            .get(bucket)
+            .map(|b| {
+                b.keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes_stored(&self) -> ByteSize {
+        ByteSize::b(self.state.lock().bytes_stored)
+    }
+
+    /// (reads, writes) op counts.
+    pub fn op_counts(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.reads, st.writes)
+    }
+
+    /// The bill for the current footprint held for `duration` plus all
+    /// operations so far.
+    pub fn bill(&self, duration: Duration) -> Dollars {
+        let st = self.state.lock();
+        self.pricing
+            .cost(ByteSize::b(st.bytes_stored), duration, st.reads, st.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taureau_core::clock::{Clock, VirtualClock};
+
+    fn store() -> BlobStore {
+        BlobStore::with_latency(
+            VirtualClock::shared(),
+            LatencyModel::zero(),
+            LatencyModel::zero(),
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_versions() {
+        let s = store();
+        assert_eq!(s.put("b", b"k", b"v1"), 0);
+        assert_eq!(s.put("b", b"k", b"v2"), 1);
+        assert_eq!(s.get("b", b"k"), Some(b"v2".to_vec()));
+        assert_eq!(s.head("b", b"k").unwrap().version, 1);
+        assert_eq!(s.get("b", b"missing"), None);
+        assert_eq!(s.get("nobucket", b"k"), None);
+    }
+
+    #[test]
+    fn delete_and_accounting() {
+        let s = store();
+        s.put("b", b"k", &vec![0u8; 1000]);
+        assert_eq!(s.bytes_stored(), ByteSize::b(1000));
+        s.put("b", b"k", &[0u8; 200]); // overwrite shrinks footprint
+        assert_eq!(s.bytes_stored(), ByteSize::b(200));
+        assert!(s.delete("b", b"k"));
+        assert!(!s.delete("b", b"k"));
+        assert_eq!(s.bytes_stored(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn list_by_prefix_is_ordered() {
+        let s = store();
+        s.put("b", b"logs/2", b"x");
+        s.put("b", b"logs/1", b"x");
+        s.put("b", b"data/1", b"x");
+        let keys = s.list("b", b"logs/");
+        assert_eq!(keys, vec![b"logs/1".to_vec(), b"logs/2".to_vec()]);
+        assert_eq!(s.list("b", b"").len(), 3);
+        assert!(s.list("empty", b"").is_empty());
+    }
+
+    #[test]
+    fn billing_combines_storage_and_ops() {
+        let s = store();
+        s.put("b", b"k", &vec![0u8; 1_000_000]);
+        let _ = s.get("b", b"k");
+        let month = Duration::from_secs(30 * 24 * 3600);
+        let bill = s.bill(month);
+        // ~1 MB for a month ≈ $0.0000219 plus two ops.
+        assert!(bill > 0.0 && bill < 0.001, "bill {bill}");
+        assert_eq!(s.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn injected_latency_advances_clock() {
+        let clock = VirtualClock::shared();
+        let s = BlobStore::new(clock.clone());
+        let t0 = clock.now();
+        s.put("b", b"k", b"v");
+        let _ = s.get("b", b"k");
+        assert!(clock.now() - t0 > Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the serverless database: autocommit operations match
+//! a HashMap model, committed transactions are atomic, and snapshots are
+//! immutable.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use taureau_baas::db::ServerlessDb;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Get(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), vec(any::<u8>(), 0..16)).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    /// Autocommitted single-key operations behave exactly like a HashMap.
+    #[test]
+    fn autocommit_matches_model(ops in vec(op(), 1..200)) {
+        let db = ServerlessDb::new();
+        let mut model = std::collections::HashMap::new();
+        for o in ops {
+            match o {
+                Op::Put(k, v) => {
+                    db.put(&[k], &v);
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    let mut t = db.begin();
+                    t.delete(&[k]);
+                    t.commit().unwrap();
+                    model.remove(&k);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(db.get(&[k]), model.get(&k).cloned());
+                }
+            }
+        }
+    }
+
+    /// Transactions are atomic: either every buffered write lands or none.
+    #[test]
+    fn transactions_are_atomic(
+        writes in vec((any::<u8>(), vec(any::<u8>(), 0..8)), 1..20),
+        conflict in any::<bool>(),
+    ) {
+        let db = ServerlessDb::new();
+        let mut txn = db.begin();
+        for (k, v) in &writes {
+            txn.put(&[*k], v);
+        }
+        if conflict {
+            // Another writer races on the first key, dooming the txn.
+            db.put(&[writes[0].0], b"interloper");
+        }
+        let committed = txn.commit().is_ok();
+        prop_assert_eq!(committed, !conflict);
+        if committed {
+            // Last buffered value per key must be visible.
+            let mut expect = std::collections::HashMap::new();
+            for (k, v) in &writes {
+                expect.insert(*k, v.clone());
+            }
+            for (k, v) in expect {
+                prop_assert_eq!(db.get(&[k]), Some(v));
+            }
+        } else {
+            // Nothing but the interloper landed.
+            prop_assert_eq!(db.get(&[writes[0].0]), Some(b"interloper".to_vec()));
+            for (k, _) in writes.iter().skip(1) {
+                // Keys not touched by the interloper are absent unless they
+                // equal the first key.
+                if *k != writes[0].0 {
+                    prop_assert_eq!(db.get(&[*k]), None);
+                }
+            }
+        }
+    }
+
+    /// A snapshot's view never changes, no matter what commits afterwards.
+    #[test]
+    fn snapshots_are_immutable(
+        initial in vec((any::<u8>(), vec(any::<u8>(), 0..8)), 1..20),
+        later in vec((any::<u8>(), vec(any::<u8>(), 0..8)), 1..20),
+    ) {
+        let db = ServerlessDb::new();
+        for (k, v) in &initial {
+            db.put(&[*k], v);
+        }
+        let mut reader = db.begin();
+        // Capture the snapshot view of every key we'll examine.
+        let mut view = std::collections::HashMap::new();
+        for k in 0..=255u8 {
+            view.insert(k, reader.get(&[k]));
+        }
+        for (k, v) in &later {
+            db.put(&[*k], v);
+        }
+        for k in 0..=255u8 {
+            prop_assert_eq!(reader.get(&[k]), view[&k].clone());
+        }
+    }
+}

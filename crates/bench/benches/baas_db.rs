@@ -1,0 +1,58 @@
+//! E15 support: serverless-database throughput — autocommit ops,
+//! transaction commit cost, and the optimistic-conflict retry price under
+//! contention.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use taureau_baas::ServerlessDb;
+
+fn bench_db(c: &mut Criterion) {
+    let db = ServerlessDb::new();
+    let mut i = 0u64;
+    c.bench_function("db_autocommit_put", |b| {
+        b.iter(|| {
+            i += 1;
+            db.put(&(i % 10_000).to_le_bytes(), b"value");
+        })
+    });
+    c.bench_function("db_autocommit_get", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(db.get(&(i % 10_000).to_le_bytes()))
+        })
+    });
+
+    let mut g = c.benchmark_group("db_transactions");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_modify_write_commit", |b| {
+        let db = ServerlessDb::new();
+        db.put(b"counter", &0u64.to_le_bytes());
+        b.iter(|| {
+            db.run_transaction(10, |txn| {
+                let v = u64::from_le_bytes(txn.get(b"counter").unwrap().try_into().unwrap());
+                txn.put(b"counter", &(v + 1).to_le_bytes());
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("ten_key_batch_commit", |b| {
+        let db = ServerlessDb::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let mut txn = db.begin();
+            for k in 0..10u64 {
+                txn.put(&(n * 10 + k).to_le_bytes(), b"v");
+            }
+            txn.commit().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_db
+}
+criterion_main!(benches);

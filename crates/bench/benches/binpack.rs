@@ -1,0 +1,39 @@
+//! E12 support: placement cost of the bin-packing policies at fleet scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use taureau_core::rng::det_rng;
+use taureau_sim::scheduler::{pack, Demand, PackingPolicy};
+
+fn items(n: usize) -> Vec<Demand> {
+    let mut rng = det_rng(3);
+    (0..n)
+        .map(|_| {
+            if rng.gen::<bool>() {
+                Demand::new(rng.gen_range(0.3..0.6), rng.gen_range(0.05..0.2))
+            } else {
+                Demand::new(rng.gen_range(0.05..0.2), rng.gen_range(0.3..0.6))
+            }
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let work = items(1000);
+    let mut g = c.benchmark_group("binpack_1000_items");
+    g.sample_size(20);
+    for (name, policy) in [
+        ("first_fit", PackingPolicy::FirstFit),
+        ("best_fit", PackingPolicy::BestFit),
+        ("worst_fit", PackingPolicy::WorstFit),
+        ("complementary", PackingPolicy::Complementary),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| black_box(pack(&work, policy).node_count()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

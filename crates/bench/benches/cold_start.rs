@@ -1,0 +1,69 @@
+//! E2 support: the platform's dispatch overhead for cold vs. warm paths.
+//! Latency *injection* is zeroed here so Criterion measures the real
+//! control-plane cost (registry lookup, admission, pool bookkeeping,
+//! billing); the injected cold-start distributions are reported by the
+//! `experiments` binary instead.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taureau_core::clock::WallClock;
+use taureau_core::latency::LatencyModel;
+use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
+
+fn platform() -> FaasPlatform {
+    let cfg = PlatformConfig {
+        cold_start: LatencyModel::zero(),
+        warm_start: LatencyModel::zero(),
+        keep_alive: Duration::from_secs(3600),
+        ..PlatformConfig::default()
+    };
+    FaasPlatform::new(cfg, WallClock::shared())
+}
+
+fn bench_invoke_paths(c: &mut Criterion) {
+    // Warm path: container reused every time.
+    let p = platform();
+    p.register(FunctionSpec::new("echo", "t", |ctx| Ok(ctx.payload.to_vec())))
+        .unwrap();
+    p.invoke("echo", &b"warmup"[..]).unwrap();
+    c.bench_function("invoke_warm_path_overhead", |b| {
+        b.iter(|| black_box(p.invoke("echo", &b"x"[..]).unwrap().output.len()))
+    });
+
+    // Cold path: a zero keep-alive forces a fresh container per call.
+    let cfg = PlatformConfig {
+        cold_start: LatencyModel::zero(),
+        warm_start: LatencyModel::zero(),
+        keep_alive: Duration::ZERO,
+        ..PlatformConfig::default()
+    };
+    let p = FaasPlatform::new(cfg, WallClock::shared());
+    p.register(FunctionSpec::new("echo", "t", |ctx| Ok(ctx.payload.to_vec())))
+        .unwrap();
+    c.bench_function("invoke_cold_path_overhead", |b| {
+        b.iter(|| black_box(p.invoke("echo", &b"x"[..]).unwrap().output.len()))
+    });
+
+    // Retried path.
+    let p = platform();
+    p.register(FunctionSpec::new("echo2", "t", |ctx| Ok(ctx.payload.to_vec())))
+        .unwrap();
+    c.bench_function("invoke_with_retries_happy_path", |b| {
+        b.iter(|| {
+            black_box(
+                p.invoke_with_retries("echo2", &b"x"[..], 3)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_invoke_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E1 support: how fast the cost simulators run (a 24 h trace replay per
+//! iteration), so the experiments binary's sweeps stay tractable — and the
+//! billing arithmetic hot path.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taureau_core::bytesize::ByteSize;
+use taureau_core::cost::FaasPricing;
+use taureau_sim::serverless::{simulate_serverless, ServerlessConfig};
+use taureau_sim::vmfleet::{simulate_vm_fleet, VmFleetConfig, VmScalingPolicy};
+use taureau_sim::workload::{typical_duration_model, WorkloadSpec};
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = WorkloadSpec::diurnal_with_peak_ratio(2.0, 10.0, Duration::from_secs(6 * 3600));
+    let w = spec.generate(
+        Duration::from_secs(24 * 3600),
+        &typical_duration_model(),
+        ByteSize::mb(512),
+        1,
+    );
+    let mut g = c.benchmark_group("cost_sim_24h_trace");
+    g.sample_size(10);
+    g.bench_function("serverless_replay", |b| {
+        b.iter(|| black_box(simulate_serverless(&w, &ServerlessConfig::default()).cost))
+    });
+    g.bench_function("vm_fleet_replay", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_vm_fleet(
+                    &w,
+                    &VmFleetConfig {
+                        policy: VmScalingPolicy::FixedAtPeak,
+                        ..Default::default()
+                    },
+                )
+                .cost,
+            )
+        })
+    });
+    g.finish();
+
+    c.bench_function("invocation_cost_arithmetic", |b| {
+        let pricing = FaasPricing::default();
+        let mut d = 0u64;
+        b.iter(|| {
+            d = (d + 17) % 5000;
+            black_box(pricing.invocation_cost(ByteSize::mb(512), Duration::from_millis(d)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

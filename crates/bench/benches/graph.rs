@@ -1,0 +1,60 @@
+//! E10: serverless Pregel vs the sequential reference — the overhead of
+//! running graph supersteps as FaaS invocations with Jiffy messaging.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taureau_apps::graph::{pagerank_seq, run_pregel, Graph, PageRank};
+use taureau_core::clock::VirtualClock;
+use taureau_core::latency::LatencyModel;
+use taureau_faas::{FaasPlatform, PlatformConfig};
+use taureau_jiffy::{Jiffy, JiffyConfig};
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g5 = Arc::new(Graph::random(500, 4000, 7));
+    let mut grp = c.benchmark_group("pagerank_500v_4000e_10iters");
+    grp.sample_size(10);
+    grp.bench_function("sequential", |b| {
+        b.iter(|| black_box(pagerank_seq(&g5, 0.85, 10)))
+    });
+    for parts in [2usize, 8] {
+        grp.bench_with_input(
+            BenchmarkId::new("serverless_pregel", parts),
+            &parts,
+            |b, &parts| {
+                let mut job = 0u64;
+                b.iter(|| {
+                    let clock = VirtualClock::shared();
+                    let platform = FaasPlatform::new(
+                        PlatformConfig {
+                            cold_start: LatencyModel::zero(),
+                            warm_start: LatencyModel::zero(),
+                            ..PlatformConfig::default()
+                        },
+                        clock.clone(),
+                    );
+                    let jiffy = Jiffy::new(
+                        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+                        clock,
+                    );
+                    job += 1;
+                    black_box(
+                        run_pregel(
+                            &platform,
+                            &jiffy,
+                            Arc::clone(&g5),
+                            Arc::new(PageRank { d: 0.85, iters: 10 }),
+                            parts,
+                            &format!("bench-{job}"),
+                        )
+                        .invocations,
+                    )
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

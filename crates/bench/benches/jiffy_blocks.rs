@@ -1,0 +1,42 @@
+//! E14 ablation: Jiffy block size vs KV throughput and re-partitioning
+//! cost. Small blocks mean frequent auto-scaling (more re-partitioning);
+//! large blocks waste memory but amortise growth.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taureau_core::bytesize::ByteSize;
+use taureau_jiffy::{Jiffy, JiffyConfig};
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jiffy_block_size_ablation");
+    g.sample_size(15);
+    for block_kb in [4u64, 16, 64, 256, 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("kv_fill_2k_entries", format!("{block_kb}KiB")),
+            &block_kb,
+            |b, &block_kb| {
+                b.iter(|| {
+                    let j = Jiffy::new(
+                        JiffyConfig {
+                            memory_nodes: 2,
+                            blocks_per_node: 16 * 1024,
+                            block_size: ByteSize::kb(block_kb),
+                            ..Default::default()
+                        },
+                        taureau_core::clock::WallClock::shared(),
+                    );
+                    let kv = j.create_kv("/ablate/kv", 1).unwrap();
+                    let payload = vec![3u8; 512];
+                    for i in 0..2000u64 {
+                        kv.put(&i.to_le_bytes(), &payload).unwrap();
+                    }
+                    // Report the re-partitioning the fill triggered.
+                    black_box(j.metrics().counter("kv_repartitioned_bytes").get())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E9: matrix multiplication algorithms — naive vs. blocked vs. Strassen,
+//! plus the serverless tiled job end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taureau_apps::matmul::{distributed_multiply, Matrix};
+use taureau_core::clock::VirtualClock;
+use taureau_core::latency::LatencyModel;
+use taureau_faas::{FaasPlatform, PlatformConfig};
+use taureau_jiffy::{Jiffy, JiffyConfig};
+
+fn bench_local(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_local");
+    g.sample_size(10);
+    for n in [128usize, 256] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.mul_naive(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.mul_blocked(&b, 32)))
+        });
+        g.bench_with_input(BenchmarkId::new("strassen", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.strassen(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_serverless");
+    g.sample_size(10);
+    for grid in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("grid", grid), &grid, |bch, &grid| {
+            bch.iter(|| {
+                let clock = VirtualClock::shared();
+                let platform = FaasPlatform::new(
+                    PlatformConfig {
+                        cold_start: LatencyModel::zero(),
+                        warm_start: LatencyModel::zero(),
+                        ..PlatformConfig::default()
+                    },
+                    clock.clone(),
+                );
+                let jiffy = Jiffy::new(
+                    JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+                    clock,
+                );
+                let a = Matrix::random(96, 96, 1);
+                let b = Matrix::random(96, 96, 2);
+                black_box(distributed_multiply(&platform, &jiffy, &a, &b, grid).1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_local, bench_distributed);
+criterion_main!(benches);

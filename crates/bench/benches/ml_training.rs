@@ -1,0 +1,54 @@
+//! E8 support: gradient-computation throughput — local reference vs the
+//! serverless parameter-server round (which adds Jiffy reads/writes and
+//! invocation dispatch per epoch).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taureau_apps::ml::{synthetic_logreg, train_local, train_serverless, TrainingConfig};
+use taureau_core::clock::VirtualClock;
+use taureau_core::latency::LatencyModel;
+use taureau_faas::{FaasPlatform, PlatformConfig};
+use taureau_jiffy::{Jiffy, JiffyConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let (ds, _) = synthetic_logreg(2000, 8, 42);
+    let ds = Arc::new(ds);
+    let mut g = c.benchmark_group("logreg_2000x8_5epochs");
+    g.sample_size(10);
+    g.bench_function("local_full_batch", |b| {
+        b.iter(|| black_box(train_local(&ds, 0.5, 5)))
+    });
+    g.bench_function("serverless_4_workers", |b| {
+        let mut job = 0u64;
+        b.iter(|| {
+            let clock = VirtualClock::shared();
+            let platform = FaasPlatform::new(
+                PlatformConfig {
+                    cold_start: LatencyModel::zero(),
+                    warm_start: LatencyModel::zero(),
+                    ..PlatformConfig::default()
+                },
+                clock.clone(),
+            );
+            let jiffy = Jiffy::new(JiffyConfig::default(), clock);
+            let cfg = TrainingConfig {
+                lr: 0.5,
+                epochs: 5,
+                workers: 4,
+                compute_per_example: Duration::ZERO,
+                ..TrainingConfig::default()
+            };
+            job += 1;
+            black_box(
+                train_serverless(&platform, &jiffy, Arc::clone(&ds), &cfg, &format!("b{job}"))
+                    .invocations,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E17 support: Path ORAM access cost vs plain map access, across tree
+//! sizes — the measured price of hiding access patterns (§6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taureau_secure::PathOram;
+
+fn bench_oram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oram_access");
+    g.sample_size(30);
+    for n in [256usize, 1024, 4096] {
+        let mut oram = PathOram::new(n, 42);
+        for id in 0..n as u32 {
+            oram.write(id, vec![0u8; 64]);
+        }
+        let mut i = 0u32;
+        g.bench_with_input(BenchmarkId::new("read", n), &n, |b, &n| {
+            b.iter(|| {
+                i = (i + 1) % n as u32;
+                black_box(oram.read(i))
+            })
+        });
+    }
+    let mut map = std::collections::HashMap::new();
+    for id in 0..4096u32 {
+        map.insert(id, vec![0u8; 64]);
+    }
+    let mut i = 0u32;
+    g.bench_function("hashmap_baseline_4096", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(map.get(&i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_oram);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E7 support: orchestration overhead per composition shape. Because the
+//! framework adds no billed work (no-double-billing), its only cost is
+//! client-side control flow — measured here against direct invocation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taureau_core::clock::WallClock;
+use taureau_core::latency::LatencyModel;
+use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
+use taureau_orchestration::{frame, Composition, Orchestrator};
+
+fn setup() -> (FaasPlatform, Orchestrator) {
+    let cfg = PlatformConfig {
+        cold_start: LatencyModel::zero(),
+        warm_start: LatencyModel::zero(),
+        ..PlatformConfig::default()
+    };
+    let p = FaasPlatform::new(cfg, WallClock::shared());
+    for name in ["a", "b", "c", "d"] {
+        p.register(FunctionSpec::new(name, "t", |ctx| Ok(ctx.payload.to_vec())))
+            .unwrap();
+    }
+    let o = Orchestrator::new(p.clone());
+    (p, o)
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let (p, o) = setup();
+    c.bench_function("direct_invoke_baseline", |b| {
+        b.iter(|| black_box(p.invoke("a", &b"x"[..]).unwrap().output.len()))
+    });
+    let seq = Composition::pipeline(["a", "b", "c", "d"]);
+    c.bench_function("sequence_4_stages", |b| {
+        b.iter(|| black_box(o.run(&seq, b"x").unwrap().invocation_count()))
+    });
+    let par = Composition::Parallel(vec![
+        Composition::Task("a".into()),
+        Composition::Task("b".into()),
+        Composition::Task("c".into()),
+        Composition::Task("d".into()),
+    ]);
+    c.bench_function("parallel_4_branches", |b| {
+        b.iter(|| black_box(o.run(&par, b"x").unwrap().invocation_count()))
+    });
+    let map = Composition::Map(Box::new(Composition::Task("a".into())));
+    let input = frame::pack(&(0..16).map(|i| vec![i as u8]).collect::<Vec<_>>());
+    c.bench_function("map_16_items", |b| {
+        b.iter(|| black_box(o.run(&map, &input).unwrap().invocation_count()))
+    });
+    o.register_composition("inner", Composition::pipeline(["a", "b"]));
+    let nested = Composition::Sequence(vec![
+        Composition::Named("inner".into()),
+        Composition::Named("inner".into()),
+    ]);
+    c.bench_function("nested_named_2x2", |b| {
+        b.iter(|| black_box(o.run(&nested, b"x").unwrap().invocation_count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_shapes
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E13 ablation: Pulsar publish/consume throughput vs ledger replication
+//! factor and write quorum — the durability/throughput trade of §4.3's
+//! storage layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taureau_core::clock::WallClock;
+use taureau_pulsar::broker::{PulsarCluster, PulsarConfig, SubscriptionMode};
+use taureau_pulsar::ledger::LedgerConfig;
+
+fn cluster(ensemble: usize, write_quorum: usize, ack_quorum: usize) -> PulsarCluster {
+    PulsarCluster::new(
+        PulsarConfig {
+            bookies: 5,
+            ledger: LedgerConfig { ensemble, write_quorum, ack_quorum },
+            max_entries_per_ledger: 4096,
+        },
+        WallClock::shared(),
+    )
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pulsar_publish_1k_msgs");
+    g.throughput(Throughput::Elements(1000));
+    g.sample_size(20);
+    for (e, wq, aq) in [(1, 1, 1), (3, 2, 2), (3, 3, 2), (5, 3, 3)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("e{e}w{wq}a{aq}")),
+            &(e, wq, aq),
+            |b, &(e, wq, aq)| {
+                b.iter(|| {
+                    let cl = cluster(e, wq, aq);
+                    cl.create_topic("t", 1).unwrap();
+                    let p = cl.producer("t").unwrap();
+                    for i in 0..1000u64 {
+                        p.send(&i.to_le_bytes()).unwrap();
+                    }
+                    black_box(cl.retained_entries("t").unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pulsar_pub_sub_roundtrip");
+    g.throughput(Throughput::Elements(1000));
+    g.sample_size(20);
+    g.bench_function("publish_consume_ack_1k", |b| {
+        b.iter(|| {
+            let cl = cluster(3, 2, 2);
+            cl.create_topic("t", 2).unwrap();
+            let p = cl.producer("t").unwrap();
+            let mut consumer = cl.subscribe("t", "s", SubscriptionMode::Shared).unwrap();
+            for i in 0..1000u64 {
+                p.send(&i.to_le_bytes()).unwrap();
+            }
+            black_box(consumer.drain().unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Sketch throughput (E6 support): update and query cost per element for
+//! every sketch in the catalogue — the numbers that justify running them
+//! inside per-message Pulsar functions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use taureau_core::rng::{det_rng, Zipf};
+use taureau_sketches::{
+    AmsF2, BloomFilter, CountMinSketch, HyperLogLog, KllSketch, Mergeable, SpaceSaving,
+};
+
+fn zipf_stream(n: usize) -> Vec<u64> {
+    let z = Zipf::new(100_000, 1.05);
+    let mut rng = det_rng(42);
+    (0..n).map(|_| z.sample(&mut rng) as u64).collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = zipf_stream(10_000);
+    let mut g = c.benchmark_group("sketch_update_10k");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_function("countmin", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::with_error_bounds(0.001, 0.01, 7);
+            for &x in &stream {
+                cm.add(&x.to_le_bytes(), 1);
+            }
+            black_box(cm.total())
+        })
+    });
+    g.bench_function("countmin_conservative", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(5, 2719, 7).conservative();
+            for &x in &stream {
+                cm.add(&x.to_le_bytes(), 1);
+            }
+            black_box(cm.total())
+        })
+    });
+    g.bench_function("hyperloglog_p14", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(14, 7);
+            for &x in &stream {
+                h.add(&x.to_le_bytes());
+            }
+            black_box(h.estimate())
+        })
+    });
+    g.bench_function("bloom_1pct", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::new(10_000, 0.01, 7);
+            for &x in &stream {
+                f.insert(&x.to_le_bytes());
+            }
+            black_box(f.inserted())
+        })
+    });
+    g.bench_function("spacesaving_k256", |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::new(256);
+            for &x in &stream {
+                s.add(&x.to_le_bytes(), 1);
+            }
+            black_box(s.total())
+        })
+    });
+    g.bench_function("kll_k200", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::new(200);
+            for &x in &stream {
+                s.update(x as f64);
+            }
+            black_box(s.total())
+        })
+    });
+    g.bench_function("ams_f2", |b| {
+        b.iter(|| {
+            let mut s = AmsF2::with_error_bounds(0.1, 0.01, 7);
+            for &x in &stream {
+                s.update(&x.to_le_bytes(), 1);
+            }
+            black_box(s.estimate())
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries_and_merge(c: &mut Criterion) {
+    let stream = zipf_stream(100_000);
+    let mut cm = CountMinSketch::with_error_bounds(0.001, 0.01, 7);
+    let mut cm2 = CountMinSketch::with_error_bounds(0.001, 0.01, 7);
+    for &x in &stream {
+        cm.add(&x.to_le_bytes(), 1);
+        cm2.add(&x.to_le_bytes(), 2);
+    }
+    c.bench_function("countmin_estimate", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(cm.estimate(&i.to_le_bytes()))
+        })
+    });
+    c.bench_function("countmin_merge_2719x5", |b| {
+        b.iter(|| {
+            let mut a = cm.clone();
+            a.merge(&cm2).unwrap();
+            black_box(a.total())
+        })
+    });
+    let mut h1 = HyperLogLog::new(14, 7);
+    let mut h2 = HyperLogLog::new(14, 7);
+    for &x in &stream {
+        h1.add(&x.to_le_bytes());
+        h2.add(&(x + 1).to_le_bytes());
+    }
+    c.bench_function("hll_merge_p14", |b| {
+        b.iter(|| {
+            let mut a = h1.clone();
+            a.merge(&h2).unwrap();
+            black_box(a.estimate())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates, bench_queries_and_merge
+}
+criterion_main!(benches);

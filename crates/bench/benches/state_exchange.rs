@@ -1,0 +1,86 @@
+//! E3: ephemeral state exchange through Jiffy — measured put/get cost for
+//! the three data structures at several payload sizes. (The persistent
+//! baseline's latency is a calibrated model, so the apples-to-apples
+//! comparison lives in the `experiments` binary; this bench tracks the
+//! real cost of the Jiffy implementation itself.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taureau_core::bytesize::ByteSize;
+use taureau_jiffy::{Jiffy, JiffyConfig};
+
+fn jiffy() -> Jiffy {
+    Jiffy::new(
+        JiffyConfig {
+            memory_nodes: 4,
+            blocks_per_node: 8192,
+            block_size: ByteSize::mb(1),
+            ..Default::default()
+        },
+        taureau_core::clock::WallClock::shared(),
+    )
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jiffy_kv");
+    for size in [128usize, 4096, 65_536] {
+        let j = jiffy();
+        let kv = j.create_kv("/bench/kv", 8).unwrap();
+        let payload = vec![7u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("put", size), &size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                kv.put(&i.to_le_bytes(), &payload).unwrap();
+            })
+        });
+        for i in 0..10_000u64 {
+            kv.put(&i.to_le_bytes(), &payload).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("get", size), &size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                black_box(kv.get(&i.to_le_bytes()).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_and_file(c: &mut Criterion) {
+    let j = jiffy();
+    let q = j.create_queue("/bench/q").unwrap();
+    let payload = vec![7u8; 1024];
+    c.bench_function("jiffy_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            q.push(&payload).unwrap();
+            black_box(q.pop().unwrap())
+        })
+    });
+    let mut f = j.create_file("/bench/f-0").unwrap();
+    let mut epoch = 0u64;
+    let mut appends = 0u64;
+    c.bench_function("jiffy_file_append_4k", |b| {
+        let chunk = vec![1u8; 4096];
+        b.iter(|| {
+            // Roll to a fresh file periodically so the bench does not
+            // accumulate unbounded memory.
+            if appends == 20_000 {
+                let _ = j.remove_namespace(format!("/bench/f-{epoch}").as_str());
+                epoch += 1;
+                f = j.create_file(format!("/bench/f-{epoch}").as_str()).unwrap();
+                appends = 0;
+            }
+            appends += 1;
+            black_box(f.append(&chunk).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kv, bench_queue_and_file
+}
+criterion_main!(benches);

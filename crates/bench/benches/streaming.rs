@@ -1,0 +1,48 @@
+//! Windowed-operator throughput: events/second through the tumbling and
+//! sliding window aggregators (§5.1 streaming analytics support).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use taureau_apps::streaming::{SlidingWindow, TumblingWindow};
+
+fn bench_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_operators_10k_events");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("tumbling_1s", |b| {
+        b.iter(|| {
+            let mut w = TumblingWindow::new(Duration::from_secs(1), Duration::from_millis(100));
+            let mut fired = 0usize;
+            for i in 0..10_000u64 {
+                fired += w
+                    .process(Duration::from_millis(i * 3), (i % 100) as f64)
+                    .len();
+            }
+            black_box(fired)
+        })
+    });
+    g.bench_function("sliding_1s_by_250ms", |b| {
+        b.iter(|| {
+            let mut w = SlidingWindow::new(
+                Duration::from_secs(1),
+                Duration::from_millis(250),
+                Duration::from_millis(100),
+            );
+            let mut fired = 0usize;
+            for i in 0..10_000u64 {
+                fired += w
+                    .process(Duration::from_millis(i * 3), (i % 100) as f64)
+                    .len();
+            }
+            black_box(fired)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_windows
+}
+criterion_main!(benches);

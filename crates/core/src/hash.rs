@@ -1,0 +1,125 @@
+//! Seeded 64-bit hashing for sketches.
+//!
+//! Sketches need families of independent hash functions. We derive them from
+//! one strong 64-bit hash (a wyhash-style multiply-mix over 8-byte chunks)
+//! using the Kirsch–Mitzenmacher construction: `g_i(x) = h1(x) + i·h2(x)`,
+//! which preserves the asymptotic guarantees of Bloom filters and Count-Min
+//! while costing one hash of the input.
+
+/// A seeded 64-bit hash over a byte slice.
+///
+/// Not cryptographic; chosen for speed, full 64-bit avalanche, and
+/// reproducibility across runs (no per-process randomness, so sketches built
+/// in different function instances with the same seed are mergeable).
+pub fn hash64(seed: u64, bytes: &[u8]) -> u64 {
+    const P0: u64 = 0xa076_1d64_78bd_642f;
+    const P1: u64 = 0xe703_7ed1_a0b4_28db;
+    const P2: u64 = 0x8ebc_6af0_9c88_c6e3;
+
+    let mut acc = seed ^ P0;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        acc = mix(acc ^ v, P1);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        acc = mix(acc ^ u64::from_le_bytes(tail), P2);
+    }
+    mix(acc ^ (bytes.len() as u64), P1)
+}
+
+/// 128-bit multiply folding (the wyhash "mum" primitive).
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let r = (a as u128).wrapping_mul(b as u128);
+    (r >> 64) as u64 ^ r as u64
+}
+
+/// A pair of independent hashes of the same input, from which a whole family
+/// `g_i = h1 + i * h2` can be derived (Kirsch–Mitzenmacher).
+#[derive(Debug, Clone, Copy)]
+pub struct HashPair {
+    /// First base hash.
+    pub h1: u64,
+    /// Second base hash (forced odd so `g_i` cycles through all residues).
+    pub h2: u64,
+}
+
+impl HashPair {
+    /// Hash `bytes` under the family identified by `seed`.
+    pub fn new(seed: u64, bytes: &[u8]) -> Self {
+        let h1 = hash64(seed, bytes);
+        let h2 = hash64(seed ^ 0x9e37_79b9_7f4a_7c15, bytes) | 1;
+        Self { h1, h2 }
+    }
+
+    /// The `i`-th derived hash.
+    #[inline]
+    pub fn derive(&self, i: u64) -> u64 {
+        self.h1.wrapping_add(i.wrapping_mul(self.h2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(1, b"hello"), hash64(1, b"hello"));
+        assert_ne!(hash64(1, b"hello"), hash64(2, b"hello"));
+        assert_ne!(hash64(1, b"hello"), hash64(1, b"hellp"));
+    }
+
+    #[test]
+    fn empty_and_boundary_lengths() {
+        // Lengths around the 8-byte chunk boundary must all hash distinctly.
+        let inputs: Vec<Vec<u8>> = (0..=17).map(|n| vec![0xABu8; n]).collect();
+        let hashes: HashSet<u64> = inputs.iter().map(|b| hash64(7, b)).collect();
+        assert_eq!(hashes.len(), inputs.len());
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = hash64(0, b"abcdefgh");
+        let b = hash64(0, b"abcdefgi");
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn distribution_over_buckets_is_balanced() {
+        let n = 100_000u64;
+        let buckets = 64usize;
+        let mut counts = vec![0u64; buckets];
+        for i in 0..n {
+            let h = hash64(3, &i.to_le_bytes());
+            counts[(h % buckets as u64) as usize] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.15, "bucket {i} count {c} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn hash_pair_derives_distinct_rows() {
+        let p = HashPair::new(9, b"item");
+        let derived: HashSet<u64> = (0..16).map(|i| p.derive(i)).collect();
+        assert_eq!(derived.len(), 16);
+    }
+
+    #[test]
+    fn h2_is_odd() {
+        for i in 0..100u64 {
+            let p = HashPair::new(5, &i.to_le_bytes());
+            assert_eq!(p.h2 & 1, 1);
+        }
+    }
+}

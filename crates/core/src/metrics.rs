@@ -1,0 +1,423 @@
+//! Counters, gauges and histograms.
+//!
+//! The stack records every latency and billing event through these types, and
+//! the benchmark harness reads them back to print the experiment tables.
+//! [`Histogram`] is a log-linear bucketed histogram (HDR-style: power-of-two
+//! magnitude, linear sub-buckets), giving bounded relative error on quantile
+//! queries without storing raw samples.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Number of linear sub-buckets per power-of-two magnitude. 16 sub-buckets
+/// gives a worst-case relative error of 1/16 ≈ 6% on quantiles, ample for
+/// latency reporting.
+const SUB_BUCKETS: usize = 16;
+const SUB_BUCKET_BITS: u32 = 4; // log2(SUB_BUCKETS)
+/// Magnitudes 2^0 .. 2^63.
+const MAGNITUDES: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways (e.g. live containers, allocated blocks).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increase by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-linear bucketed histogram over `u64` values.
+///
+/// Values are assigned to one of `64 * SUB_BUCKETS` buckets; the bucket's
+/// representative value (its upper bound) is returned from quantile queries,
+/// so quantiles are over-estimates by at most one sub-bucket width.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(MAGNITUDES * SUB_BUCKETS);
+        buckets.resize_with(MAGNITUDES * SUB_BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros();
+        let shift = magnitude - SUB_BUCKET_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((magnitude - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_upper_bound(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let magnitude = (index / SUB_BUCKETS) as u32 + SUB_BUCKET_BITS - 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << magnitude;
+        let width = 1u64 << (magnitude - SUB_BUCKET_BITS);
+        base + (sub + 1) * width - 1
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.max.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (upper bound of the containing
+    /// bucket). Returns 0 for an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Convenience: p50.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// Convenience: p99.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Duration view of a quantile, assuming microsecond recordings.
+    pub fn quantile_duration(&self, q: f64) -> Duration {
+        Duration::from_micros(self.value_at_quantile(q))
+    }
+}
+
+/// Point-in-time snapshot of a histogram for reporting.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum value.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Take a snapshot of the common reporting quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// A named registry of metrics, shared across a subsystem.
+///
+/// Lookups create on first use, so call sites never have to pre-register.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock();
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock();
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Names and values of all counters, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Names and snapshots of all histograms, sorted by name.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let inner = self.inner.lock();
+        inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.value_at_quantile(1.0), 15);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_bounded() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let expect = (q * 100_000.0) as u64;
+            let got = h.value_at_quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.07, "q={q}: got {got}, expect {expect}, err {err}");
+            assert!(got >= expect, "quantile should be an upper bound");
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip_upper_bound_contains_value() {
+        for v in [0u64, 1, 15, 16, 17, 255, 256, 1 << 20, u64::MAX / 2] {
+            let idx = Histogram::bucket_index(v);
+            let ub = Histogram::bucket_upper_bound(idx);
+            assert!(ub >= v, "value {v} above bucket upper bound {ub}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_sum() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn registry_shares_handles() {
+        let r = MetricsRegistry::new();
+        r.counter("invocations").add(3);
+        r.counter("invocations").add(2);
+        assert_eq!(r.counter("invocations").get(), 5);
+        r.histogram("latency_us").record(100);
+        assert_eq!(r.histogram("latency_us").count(), 1);
+        let names: Vec<String> = r.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["invocations".to_string()]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-tenant billing meters.
+//!
+//! §2: "the key economic incentive for the users stems from the
+//! cost-savings due to fine-grained billing … users only pay for the
+//! resources they actually use, and for the duration that they use it."
+//! Every invocation lands here as a line item under the tenant's bill.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use taureau_core::bytesize::ByteSize;
+use taureau_core::cost::{Bill, Dollars, FaasPricing};
+
+/// Thread-safe per-tenant billing.
+#[derive(Debug)]
+pub struct BillingMeter {
+    pricing: FaasPricing,
+    bills: Mutex<HashMap<String, Bill>>,
+}
+
+impl BillingMeter {
+    /// Meter under the given pricing.
+    pub fn new(pricing: FaasPricing) -> Self {
+        Self { pricing, bills: Mutex::new(HashMap::new()) }
+    }
+
+    /// The pricing in force.
+    pub fn pricing(&self) -> &FaasPricing {
+        &self.pricing
+    }
+
+    /// Record one billed execution.
+    pub fn charge(&self, tenant: &str, memory: ByteSize, duration: Duration) -> Dollars {
+        let mut bills = self.bills.lock();
+        let bill = bills.entry(tenant.to_string()).or_default();
+        bill.charge(&self.pricing, memory, duration);
+        bill.items().last().expect("just charged").cost
+    }
+
+    /// A tenant's total to date.
+    pub fn total(&self, tenant: &str) -> Dollars {
+        self.bills.lock().get(tenant).map_or(0.0, Bill::total)
+    }
+
+    /// A tenant's invocation count.
+    pub fn invocations(&self, tenant: &str) -> usize {
+        self.bills.lock().get(tenant).map_or(0, Bill::len)
+    }
+
+    /// Grand total across tenants.
+    pub fn grand_total(&self) -> Dollars {
+        self.bills.lock().values().map(Bill::total).sum()
+    }
+
+    /// Snapshot of a tenant's bill.
+    pub fn bill(&self, tenant: &str) -> Option<Bill> {
+        self.bills.lock().get(tenant).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_tenant() {
+        let m = BillingMeter::new(FaasPricing::default());
+        let c1 = m.charge("alice", ByteSize::gb(1), Duration::from_millis(100));
+        let c2 = m.charge("alice", ByteSize::gb(1), Duration::from_millis(100));
+        m.charge("bob", ByteSize::mb(128), Duration::from_millis(50));
+        assert!((m.total("alice") - (c1 + c2)).abs() < 1e-15);
+        assert_eq!(m.invocations("alice"), 2);
+        assert_eq!(m.invocations("bob"), 1);
+        assert_eq!(m.invocations("carol"), 0);
+        assert!(m.grand_total() > m.total("alice"));
+    }
+
+    #[test]
+    fn rounding_matches_pricing_granularity() {
+        let m = BillingMeter::new(FaasPricing::default());
+        // 1 ms and 99 ms bill identically (both round to 100 ms).
+        let a = m.charge("t", ByteSize::gb(1), Duration::from_millis(1));
+        let b = m.charge("t", ByteSize::gb(1), Duration::from_millis(99));
+        assert!((a - b).abs() < 1e-15);
+        // 101 ms bills twice the duration component.
+        let c = m.charge("t", ByteSize::gb(1), Duration::from_millis(101));
+        assert!(c > a);
+    }
+}

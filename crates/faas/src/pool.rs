@@ -1,0 +1,238 @@
+//! The warm-container pool.
+//!
+//! The first invocation of a function must initialise a fresh container — a
+//! *cold start*, whose latency the platform injects from the calibrated
+//! model in `taureau_core::latency::profiles` (hundreds of milliseconds,
+//! heavy tail). Containers are kept warm for a keep-alive window after use;
+//! an invocation that finds one skips initialisation — a *warm start*
+//! (single-digit milliseconds). §5.2 cites Ishakian et al.: "warm
+//! serverless executions are within an acceptable latency range, while cold
+//! starts add significant overhead" — experiment E2 reproduces that gap and
+//! ablates the keep-alive window.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rand_chacha::ChaCha8Rng;
+use taureau_core::latency::LatencyModel;
+use taureau_core::rng::det_rng;
+
+/// Whether an invocation found a warm container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// Fresh container: initialisation latency paid.
+    Cold,
+    /// Reused container: dispatch latency only.
+    Warm,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WarmContainer {
+    idle_since: Duration,
+}
+
+/// Per-function warm pool state. Not thread-safe on its own; the platform
+/// guards it.
+#[derive(Debug)]
+pub struct ContainerPool {
+    keep_alive: Duration,
+    cold_model: LatencyModel,
+    warm_model: LatencyModel,
+    rng: ChaCha8Rng,
+    /// function name -> idle warm containers.
+    warm: HashMap<String, Vec<WarmContainer>>,
+    /// function name -> containers pinned warm regardless of keep-alive
+    /// (provisioned concurrency).
+    provisioned: HashMap<String, u32>,
+    cold_starts: u64,
+    warm_starts: u64,
+}
+
+impl ContainerPool {
+    /// Pool with the given keep-alive window and latency models.
+    pub fn new(keep_alive: Duration, cold_model: LatencyModel, warm_model: LatencyModel) -> Self {
+        Self {
+            keep_alive,
+            cold_model,
+            warm_model,
+            rng: det_rng(0xC01D),
+            warm: HashMap::new(),
+            provisioned: HashMap::new(),
+            cold_starts: 0,
+            warm_starts: 0,
+        }
+    }
+
+    /// Keep-alive window.
+    pub fn keep_alive(&self) -> Duration {
+        self.keep_alive
+    }
+
+    /// Pin `n` containers warm for a function (provisioned concurrency).
+    /// Takes effect from the next release/reap cycle; pre-warms immediately
+    /// by inserting idle containers.
+    pub fn provision(&mut self, function: &str, n: u32, now: Duration) {
+        self.provisioned.insert(function.to_string(), n);
+        let pool = self.warm.entry(function.to_string()).or_default();
+        while (pool.len() as u32) < n {
+            pool.push(WarmContainer { idle_since: now });
+        }
+    }
+
+    /// Acquire a container for an invocation at time `now`. Returns the
+    /// start kind and the startup latency to inject.
+    pub fn acquire(&mut self, function: &str, now: Duration) -> (StartKind, Duration) {
+        self.reap_function(function, now);
+        let pool = self.warm.entry(function.to_string()).or_default();
+        if pool.pop().is_some() {
+            self.warm_starts += 1;
+            (StartKind::Warm, self.warm_model.sample(&mut self.rng))
+        } else {
+            self.cold_starts += 1;
+            (StartKind::Cold, self.cold_model.sample(&mut self.rng))
+        }
+    }
+
+    /// Return a container to the warm pool after an execution finished at
+    /// `now`.
+    pub fn release(&mut self, function: &str, now: Duration) {
+        self.warm
+            .entry(function.to_string())
+            .or_default()
+            .push(WarmContainer { idle_since: now });
+    }
+
+    fn reap_function(&mut self, function: &str, now: Duration) {
+        let keep = self.keep_alive;
+        let floor = self.provisioned.get(function).copied().unwrap_or(0) as usize;
+        if let Some(pool) = self.warm.get_mut(function) {
+            // Oldest first; keep at least the provisioned floor.
+            pool.sort_by_key(|c| c.idle_since);
+            while pool.len() > floor {
+                let oldest = pool[0];
+                if now.saturating_sub(oldest.idle_since) > keep {
+                    pool.remove(0);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Reap idle containers across all functions.
+    pub fn reap_all(&mut self, now: Duration) {
+        let names: Vec<String> = self.warm.keys().cloned().collect();
+        for f in names {
+            self.reap_function(&f, now);
+        }
+    }
+
+    /// Idle warm containers for a function.
+    pub fn warm_count(&self, function: &str) -> usize {
+        self.warm.get(function).map_or(0, Vec::len)
+    }
+
+    /// (cold, warm) start counts.
+    pub fn start_counts(&self) -> (u64, u64) {
+        (self.cold_starts, self.warm_starts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(keep_alive_secs: u64) -> ContainerPool {
+        ContainerPool::new(
+            Duration::from_secs(keep_alive_secs),
+            LatencyModel::Constant(Duration::from_millis(200)),
+            LatencyModel::Constant(Duration::from_millis(2)),
+        )
+    }
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn first_start_is_cold_second_is_warm() {
+        let mut p = pool(60);
+        let (kind, delay) = p.acquire("f", secs(0));
+        assert_eq!(kind, StartKind::Cold);
+        assert_eq!(delay, Duration::from_millis(200));
+        p.release("f", secs(1));
+        let (kind, delay) = p.acquire("f", secs(2));
+        assert_eq!(kind, StartKind::Warm);
+        assert_eq!(delay, Duration::from_millis(2));
+        assert_eq!(p.start_counts(), (1, 1));
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_cold() {
+        let mut p = pool(10);
+        p.acquire("f", secs(0));
+        p.release("f", secs(1));
+        // Within keep-alive: warm.
+        let (kind, _) = p.acquire("f", secs(5));
+        assert_eq!(kind, StartKind::Warm);
+        p.release("f", secs(6));
+        // Past keep-alive: container reaped, cold again.
+        let (kind, _) = p.acquire("f", secs(30));
+        assert_eq!(kind, StartKind::Cold);
+    }
+
+    #[test]
+    fn concurrent_bursts_create_multiple_containers() {
+        let mut p = pool(60);
+        // Three invocations before any release: three cold starts.
+        for _ in 0..3 {
+            let (kind, _) = p.acquire("f", secs(0));
+            assert_eq!(kind, StartKind::Cold);
+        }
+        for _ in 0..3 {
+            p.release("f", secs(1));
+        }
+        assert_eq!(p.warm_count("f"), 3);
+        // Next three are all warm.
+        for _ in 0..3 {
+            let (kind, _) = p.acquire("f", secs(2));
+            assert_eq!(kind, StartKind::Warm);
+        }
+    }
+
+    #[test]
+    fn provisioned_concurrency_never_reaps_below_floor() {
+        let mut p = pool(5);
+        p.provision("f", 2, secs(0));
+        assert_eq!(p.warm_count("f"), 2);
+        // Far past keep-alive, the floor remains.
+        p.reap_all(secs(1000));
+        assert_eq!(p.warm_count("f"), 2);
+        let (kind, _) = p.acquire("f", secs(1001));
+        assert_eq!(kind, StartKind::Warm);
+    }
+
+    #[test]
+    fn pools_are_per_function() {
+        let mut p = pool(60);
+        p.acquire("f", secs(0));
+        p.release("f", secs(1));
+        // A different function cannot reuse f's container.
+        let (kind, _) = p.acquire("g", secs(2));
+        assert_eq!(kind, StartKind::Cold);
+        assert_eq!(p.warm_count("f"), 1);
+    }
+
+    #[test]
+    fn reap_all_cleans_every_function() {
+        let mut p = pool(1);
+        for f in ["a", "b", "c"] {
+            p.acquire(f, secs(0));
+            p.release(f, secs(0));
+        }
+        p.reap_all(secs(100));
+        for f in ["a", "b", "c"] {
+            assert_eq!(p.warm_count(f), 0);
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! The Jiffy controller — the system facade (Figure 2's control plane).
+//!
+//! [`Jiffy`] owns the namespace tree, the shared block pool, the lease
+//! manager and the notification bus, and hands out typed handles
+//! ([`KvHandle`], [`QueueHandle`], [`FileHandle`]) that serverless
+//! functions use to read and write ephemeral state. Every access renews the
+//! covering lease (state stays alive while in use); [`Jiffy::reap_expired`]
+//! reclaims lapsed namespaces and returns their blocks to the pool.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use taureau_core::bytesize::ByteSize;
+use taureau_core::clock::{SharedClock, WallClock};
+use taureau_core::metrics::MetricsRegistry;
+
+use crate::data::{FileObject, KvObject, ObjectState, QueueObject};
+use crate::error::{JiffyError, Result};
+use crate::lease::LeaseManager;
+use crate::namespace::NamespaceTree;
+use crate::notify::{Event, EventKind, NotificationBus, Subscription};
+use crate::path::JPath;
+use crate::pool::{MemoryPool, PoolStats};
+
+/// Configuration for a Jiffy deployment.
+#[derive(Debug, Clone)]
+pub struct JiffyConfig {
+    /// Number of memory nodes in the pool.
+    pub memory_nodes: usize,
+    /// Blocks per memory node.
+    pub blocks_per_node: u64,
+    /// Block size (the allocation granule — E14 ablates this).
+    pub block_size: ByteSize,
+    /// Lease TTL granted to application namespaces.
+    pub default_lease_ttl: Duration,
+    /// Optional per-application block quota.
+    pub app_quota_blocks: Option<u64>,
+}
+
+impl Default for JiffyConfig {
+    fn default() -> Self {
+        Self {
+            memory_nodes: 4,
+            blocks_per_node: 1024,
+            block_size: ByteSize::kb(64),
+            default_lease_ttl: Duration::from_secs(30),
+            app_quota_blocks: None,
+        }
+    }
+}
+
+struct State {
+    tree: NamespaceTree,
+    pool: MemoryPool,
+    leases: LeaseManager,
+    bus: NotificationBus,
+}
+
+struct Inner {
+    clock: SharedClock,
+    cfg: JiffyConfig,
+    state: Mutex<State>,
+    metrics: MetricsRegistry,
+}
+
+/// The Jiffy virtual-memory service for ephemeral serverless state.
+///
+/// Cheap to clone; all clones share the same deployment.
+#[derive(Clone)]
+pub struct Jiffy {
+    inner: Arc<Inner>,
+}
+
+impl Jiffy {
+    /// Create a deployment with the given configuration and clock.
+    pub fn new(cfg: JiffyConfig, clock: SharedClock) -> Self {
+        let mut pool = MemoryPool::new(cfg.memory_nodes, cfg.blocks_per_node, cfg.block_size);
+        if let Some(q) = cfg.app_quota_blocks {
+            pool = pool.with_quota(q);
+        }
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                cfg,
+                state: Mutex::new(State {
+                    tree: NamespaceTree::new(),
+                    pool,
+                    leases: LeaseManager::new(),
+                    bus: NotificationBus::new(),
+                }),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// Default configuration on a wall clock.
+    pub fn with_defaults() -> Self {
+        Self::new(JiffyConfig::default(), WallClock::shared())
+    }
+
+    /// This deployment's configuration.
+    pub fn config(&self) -> &JiffyConfig {
+        &self.inner.cfg
+    }
+
+    /// Metrics registry (repartitioned bytes, reclaimed namespaces, …).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Pool statistics snapshot.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.state.lock().pool.stats()
+    }
+
+    /// Blocks currently held by an application namespace.
+    pub fn blocks_held_by(&self, app: &str) -> u64 {
+        self.inner.state.lock().pool.held_by(app)
+    }
+
+    /// Peak blocks held by an application, and the sum of all app peaks
+    /// (for the E5 multiplexing report).
+    pub fn multiplexing_report(&self) -> (u64, u64) {
+        let st = self.inner.state.lock();
+        (st.pool.stats().peak_allocated_blocks, st.pool.sum_of_app_peaks())
+    }
+
+    fn app_lease_path(path: &JPath) -> Option<JPath> {
+        path.app().map(|app| JPath::from_segments([app]))
+    }
+
+    /// Create a namespace (and intermediates). Grants the application lease
+    /// if this is the first namespace for the app.
+    pub fn create_namespace(&self, path: impl Into<JPath>) -> Result<()> {
+        let path = path.into();
+        let now = self.inner.clock.now();
+        let mut st = self.inner.state.lock();
+        st.tree.create(&path)?;
+        if let Some(app_path) = Self::app_lease_path(&path) {
+            if st.leases.get(&app_path).is_none() {
+                st.leases
+                    .grant(app_path, self.inner.cfg.default_lease_ttl, now);
+            } else {
+                st.leases.renew(&path, now);
+            }
+        }
+        st.bus.publish(Event { path, kind: EventKind::Created });
+        Ok(())
+    }
+
+    /// Whether a namespace exists.
+    pub fn exists(&self, path: impl Into<JPath>) -> bool {
+        self.inner.state.lock().tree.exists(&path.into())
+    }
+
+    /// List immediate children of a namespace.
+    pub fn list(&self, path: impl Into<JPath>) -> Result<Vec<String>> {
+        self.inner.state.lock().tree.list(&path.into())
+    }
+
+    /// Remove a namespace sub-tree, returning its blocks to the pool.
+    pub fn remove_namespace(&self, path: impl Into<JPath>) -> Result<()> {
+        let path = path.into();
+        let mut st = self.inner.state.lock();
+        let objs = st.tree.remove(&path)?;
+        let app = path.app().unwrap_or_default().to_string();
+        for obj in objs {
+            let blocks = obj.blocks();
+            st.pool.free(&app, &blocks);
+        }
+        if path.depth() == 1 {
+            st.leases.release(&path);
+        }
+        st.bus.publish(Event { path, kind: EventKind::Removed });
+        Ok(())
+    }
+
+    /// Renew the lease covering `path` explicitly.
+    pub fn renew_lease(&self, path: impl Into<JPath>) -> bool {
+        let now = self.inner.clock.now();
+        self.inner.state.lock().leases.renew(&path.into(), now)
+    }
+
+    /// Reclaim all application namespaces whose leases lapsed. Returns the
+    /// reclaimed paths. Call periodically (or after advancing a virtual
+    /// clock in tests).
+    pub fn reap_expired(&self) -> Vec<JPath> {
+        let now = self.inner.clock.now();
+        let mut st = self.inner.state.lock();
+        let expired = st.leases.reap(now);
+        let reclaimed = self.inner.metrics.counter("namespaces_reclaimed");
+        for path in &expired {
+            if let Ok(objs) = st.tree.remove(path) {
+                let app = path.app().unwrap_or_default().to_string();
+                for obj in objs {
+                    let blocks = obj.blocks();
+                    st.pool.free(&app, &blocks);
+                }
+            }
+            reclaimed.inc();
+            st.bus
+                .publish(Event { path: path.clone(), kind: EventKind::LeaseExpired });
+        }
+        expired
+    }
+
+    /// Subscribe to events at or under `prefix`.
+    pub fn subscribe(&self, prefix: impl Into<JPath>) -> Subscription {
+        self.inner.state.lock().bus.subscribe(prefix.into())
+    }
+
+    // -- object creation ----------------------------------------------------
+
+    fn ensure_namespace(st: &mut State, path: &JPath, ttl: Duration, now: Duration) {
+        if !st.tree.exists(path) {
+            let _ = st.tree.create(path);
+            if let Some(app_path) = Self::app_lease_path(path) {
+                if st.leases.get(&app_path).is_none() {
+                    st.leases.grant(app_path, ttl, now);
+                }
+            }
+        }
+    }
+
+    /// Create a KV object at `path` with `partitions` initial partitions.
+    /// The namespace is created if missing.
+    pub fn create_kv(&self, path: impl Into<JPath>, partitions: usize) -> Result<KvHandle> {
+        let path = path.into();
+        let now = self.inner.clock.now();
+        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let mut st = self.inner.state.lock();
+        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
+        let node = st.tree.get(&path)?;
+        if node.object.is_some() {
+            return Err(JiffyError::AlreadyExists(path));
+        }
+        let kv = KvObject::create(&mut st.pool, &app, partitions)?;
+        st.tree.get_mut(&path)?.object = Some(ObjectState::Kv(kv));
+        drop(st);
+        Ok(KvHandle { jiffy: self.clone(), path })
+    }
+
+    /// Open an existing KV object.
+    pub fn open_kv(&self, path: impl Into<JPath>) -> Result<KvHandle> {
+        let path = path.into();
+        let st = self.inner.state.lock();
+        match &st.tree.get(&path)?.object {
+            Some(ObjectState::Kv(_)) => Ok(KvHandle { jiffy: self.clone(), path: path.clone() }),
+            Some(other) => Err(JiffyError::WrongKind {
+                path,
+                actual: other.kind(),
+                requested: "kv",
+            }),
+            None => Err(JiffyError::NotFound(path)),
+        }
+    }
+
+    /// Create a queue object at `path` (namespace created if missing).
+    pub fn create_queue(&self, path: impl Into<JPath>) -> Result<QueueHandle> {
+        let path = path.into();
+        let now = self.inner.clock.now();
+        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let mut st = self.inner.state.lock();
+        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
+        let node = st.tree.get(&path)?;
+        if node.object.is_some() {
+            return Err(JiffyError::AlreadyExists(path));
+        }
+        st.tree.get_mut(&path)?.object = Some(ObjectState::Queue(QueueObject::create(&app)));
+        drop(st);
+        Ok(QueueHandle { jiffy: self.clone(), path })
+    }
+
+    /// Open an existing queue object.
+    pub fn open_queue(&self, path: impl Into<JPath>) -> Result<QueueHandle> {
+        let path = path.into();
+        let st = self.inner.state.lock();
+        match &st.tree.get(&path)?.object {
+            Some(ObjectState::Queue(_)) => {
+                Ok(QueueHandle { jiffy: self.clone(), path: path.clone() })
+            }
+            Some(other) => Err(JiffyError::WrongKind {
+                path,
+                actual: other.kind(),
+                requested: "queue",
+            }),
+            None => Err(JiffyError::NotFound(path)),
+        }
+    }
+
+    /// Create a file object at `path` (namespace created if missing).
+    pub fn create_file(&self, path: impl Into<JPath>) -> Result<FileHandle> {
+        let path = path.into();
+        let now = self.inner.clock.now();
+        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let mut st = self.inner.state.lock();
+        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
+        let node = st.tree.get(&path)?;
+        if node.object.is_some() {
+            return Err(JiffyError::AlreadyExists(path));
+        }
+        st.tree.get_mut(&path)?.object = Some(ObjectState::File(FileObject::create(&app)));
+        drop(st);
+        Ok(FileHandle { jiffy: self.clone(), path })
+    }
+
+    /// Open an existing file object.
+    pub fn open_file(&self, path: impl Into<JPath>) -> Result<FileHandle> {
+        let path = path.into();
+        let st = self.inner.state.lock();
+        match &st.tree.get(&path)?.object {
+            Some(ObjectState::File(_)) => {
+                Ok(FileHandle { jiffy: self.clone(), path: path.clone() })
+            }
+            Some(other) => Err(JiffyError::WrongKind {
+                path,
+                actual: other.kind(),
+                requested: "file",
+            }),
+            None => Err(JiffyError::NotFound(path)),
+        }
+    }
+
+    // -- object access plumbing ---------------------------------------------
+
+    fn with_kv<T>(
+        &self,
+        path: &JPath,
+        f: impl FnOnce(&mut KvObject, &mut MemoryPool) -> Result<T>,
+    ) -> Result<T> {
+        let now = self.inner.clock.now();
+        let mut st = self.inner.state.lock();
+        st.leases.renew(path, now);
+        let State { tree, pool, .. } = &mut *st;
+        match &mut tree.get_mut(path)?.object {
+            Some(ObjectState::Kv(kv)) => f(kv, pool),
+            Some(other) => Err(JiffyError::WrongKind {
+                path: path.clone(),
+                actual: other.kind(),
+                requested: "kv",
+            }),
+            None => Err(JiffyError::NotFound(path.clone())),
+        }
+    }
+
+    fn with_queue<T>(
+        &self,
+        path: &JPath,
+        f: impl FnOnce(&mut QueueObject, &mut MemoryPool) -> Result<T>,
+    ) -> Result<T> {
+        let now = self.inner.clock.now();
+        let mut st = self.inner.state.lock();
+        st.leases.renew(path, now);
+        let State { tree, pool, .. } = &mut *st;
+        match &mut tree.get_mut(path)?.object {
+            Some(ObjectState::Queue(q)) => f(q, pool),
+            Some(other) => Err(JiffyError::WrongKind {
+                path: path.clone(),
+                actual: other.kind(),
+                requested: "queue",
+            }),
+            None => Err(JiffyError::NotFound(path.clone())),
+        }
+    }
+
+    fn with_file<T>(
+        &self,
+        path: &JPath,
+        f: impl FnOnce(&mut FileObject, &mut MemoryPool) -> Result<T>,
+    ) -> Result<T> {
+        let now = self.inner.clock.now();
+        let mut st = self.inner.state.lock();
+        st.leases.renew(path, now);
+        let State { tree, pool, .. } = &mut *st;
+        match &mut tree.get_mut(path)?.object {
+            Some(ObjectState::File(fl)) => f(fl, pool),
+            Some(other) => Err(JiffyError::WrongKind {
+                path: path.clone(),
+                actual: other.kind(),
+                requested: "file",
+            }),
+            None => Err(JiffyError::NotFound(path.clone())),
+        }
+    }
+
+    fn publish(&self, path: &JPath, kind: EventKind) {
+        self.inner
+            .state
+            .lock()
+            .bus
+            .publish(Event { path: path.clone(), kind });
+    }
+}
+
+/// Handle to a KV object.
+#[derive(Clone)]
+pub struct KvHandle {
+    jiffy: Jiffy,
+    path: JPath,
+}
+
+impl KvHandle {
+    /// The object's namespace path.
+    pub fn path(&self) -> &JPath {
+        &self.path
+    }
+
+    /// Insert or update a key. Auto-scales the object if its partition is
+    /// full; re-partitioned bytes are recorded in the
+    /// `kv_repartitioned_bytes` metric.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let moved = self
+            .jiffy
+            .with_kv(&self.path, |kv, pool| kv.put(pool, key, value))?;
+        if moved > 0 {
+            self.jiffy
+                .metrics()
+                .counter("kv_repartitioned_bytes")
+                .add(moved);
+        }
+        self.jiffy
+            .publish(&self.path, EventKind::KvPut { key: key.to_vec() });
+        Ok(())
+    }
+
+    /// Read a key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.jiffy
+            .with_kv(&self.path, |kv, _| Ok(kv.get(key).map(<[u8]>::to_vec)))
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.remove(key)))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> Result<usize> {
+        self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.len()))
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// All keys (unordered).
+    pub fn keys(&self) -> Result<Vec<Vec<u8>>> {
+        self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.keys()))
+    }
+
+    /// Current partition count.
+    pub fn partitions(&self) -> Result<usize> {
+        self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.partitions()))
+    }
+
+    /// Scale to `target` partitions; returns bytes moved (only this
+    /// object's data).
+    pub fn scale_to(&self, target: usize) -> Result<u64> {
+        let moved = self
+            .jiffy
+            .with_kv(&self.path, |kv, pool| kv.scale_to(pool, target))?;
+        self.jiffy
+            .metrics()
+            .counter("kv_repartitioned_bytes")
+            .add(moved);
+        Ok(moved)
+    }
+}
+
+/// Handle to a queue object.
+#[derive(Clone)]
+pub struct QueueHandle {
+    jiffy: Jiffy,
+    path: JPath,
+}
+
+impl QueueHandle {
+    /// The object's namespace path.
+    pub fn path(&self) -> &JPath {
+        &self.path
+    }
+
+    /// Append a payload.
+    pub fn push(&self, payload: &[u8]) -> Result<()> {
+        self.jiffy
+            .with_queue(&self.path, |q, pool| q.push(pool, payload))?;
+        self.jiffy.publish(&self.path, EventKind::QueuePush);
+        Ok(())
+    }
+
+    /// Pop the oldest payload.
+    pub fn pop(&self) -> Result<Option<Vec<u8>>> {
+        self.jiffy.with_queue(&self.path, |q, pool| Ok(q.pop(pool)))
+    }
+
+    /// Elements queued.
+    pub fn len(&self) -> Result<usize> {
+        self.jiffy.with_queue(&self.path, |q, _| Ok(q.len()))
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Handle to a file object.
+#[derive(Clone)]
+pub struct FileHandle {
+    jiffy: Jiffy,
+    path: JPath,
+}
+
+impl FileHandle {
+    /// The object's namespace path.
+    pub fn path(&self) -> &JPath {
+        &self.path
+    }
+
+    /// Append bytes; returns the new length.
+    pub fn append(&self, bytes: &[u8]) -> Result<u64> {
+        let len = self
+            .jiffy
+            .with_file(&self.path, |f, pool| f.append(pool, bytes))?;
+        self.jiffy.publish(&self.path, EventKind::FileWrite { len });
+        Ok(len)
+    }
+
+    /// Read a byte range (clamped to the file length).
+    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.jiffy
+            .with_file(&self.path, |f, _| Ok(f.read(offset, len).to_vec()))
+    }
+
+    /// Full contents.
+    pub fn contents(&self) -> Result<Vec<u8>> {
+        self.jiffy
+            .with_file(&self.path, |f, _| Ok(f.contents().to_vec()))
+    }
+
+    /// File length.
+    pub fn len(&self) -> Result<u64> {
+        self.jiffy.with_file(&self.path, |f, _| Ok(f.len()))
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taureau_core::clock::VirtualClock;
+
+    fn deployment() -> (Jiffy, Arc<VirtualClock>) {
+        let clock = VirtualClock::shared();
+        let cfg = JiffyConfig {
+            memory_nodes: 2,
+            blocks_per_node: 64,
+            block_size: ByteSize::kb(1),
+            default_lease_ttl: Duration::from_secs(10),
+            app_quota_blocks: None,
+        };
+        (Jiffy::new(cfg, clock.clone()), clock)
+    }
+
+    #[test]
+    fn kv_end_to_end() {
+        let (j, _) = deployment();
+        let kv = j.create_kv("/app/state", 2).unwrap();
+        kv.put(b"k", b"v").unwrap();
+        assert_eq!(kv.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(kv.len().unwrap(), 1);
+        // A second handle opened by another "function" sees the same data.
+        let kv2 = j.open_kv("/app/state").unwrap();
+        assert_eq!(kv2.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn kind_mismatch_is_reported() {
+        let (j, _) = deployment();
+        j.create_kv("/app/state", 1).unwrap();
+        assert!(matches!(
+            j.open_queue("/app/state"),
+            Err(JiffyError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn queue_between_producer_and_consumer() {
+        let (j, _) = deployment();
+        let q = j.create_queue("/app/shuffle/part-0").unwrap();
+        q.push(b"one").unwrap();
+        q.push(b"two").unwrap();
+        let consumer = j.open_queue("/app/shuffle/part-0").unwrap();
+        assert_eq!(consumer.pop().unwrap(), Some(b"one".to_vec()));
+        assert_eq!(consumer.pop().unwrap(), Some(b"two".to_vec()));
+        assert_eq!(consumer.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn notifications_signal_state_readiness() {
+        let (j, _) = deployment();
+        let sub = j.subscribe("/app");
+        let q = j.create_queue("/app/out").unwrap();
+        q.push(b"ready").unwrap();
+        let events = sub.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::QueuePush)));
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_blocks() {
+        let (j, clock) = deployment();
+        let kv = j.create_kv("/app/state", 4).unwrap();
+        kv.put(b"k", b"v").unwrap();
+        assert_eq!(j.blocks_held_by("app"), 4);
+        clock.advance(Duration::from_secs(11));
+        let reclaimed = j.reap_expired();
+        assert_eq!(reclaimed, vec![JPath::parse("/app")]);
+        assert_eq!(j.blocks_held_by("app"), 0);
+        assert!(matches!(kv.get(b"k"), Err(JiffyError::NotFound(_))));
+    }
+
+    #[test]
+    fn access_renews_lease() {
+        let (j, clock) = deployment();
+        let kv = j.create_kv("/app/state", 1).unwrap();
+        for _ in 0..5 {
+            clock.advance(Duration::from_secs(8));
+            kv.put(b"heartbeat", b"x").unwrap(); // renews
+            assert!(j.reap_expired().is_empty());
+        }
+        clock.advance(Duration::from_secs(11));
+        assert_eq!(j.reap_expired().len(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_notifies_subscribers() {
+        let (j, clock) = deployment();
+        let sub = j.subscribe("/app");
+        j.create_kv("/app/state", 1).unwrap();
+        sub.drain();
+        clock.advance(Duration::from_secs(20));
+        j.reap_expired();
+        let events = sub.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LeaseExpired)));
+    }
+
+    #[test]
+    fn remove_namespace_returns_blocks() {
+        let (j, _) = deployment();
+        let f = j.create_file("/app/video/chunk-0").unwrap();
+        f.append(&vec![0u8; 4096]).unwrap();
+        assert!(j.blocks_held_by("app") >= 4);
+        j.remove_namespace("/app/video").unwrap();
+        assert_eq!(j.blocks_held_by("app"), 0);
+    }
+
+    #[test]
+    fn quota_isolates_applications() {
+        let clock = VirtualClock::shared();
+        let cfg = JiffyConfig {
+            memory_nodes: 1,
+            blocks_per_node: 32,
+            block_size: ByteSize::kb(1),
+            default_lease_ttl: Duration::from_secs(60),
+            app_quota_blocks: Some(4),
+        };
+        let j = Jiffy::new(cfg, clock);
+        let f = j.create_file("/greedy/blob").unwrap();
+        // 4 KiB quota: the 5th block must be denied…
+        assert!(matches!(
+            f.append(&vec![0u8; 8192]),
+            Err(JiffyError::QuotaExceeded { .. })
+        ));
+        // …while another app can still allocate.
+        let g = j.create_file("/polite/blob").unwrap();
+        assert!(g.append(&vec![0u8; 2048]).is_ok());
+    }
+
+    #[test]
+    fn scaling_one_app_touches_only_its_bytes() {
+        let (j, _) = deployment();
+        let a = j.create_kv("/a/state", 2).unwrap();
+        let b = j.create_kv("/b/state", 2).unwrap();
+        for i in 0..20u64 {
+            a.put(&i.to_le_bytes(), &[1u8; 8]).unwrap();
+            b.put(&i.to_le_bytes(), &[2u8; 8]).unwrap();
+        }
+        let before = j.metrics().counter("kv_repartitioned_bytes").get();
+        let moved = a.scale_to(6).unwrap();
+        let after = j.metrics().counter("kv_repartitioned_bytes").get();
+        assert_eq!(after - before, moved);
+        // b's data is untouched and fully readable.
+        for i in 0..20u64 {
+            assert_eq!(b.get(&i.to_le_bytes()).unwrap(), Some(vec![2u8; 8]));
+        }
+        // Moved bytes are bounded by app a's own footprint.
+        let a_bytes: u64 = 20 * (8 + 8 + 16);
+        assert!(moved <= a_bytes, "moved {moved} > a's footprint {a_bytes}");
+    }
+
+    #[test]
+    fn concurrent_handles_from_many_threads() {
+        let (j, _) = deployment();
+        let q = j.create_queue("/app/work").unwrap();
+        let mut handles = vec![];
+        for t in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    q.push(&(t * 1000 + i).to_le_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len().unwrap(), 200);
+    }
+}

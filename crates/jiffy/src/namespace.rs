@@ -1,0 +1,209 @@
+//! The hierarchical namespace tree — Jiffy's second core insight.
+//!
+//! Instead of one global address space (which would force whole-cluster
+//! re-partitioning whenever any application scales), state lives in a tree
+//! of namespaces: `/app/stage/task`. Each namespace can hold one data
+//! object ([`crate::data`]) and any number of child namespaces. Scaling an
+//! object re-partitions *only that object*; removing a namespace reclaims
+//! exactly its sub-tree's blocks.
+
+use std::collections::BTreeMap;
+
+use crate::data::ObjectState;
+use crate::error::{JiffyError, Result};
+use crate::path::JPath;
+
+/// One node in the namespace tree.
+#[derive(Debug, Default)]
+pub struct NsNode {
+    /// Child namespaces by name.
+    pub children: BTreeMap<String, NsNode>,
+    /// The data object stored at this namespace, if any.
+    pub object: Option<ObjectState>,
+}
+
+impl NsNode {
+    /// Iterate over all objects in this sub-tree (depth-first), with their
+    /// paths relative to `base`.
+    pub fn objects<'a>(&'a self, base: &JPath, out: &mut Vec<(JPath, &'a ObjectState)>) {
+        if let Some(obj) = &self.object {
+            out.push((base.clone(), obj));
+        }
+        for (name, child) in &self.children {
+            child.objects(&base.child(name), out);
+        }
+    }
+
+    /// Drain all objects out of this sub-tree (for block reclamation).
+    pub fn drain_objects(&mut self, out: &mut Vec<ObjectState>) {
+        if let Some(obj) = self.object.take() {
+            out.push(obj);
+        }
+        for child in self.children.values_mut() {
+            child.drain_objects(out);
+        }
+        self.children.clear();
+    }
+}
+
+/// The namespace tree rooted at `/`.
+#[derive(Debug, Default)]
+pub struct NamespaceTree {
+    root: NsNode,
+}
+
+impl NamespaceTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a namespace exists.
+    pub fn exists(&self, path: &JPath) -> bool {
+        self.get(path).is_ok()
+    }
+
+    /// Get a node.
+    pub fn get(&self, path: &JPath) -> Result<&NsNode> {
+        let mut cur = &self.root;
+        for seg in path.segments() {
+            cur = cur
+                .children
+                .get(seg)
+                .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Get a node mutably.
+    pub fn get_mut(&mut self, path: &JPath) -> Result<&mut NsNode> {
+        let mut cur = &mut self.root;
+        for seg in path.segments() {
+            cur = cur
+                .children
+                .get_mut(seg)
+                .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Create a namespace, creating intermediate namespaces as needed
+    /// (mkdir -p semantics — what serverless tasks spawning sub-tasks want).
+    ///
+    /// # Errors
+    /// [`JiffyError::AlreadyExists`] if the exact path already exists.
+    pub fn create(&mut self, path: &JPath) -> Result<()> {
+        if path.is_root() {
+            return Err(JiffyError::AlreadyExists(path.clone()));
+        }
+        let mut cur = &mut self.root;
+        let n = path.depth();
+        for (i, seg) in path.segments().iter().enumerate() {
+            let last = i + 1 == n;
+            let existed = cur.children.contains_key(seg);
+            if last && existed {
+                return Err(JiffyError::AlreadyExists(path.clone()));
+            }
+            cur = cur.children.entry(seg.clone()).or_default();
+        }
+        Ok(())
+    }
+
+    /// Remove a namespace sub-tree, returning all objects it contained so
+    /// the caller can free their blocks.
+    pub fn remove(&mut self, path: &JPath) -> Result<Vec<ObjectState>> {
+        let name = path
+            .name()
+            .ok_or_else(|| JiffyError::NotFound(path.clone()))?
+            .to_string();
+        let parent_path = path.parent().expect("non-root has a parent");
+        let parent = self.get_mut(&parent_path)?;
+        let mut node = parent
+            .children
+            .remove(&name)
+            .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+        let mut objs = Vec::new();
+        node.drain_objects(&mut objs);
+        Ok(objs)
+    }
+
+    /// All (path, object) pairs in the sub-tree under `path`.
+    pub fn objects_under(&self, path: &JPath) -> Result<Vec<(JPath, &ObjectState)>> {
+        let node = self.get(path)?;
+        let mut out = Vec::new();
+        node.objects(path, &mut out);
+        Ok(out)
+    }
+
+    /// List immediate children of a namespace.
+    pub fn list(&self, path: &JPath) -> Result<Vec<String>> {
+        Ok(self.get(path)?.children.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_with_intermediates() {
+        let mut t = NamespaceTree::new();
+        t.create(&JPath::parse("/a/b/c")).unwrap();
+        assert!(t.exists(&JPath::parse("/a")));
+        assert!(t.exists(&JPath::parse("/a/b")));
+        assert!(t.exists(&JPath::parse("/a/b/c")));
+        assert!(!t.exists(&JPath::parse("/a/x")));
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut t = NamespaceTree::new();
+        t.create(&JPath::parse("/a/b")).unwrap();
+        assert!(matches!(
+            t.create(&JPath::parse("/a/b")),
+            Err(JiffyError::AlreadyExists(_))
+        ));
+        // But a sibling and a deeper child are fine.
+        t.create(&JPath::parse("/a/c")).unwrap();
+        t.create(&JPath::parse("/a/b/d")).unwrap();
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut t = NamespaceTree::new();
+        t.create(&JPath::parse("/a/b/c")).unwrap();
+        t.create(&JPath::parse("/a/b/d")).unwrap();
+        let objs = t.remove(&JPath::parse("/a/b")).unwrap();
+        assert!(objs.is_empty()); // no data objects yet
+        assert!(t.exists(&JPath::parse("/a")));
+        assert!(!t.exists(&JPath::parse("/a/b")));
+        assert!(!t.exists(&JPath::parse("/a/b/c")));
+    }
+
+    #[test]
+    fn remove_missing_fails() {
+        let mut t = NamespaceTree::new();
+        assert!(matches!(
+            t.remove(&JPath::parse("/ghost")),
+            Err(JiffyError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn list_children_sorted() {
+        let mut t = NamespaceTree::new();
+        t.create(&JPath::parse("/app/z")).unwrap();
+        t.create(&JPath::parse("/app/a")).unwrap();
+        assert_eq!(
+            t.list(&JPath::parse("/app")).unwrap(),
+            vec!["a".to_string(), "z".to_string()]
+        );
+    }
+
+    #[test]
+    fn root_cannot_be_created_or_removed() {
+        let mut t = NamespaceTree::new();
+        assert!(t.create(&JPath::root()).is_err());
+        assert!(t.remove(&JPath::root()).is_err());
+    }
+}

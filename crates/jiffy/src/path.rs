@@ -1,0 +1,156 @@
+//! Hierarchical namespace paths.
+//!
+//! Jiffy exposes state under filesystem-like paths: `/app/stage/shard-3`.
+//! The first component identifies the *application* (the isolation and
+//! quota domain); deeper components capture the task/sub-task structure the
+//! paper's hierarchical namespaces are designed around.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized, absolute namespace path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JPath {
+    segments: Vec<String>,
+}
+
+impl JPath {
+    /// The root path `/`.
+    pub fn root() -> Self {
+        Self { segments: Vec::new() }
+    }
+
+    /// Parse a path like `"/app/stage/task"`. Empty segments are dropped,
+    /// so `"/a//b/"` equals `"/a/b"`.
+    pub fn parse(s: &str) -> Self {
+        Self {
+            segments: s
+                .split('/')
+                .filter(|seg| !seg.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Build from segments.
+    pub fn from_segments<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            segments: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Number of segments (0 for root).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The application (first segment), if any. This is the isolation
+    /// domain for quotas and scaling.
+    pub fn app(&self) -> Option<&str> {
+        self.segments.first().map(String::as_str)
+    }
+
+    /// Child path with one more segment.
+    pub fn child(&self, segment: &str) -> Self {
+        let mut segments = self.segments.clone();
+        segments.push(segment.to_string());
+        Self { segments }
+    }
+
+    /// Parent path; `None` for root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.segments.is_empty() {
+            None
+        } else {
+            Some(Self {
+                segments: self.segments[..self.segments.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Whether `self` is `other` or an ancestor of `other`.
+    pub fn is_prefix_of(&self, other: &JPath) -> bool {
+        other.segments.len() >= self.segments.len()
+            && other.segments[..self.segments.len()] == self.segments[..]
+    }
+
+    /// Last segment, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+}
+
+impl fmt::Display for JPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return write!(f, "/");
+        }
+        for seg in &self.segments {
+            write!(f, "/{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for JPath {
+    fn from(s: &str) -> Self {
+        JPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = JPath::parse("/app/stage/task");
+        assert_eq!(p.to_string(), "/app/stage/task");
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.app(), Some("app"));
+        assert_eq!(p.name(), Some("task"));
+    }
+
+    #[test]
+    fn normalization_drops_empty_segments() {
+        assert_eq!(JPath::parse("//a///b/"), JPath::parse("/a/b"));
+        assert_eq!(JPath::parse(""), JPath::root());
+        assert_eq!(JPath::parse("/").to_string(), "/");
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let p = JPath::parse("/a/b");
+        assert_eq!(p.child("c"), JPath::parse("/a/b/c"));
+        assert_eq!(p.parent(), Some(JPath::parse("/a")));
+        assert_eq!(JPath::root().parent(), None);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = JPath::parse("/app");
+        let b = JPath::parse("/app/task");
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(JPath::root().is_prefix_of(&b));
+        // Sibling with shared name prefix is not a path prefix.
+        let c = JPath::parse("/application");
+        assert!(!a.is_prefix_of(&c));
+    }
+}

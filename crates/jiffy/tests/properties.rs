@@ -1,0 +1,132 @@
+//! Property-based tests for Jiffy's allocator and data-structure
+//! invariants: conservation of blocks, KV map semantics under arbitrary
+//! operation sequences, and queue FIFO order.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use taureau_core::bytesize::ByteSize;
+use taureau_jiffy::pool::MemoryPool;
+use taureau_jiffy::Jiffy;
+
+/// An arbitrary KV workload step.
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, Vec<u8>),
+    Remove(u8),
+    Get(u8),
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u8>(), vec(any::<u8>(), 0..64)).prop_map(|(k, v)| KvOp::Put(k, v)),
+        any::<u8>().prop_map(KvOp::Remove),
+        any::<u8>().prop_map(KvOp::Get),
+    ]
+}
+
+proptest! {
+    /// Blocks are conserved: whatever is allocated and freed, the pool's
+    /// free count plus allocated count equals capacity, and no app ends up
+    /// with negative holdings.
+    #[test]
+    fn pool_conserves_blocks(ops in vec((0u8..4, 1u64..6), 1..60)) {
+        let mut pool = MemoryPool::new(3, 20, ByteSize::kb(4));
+        let capacity = pool.stats().capacity_blocks;
+        let mut held: Vec<Vec<_>> = vec![Vec::new(); 4];
+        for (app, n) in ops {
+            let name = format!("app{app}");
+            if held[app as usize].len() as u64 >= n && app % 2 == 0 {
+                // Free n blocks.
+                let blocks: Vec<_> = held[app as usize]
+                    .drain(..n as usize)
+                    .collect();
+                pool.free(&name, &blocks);
+            } else if let Ok(blocks) = pool.allocate(&name, n) {
+                held[app as usize].extend(blocks);
+            }
+            let stats = pool.stats();
+            let held_total: u64 = held.iter().map(|h| h.len() as u64).sum();
+            prop_assert_eq!(stats.allocated_blocks, held_total);
+            prop_assert_eq!(stats.allocated_blocks + pool.free_blocks(), capacity);
+        }
+    }
+
+    /// The Jiffy KV behaves exactly like a HashMap for any op sequence,
+    /// regardless of how many partition scalings the workload triggers.
+    #[test]
+    fn kv_matches_model(ops in vec(kv_op(), 1..200)) {
+        let j = Jiffy::with_defaults();
+        let kv = j.create_kv("/prop/state", 1).unwrap();
+        let mut model = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    kv.put(&[k], &v).unwrap();
+                    model.insert(vec![k], v);
+                }
+                KvOp::Remove(k) => {
+                    let got = kv.remove(&[k]).unwrap();
+                    let expect = model.remove(&vec![k]);
+                    prop_assert_eq!(got, expect);
+                }
+                KvOp::Get(k) => {
+                    let got = kv.get(&[k]).unwrap();
+                    let expect = model.get(&vec![k]).cloned();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        prop_assert_eq!(kv.len().unwrap(), model.len());
+    }
+
+    /// Queues deliver exactly the pushed payloads in FIFO order.
+    #[test]
+    fn queue_is_fifo(payloads in vec(vec(any::<u8>(), 0..128), 0..100)) {
+        let j = Jiffy::with_defaults();
+        let q = j.create_queue("/prop/q").unwrap();
+        for p in &payloads {
+            q.push(p).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(p) = q.pop().unwrap() {
+            out.push(p);
+        }
+        prop_assert_eq!(out, payloads);
+    }
+
+    /// Scaling a KV to any sequence of partition counts never loses data.
+    #[test]
+    fn kv_scaling_preserves_contents(
+        keys in vec(any::<u16>(), 1..100),
+        targets in vec(1usize..12, 1..6),
+    ) {
+        let j = Jiffy::with_defaults();
+        let kv = j.create_kv("/prop/scale", 2).unwrap();
+        for &k in &keys {
+            kv.put(&k.to_le_bytes(), b"payload").unwrap();
+        }
+        for t in targets {
+            kv.scale_to(t).unwrap();
+            for &k in &keys {
+                prop_assert_eq!(
+                    kv.get(&k.to_le_bytes()).unwrap(),
+                    Some(b"payload".to_vec())
+                );
+            }
+        }
+    }
+
+    /// Files concatenate appends byte-for-byte.
+    #[test]
+    fn file_appends_concatenate(chunks in vec(vec(any::<u8>(), 0..512), 0..30)) {
+        let j = Jiffy::with_defaults();
+        let f = j.create_file("/prop/file").unwrap();
+        let mut expect = Vec::new();
+        for c in &chunks {
+            f.append(c).unwrap();
+            expect.extend_from_slice(c);
+        }
+        prop_assert_eq!(f.contents().unwrap(), expect);
+    }
+}

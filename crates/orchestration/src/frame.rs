@@ -1,0 +1,74 @@
+//! Length-prefixed framing for fan-out/fan-in payloads.
+//!
+//! Parallel branches and Map stages need to pass *lists* of byte payloads
+//! between black-box functions. The wire format is:
+//!
+//! ```text
+//! [count: u32 le] ([len: u32 le] [bytes])*
+//! ```
+
+/// Pack a list of payloads into one framed buffer.
+pub fn pack(items: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = 4 + items.iter().map(|i| 4 + i.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+        out.extend_from_slice(item);
+    }
+    out
+}
+
+/// Unpack a framed buffer; `None` if malformed.
+pub fn unpack(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let mut items = Vec::with_capacity(count.min(1024));
+    let mut pos = 4;
+    for _ in 0..count {
+        if bytes.len() < pos + 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as usize;
+        pos += 4;
+        if bytes.len() < pos + len {
+            return None;
+        }
+        items.push(bytes[pos..pos + len].to_vec());
+        pos += len;
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let items = vec![b"one".to_vec(), Vec::new(), vec![0u8; 1000]];
+        assert_eq!(unpack(&pack(&items)), Some(items));
+        assert_eq!(unpack(&pack(&[])), Some(Vec::new()));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(unpack(b""), None);
+        assert_eq!(unpack(b"abc"), None);
+        // Claims one item but has no length header.
+        assert_eq!(unpack(&1u32.to_le_bytes()), None);
+        // Claims a longer item than present.
+        let mut bad = pack(&[b"x".to_vec()]);
+        bad[4] = 200;
+        assert_eq!(unpack(&bad), None);
+        // Trailing garbage.
+        let mut trailing = pack(&[b"x".to_vec()]);
+        trailing.push(0);
+        assert_eq!(unpack(&trailing), None);
+    }
+}

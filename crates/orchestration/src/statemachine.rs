@@ -1,0 +1,288 @@
+//! State-machine orchestration — Hong et al.'s serverless design pattern 5
+//! (§3.2 of the paper) and the programming model of AWS Step Functions
+//! (§4.2).
+//!
+//! A [`StateMachine`] is a set of named states; each state invokes one
+//! black-box function and routes its *output* through a transition rule to
+//! the next state (or terminates). Unlike [`crate::Composition`] — which is
+//! a static dataflow — a state machine branches on runtime values and may
+//! loop, with a transition budget standing in for Step Functions'
+//! execution-history limit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use taureau_faas::{FaasError, FaasPlatform};
+
+use crate::InvocationRecord;
+
+/// A branch predicate over a state's output bytes.
+pub type OutputPredicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
+/// Routes a state's output to the next state.
+pub enum Transition {
+    /// Always go to the named state.
+    Always(String),
+    /// First matching predicate wins; falls back to the `otherwise` state.
+    Branch {
+        /// `(predicate on output, next state)` pairs, tried in order.
+        arms: Vec<(OutputPredicate, String)>,
+        /// State when no arm matches.
+        otherwise: String,
+    },
+    /// Terminate successfully; the state's output is the machine's output.
+    End,
+}
+
+impl Transition {
+    /// Convenience: a single-predicate branch.
+    pub fn branch(
+        predicate: impl Fn(&[u8]) -> bool + Send + Sync + 'static,
+        then: impl Into<String>,
+        otherwise: impl Into<String>,
+    ) -> Self {
+        Transition::Branch {
+            arms: vec![(Arc::new(predicate), then.into())],
+            otherwise: otherwise.into(),
+        }
+    }
+}
+
+/// One state: invoke `function`, then follow `next`.
+pub struct State {
+    /// Function to invoke with the current payload.
+    pub function: String,
+    /// Where the output goes.
+    pub next: Transition,
+}
+
+/// Errors from state-machine execution.
+#[derive(Debug)]
+pub enum StateMachineError {
+    /// A named state does not exist.
+    UnknownState(String),
+    /// The transition budget was exhausted (runaway loop guard).
+    TransitionLimit {
+        /// The configured budget.
+        limit: u32,
+    },
+    /// The underlying function invocation failed.
+    Invocation(FaasError),
+}
+
+impl std::fmt::Display for StateMachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateMachineError::UnknownState(s) => write!(f, "unknown state: {s}"),
+            StateMachineError::TransitionLimit { limit } => {
+                write!(f, "exceeded {limit} transitions")
+            }
+            StateMachineError::Invocation(e) => write!(f, "invocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateMachineError {}
+
+/// The result of running a state machine.
+#[derive(Debug)]
+pub struct StateMachineReport {
+    /// Final output.
+    pub output: Vec<u8>,
+    /// States visited, in order.
+    pub path: Vec<String>,
+    /// Billed basic-function executions (no double billing: the machine
+    /// itself adds nothing).
+    pub invocations: Vec<InvocationRecord>,
+}
+
+/// A named-state workflow over black-box functions.
+pub struct StateMachine {
+    states: HashMap<String, State>,
+    start: String,
+    max_transitions: u32,
+}
+
+impl StateMachine {
+    /// Build a machine starting at `start`.
+    pub fn new(start: impl Into<String>) -> Self {
+        Self {
+            states: HashMap::new(),
+            start: start.into(),
+            max_transitions: 1000,
+        }
+    }
+
+    /// Add a state.
+    pub fn state(mut self, name: impl Into<String>, s: State) -> Self {
+        self.states.insert(name.into(), s);
+        self
+    }
+
+    /// Override the runaway-loop budget.
+    pub fn with_max_transitions(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.max_transitions = n;
+        self
+    }
+
+    /// Execute against a platform.
+    pub fn run(
+        &self,
+        platform: &FaasPlatform,
+        input: &[u8],
+    ) -> Result<StateMachineReport, StateMachineError> {
+        let mut current = self.start.clone();
+        let mut payload = input.to_vec();
+        let mut path = Vec::new();
+        let mut invocations = Vec::new();
+        for _ in 0..self.max_transitions {
+            let state = self
+                .states
+                .get(&current)
+                .ok_or_else(|| StateMachineError::UnknownState(current.clone()))?;
+            path.push(current.clone());
+            let r = platform
+                .invoke(&state.function, payload.clone())
+                .map_err(StateMachineError::Invocation)?;
+            invocations.push(InvocationRecord {
+                function: state.function.clone(),
+                cost: r.cost,
+                duration: r.exec_duration,
+                attempts: r.attempts,
+            });
+            payload = r.output;
+            current = match &state.next {
+                Transition::End => {
+                    return Ok(StateMachineReport { output: payload, path, invocations });
+                }
+                Transition::Always(next) => next.clone(),
+                Transition::Branch { arms, otherwise } => arms
+                    .iter()
+                    .find(|(p, _)| p(&payload))
+                    .map(|(_, next)| next.clone())
+                    .unwrap_or_else(|| otherwise.clone()),
+            };
+        }
+        Err(StateMachineError::TransitionLimit { limit: self.max_transitions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taureau_core::clock::VirtualClock;
+    use taureau_faas::{FunctionSpec, PlatformConfig};
+
+    fn platform() -> FaasPlatform {
+        let p = FaasPlatform::new(PlatformConfig::deterministic(), VirtualClock::shared());
+        p.register(FunctionSpec::new("inc", "t", |ctx| {
+            Ok(vec![ctx.payload[0] + 1])
+        }))
+        .unwrap();
+        p.register(FunctionSpec::new("double", "t", |ctx| {
+            Ok(vec![ctx.payload[0] * 2])
+        }))
+        .unwrap();
+        p.register(FunctionSpec::new("noop", "t", |ctx| Ok(ctx.payload.to_vec())))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn linear_machine_terminates() {
+        let p = platform();
+        let m = StateMachine::new("a")
+            .state("a", State { function: "inc".into(), next: Transition::Always("b".into()) })
+            .state("b", State { function: "double".into(), next: Transition::End });
+        let r = m.run(&p, &[3]).unwrap();
+        assert_eq!(r.output, vec![8]); // (3+1)*2
+        assert_eq!(r.path, vec!["a", "b"]);
+        assert_eq!(r.invocations.len(), 2);
+    }
+
+    #[test]
+    fn loop_until_condition() {
+        // Keep incrementing until the value reaches 10 (a retry/poll loop,
+        // the classic state-machine use).
+        let p = platform();
+        let m = StateMachine::new("bump")
+            .state(
+                "bump",
+                State {
+                    function: "inc".into(),
+                    next: Transition::branch(|out| out[0] >= 10, "done", "bump"),
+                },
+            )
+            .state("done", State { function: "noop".into(), next: Transition::End });
+        let r = m.run(&p, &[0]).unwrap();
+        assert_eq!(r.output, vec![10]);
+        assert_eq!(r.path.len(), 11); // 10 bumps + done
+    }
+
+    #[test]
+    fn transition_budget_stops_runaway_loops() {
+        let p = platform();
+        let m = StateMachine::new("spin")
+            .state(
+                "spin",
+                State { function: "noop".into(), next: Transition::Always("spin".into()) },
+            )
+            .with_max_transitions(25);
+        assert!(matches!(
+            m.run(&p, &[0]),
+            Err(StateMachineError::TransitionLimit { limit: 25 })
+        ));
+        // Exactly 25 executions were billed (failed machines still pay for
+        // what ran — as Step Functions does).
+        assert_eq!(p.billing().invocations("t"), 25);
+    }
+
+    #[test]
+    fn unknown_state_is_reported() {
+        let p = platform();
+        let m = StateMachine::new("ghost");
+        assert!(matches!(
+            m.run(&p, &[0]),
+            Err(StateMachineError::UnknownState(_))
+        ));
+    }
+
+    #[test]
+    fn branch_arms_tried_in_order() {
+        let p = platform();
+        let m = StateMachine::new("route")
+            .state(
+                "route",
+                State {
+                    function: "noop".into(),
+                    next: Transition::Branch {
+                        arms: vec![
+                            (Arc::new(|o: &[u8]| o[0] > 100), "big".into()),
+                            (Arc::new(|o: &[u8]| o[0] > 10), "medium".into()),
+                        ],
+                        otherwise: "small".into(),
+                    },
+                },
+            )
+            .state("big", State { function: "noop".into(), next: Transition::End })
+            .state("medium", State { function: "noop".into(), next: Transition::End })
+            .state("small", State { function: "noop".into(), next: Transition::End });
+        assert_eq!(m.run(&p, &[200]).unwrap().path[1], "big");
+        assert_eq!(m.run(&p, &[50]).unwrap().path[1], "medium");
+        assert_eq!(m.run(&p, &[5]).unwrap().path[1], "small");
+    }
+
+    #[test]
+    fn no_double_billing_for_machines() {
+        let p = platform();
+        let m = StateMachine::new("a")
+            .state("a", State { function: "inc".into(), next: Transition::Always("b".into()) })
+            .state("b", State { function: "inc".into(), next: Transition::End });
+        let before = p.billing().total("t");
+        let r = m.run(&p, &[0]).unwrap();
+        let delta = p.billing().total("t") - before;
+        let sum: f64 = r.invocations.iter().map(|i| i.cost).sum();
+        assert!((delta - sum).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bookies — the durable storage nodes of Figure 1.
+//!
+//! "Pulsar's storage nodes are called bookies, and are based on Apache
+//! BookKeeper, a distributed write-ahead log system" (§4.3). A bookie
+//! stores entries for many ledger fragments. Bookies are fail-stop: a
+//! crashed bookie rejects reads and writes until restarted (its data
+//! survives, as BookKeeper journals do), which is what the ledger layer's
+//! quorum replication is tested against.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use taureau_core::id::LedgerId;
+
+/// One storage node.
+#[derive(Debug)]
+pub struct Bookie {
+    /// Index within the cluster.
+    pub index: usize,
+    alive: AtomicBool,
+    ledgers: Mutex<HashMap<LedgerId, BTreeMap<u64, Bytes>>>,
+}
+
+impl Bookie {
+    /// New live bookie.
+    pub fn new(index: usize) -> Self {
+        Self {
+            index,
+            alive: AtomicBool::new(true),
+            ledgers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the bookie is serving requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Fail-stop crash: requests fail until [`Bookie::restart`].
+    pub fn crash(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Bring the bookie back (its stored entries survive, like a journal
+    /// replay).
+    pub fn restart(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Store an entry. Returns `false` if the bookie is down.
+    pub fn add_entry(&self, ledger: LedgerId, entry: u64, data: Bytes) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        self.ledgers
+            .lock()
+            .entry(ledger)
+            .or_default()
+            .insert(entry, data);
+        true
+    }
+
+    /// Read an entry. `None` if down or absent.
+    pub fn read_entry(&self, ledger: LedgerId, entry: u64) -> Option<Bytes> {
+        if !self.is_alive() {
+            return None;
+        }
+        self.ledgers.lock().get(&ledger)?.get(&entry).cloned()
+    }
+
+    /// Highest entry id stored for a ledger (for recovery).
+    pub fn last_entry(&self, ledger: LedgerId) -> Option<u64> {
+        if !self.is_alive() {
+            return None;
+        }
+        self.ledgers
+            .lock()
+            .get(&ledger)?
+            .keys()
+            .next_back()
+            .copied()
+    }
+
+    /// Drop all entries of a ledger (ledger deletion).
+    pub fn delete_ledger(&self, ledger: LedgerId) {
+        self.ledgers.lock().remove(&ledger);
+    }
+
+    /// Number of entries stored for a ledger (test/metrics hook; works even
+    /// when crashed, as it inspects the journal, not the serving path).
+    pub fn entry_count(&self, ledger: LedgerId) -> usize {
+        self.ledgers.lock().get(&ledger).map_or(0, BTreeMap::len)
+    }
+
+    /// Total bytes stored on this bookie.
+    pub fn stored_bytes(&self) -> u64 {
+        self.ledgers
+            .lock()
+            .values()
+            .flat_map(|l| l.values())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read() {
+        let b = Bookie::new(0);
+        assert!(b.add_entry(LedgerId(1), 0, Bytes::from_static(b"e0")));
+        assert!(b.add_entry(LedgerId(1), 1, Bytes::from_static(b"e1")));
+        assert_eq!(b.read_entry(LedgerId(1), 0), Some(Bytes::from_static(b"e0")));
+        assert_eq!(b.read_entry(LedgerId(1), 9), None);
+        assert_eq!(b.last_entry(LedgerId(1)), Some(1));
+        assert_eq!(b.entry_count(LedgerId(1)), 2);
+    }
+
+    #[test]
+    fn crash_rejects_requests_but_preserves_data() {
+        let b = Bookie::new(0);
+        b.add_entry(LedgerId(1), 0, Bytes::from_static(b"x"));
+        b.crash();
+        assert!(!b.add_entry(LedgerId(1), 1, Bytes::from_static(b"y")));
+        assert_eq!(b.read_entry(LedgerId(1), 0), None);
+        assert_eq!(b.last_entry(LedgerId(1)), None);
+        b.restart();
+        assert_eq!(b.read_entry(LedgerId(1), 0), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn delete_ledger_reclaims() {
+        let b = Bookie::new(0);
+        b.add_entry(LedgerId(1), 0, Bytes::from(vec![0u8; 100]));
+        assert_eq!(b.stored_bytes(), 100);
+        b.delete_ledger(LedgerId(1));
+        assert_eq!(b.stored_bytes(), 0);
+        assert_eq!(b.read_entry(LedgerId(1), 0), None);
+    }
+}

@@ -1,0 +1,463 @@
+//! Pulsar Functions — serverless compute over topics (§4.3.1).
+//!
+//! "Pulsar functions allow users to deploy and manage processing of
+//! serverless functions that consume messages from and publish messages to
+//! Pulsar topics." A registered function subscribes to its input topics,
+//! runs user code per message, and optionally publishes a result to its
+//! output topic — the interface mirrors the paper's Figure 3 listing
+//! (`process(String input, Context context)`).
+//!
+//! §4.3.1 also notes that "many data analytics algorithms are stateful in
+//! nature" and that ephemeral-state systems like Jiffy are the enabler:
+//! accordingly, each function's [`Context`] state is backed by a **Jiffy
+//! KV object** under `/pulsar-functions/<name>/state` — Pulsar and Jiffy
+//! "in tandem", exactly as §4 promises.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use taureau_jiffy::{Jiffy, KvHandle};
+
+use crate::broker::{Consumer, Producer, PulsarCluster, SubscriptionMode};
+use crate::error::{PulsarError, Result};
+use crate::message::Message;
+
+/// User function body: called once per input message; returning
+/// `Some(bytes)` publishes them to the configured output topic.
+pub type FnBody = Box<dyn FnMut(&Message, &mut Context<'_>) -> Option<Vec<u8>> + Send>;
+
+/// Registration config for a function.
+#[derive(Debug, Clone)]
+pub struct FunctionConfig {
+    /// Unique function name.
+    pub name: String,
+    /// Topics the function consumes (each via a shared subscription named
+    /// `fn-<name>`).
+    pub inputs: Vec<String>,
+    /// Topic results are published to, if any.
+    pub output: Option<String>,
+}
+
+/// Per-invocation context handed to the function body — the `Context`
+/// parameter of the paper's Figure 3.
+pub struct Context<'a> {
+    function: &'a str,
+    state: &'a KvHandle,
+    producer: Option<&'a Producer>,
+    cluster: &'a PulsarCluster,
+    /// Messages the body chose to publish to explicit topics.
+    extra_published: usize,
+}
+
+impl Context<'_> {
+    /// Name of the running function.
+    pub fn function_name(&self) -> &str {
+        self.function
+    }
+
+    /// Read a state value (Jiffy-backed; survives across invocations and
+    /// across function instances).
+    pub fn state_get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.state.get(key).ok().flatten()
+    }
+
+    /// Write a state value.
+    pub fn state_put(&self, key: &[u8], value: &[u8]) {
+        // Jiffy auto-scales the backing object; errors here mean the pool
+        // is exhausted, which the runtime surfaces as a panic in tests.
+        self.state
+            .put(key, value)
+            .expect("function state write failed");
+    }
+
+    /// Atomically add `delta` to a counter stored in state; returns the new
+    /// value. (Mirrors Pulsar's `context.incrCounter`.)
+    pub fn increment(&self, key: &[u8], delta: i64) -> i64 {
+        let cur = self
+            .state_get(key)
+            .and_then(|v| v.try_into().ok().map(i64::from_le_bytes))
+            .unwrap_or(0);
+        let next = cur + delta;
+        self.state_put(key, &next.to_le_bytes());
+        next
+    }
+
+    /// Publish to an arbitrary topic (beyond the configured output).
+    pub fn publish_to(&mut self, topic: &str, payload: &[u8]) -> Result<()> {
+        let p = self.cluster.producer(topic)?;
+        p.send(payload)?;
+        self.extra_published += 1;
+        Ok(())
+    }
+
+    /// Whether this function has a configured output topic.
+    pub fn has_output(&self) -> bool {
+        self.producer.is_some()
+    }
+}
+
+struct FunctionInstance {
+    cfg: FunctionConfig,
+    consumers: Vec<Consumer>,
+    producer: Option<Producer>,
+    state: KvHandle,
+    body: FnBody,
+    processed: u64,
+}
+
+/// The function runtime: registers functions and pumps messages through
+/// them.
+///
+/// Pumping is explicit ([`FunctionRuntime::run_available`] /
+/// [`FunctionRuntime::run_round`]) so tests and benches control scheduling
+/// deterministically — the serverless platform crate layers demand-driven
+/// execution on top.
+pub struct FunctionRuntime {
+    cluster: PulsarCluster,
+    jiffy: Jiffy,
+    functions: Mutex<HashMap<String, FunctionInstance>>,
+}
+
+impl FunctionRuntime {
+    /// Runtime over a Pulsar cluster, with function state in `jiffy`.
+    pub fn new(cluster: PulsarCluster, jiffy: Jiffy) -> Self {
+        Self {
+            cluster,
+            jiffy,
+            functions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register a function. Subscribes to its inputs and creates its
+    /// Jiffy-backed state object.
+    pub fn register(&self, cfg: FunctionConfig, body: FnBody) -> Result<()> {
+        let mut fns = self.functions.lock();
+        if fns.contains_key(&cfg.name) {
+            return Err(PulsarError::FunctionExists(cfg.name.clone()));
+        }
+        let sub_name = format!("fn-{}", cfg.name);
+        let mut consumers = Vec::with_capacity(cfg.inputs.len());
+        for input in &cfg.inputs {
+            consumers.push(
+                self.cluster
+                    .subscribe(input, &sub_name, SubscriptionMode::Shared)?,
+            );
+        }
+        let producer = match &cfg.output {
+            Some(t) => Some(self.cluster.producer(t)?),
+            None => None,
+        };
+        let state_path = format!("/pulsar-functions/{}/state", cfg.name);
+        let state = self
+            .jiffy
+            .create_kv(state_path.as_str(), 1)
+            .or_else(|_| self.jiffy.open_kv(state_path.as_str()))
+            .expect("function state object");
+        fns.insert(
+            cfg.name.clone(),
+            FunctionInstance { cfg, consumers, producer, state, body, processed: 0 },
+        );
+        Ok(())
+    }
+
+    /// Deregister a function, dropping its subscriptions (its Jiffy state
+    /// remains until its lease lapses, per the ephemeral-state model).
+    pub fn deregister(&self, name: &str) -> Result<()> {
+        self.functions
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| PulsarError::FunctionNotFound(name.to_string()))
+    }
+
+    /// Total messages processed by a function.
+    pub fn processed(&self, name: &str) -> Result<u64> {
+        self.functions
+            .lock()
+            .get(name)
+            .map(|f| f.processed)
+            .ok_or_else(|| PulsarError::FunctionNotFound(name.to_string()))
+    }
+
+    /// Run one function until its inputs are drained; returns messages
+    /// processed.
+    pub fn run_available(&self, name: &str) -> Result<usize> {
+        let mut fns = self.functions.lock();
+        let inst = fns
+            .get_mut(name)
+            .ok_or_else(|| PulsarError::FunctionNotFound(name.to_string()))?;
+        let mut n = 0;
+        loop {
+            let mut progressed = false;
+            for ci in 0..inst.consumers.len() {
+                if let Some(msg) = inst.consumers[ci].receive()? {
+                    let mut ctx = Context {
+                        function: &inst.cfg.name,
+                        state: &inst.state,
+                        producer: inst.producer.as_ref(),
+                        cluster: &self.cluster,
+                        extra_published: 0,
+                    };
+                    let out = (inst.body)(&msg, &mut ctx);
+                    if let (Some(bytes), Some(prod)) = (out, &inst.producer) {
+                        prod.send(&bytes)?;
+                    }
+                    inst.consumers[ci].ack(msg.id)?;
+                    inst.processed += 1;
+                    n += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Run every registered function once over its available input;
+    /// returns the total processed. Call in a loop (`run_to_quiescence`)
+    /// to flush multi-stage pipelines.
+    pub fn run_round(&self) -> Result<usize> {
+        let names: Vec<String> = self.functions.lock().keys().cloned().collect();
+        let mut total = 0;
+        for name in names {
+            total += self.run_available(&name)?;
+        }
+        Ok(total)
+    }
+
+    /// Pump rounds until no function makes progress (a fix-point — the
+    /// whole topology is drained).
+    pub fn run_to_quiescence(&self) -> Result<usize> {
+        let mut total = 0;
+        loop {
+            let n = self.run_round()?;
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n;
+        }
+    }
+
+    /// Access the Jiffy deployment backing function state.
+    pub fn jiffy(&self) -> &Jiffy {
+        &self.jiffy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::PulsarConfig;
+    use taureau_core::clock::WallClock;
+    use taureau_jiffy::JiffyConfig;
+
+    fn setup() -> (PulsarCluster, FunctionRuntime) {
+        let cluster = PulsarCluster::new(PulsarConfig::default(), WallClock::shared());
+        let jiffy = Jiffy::new(JiffyConfig::default(), WallClock::shared());
+        let rt = FunctionRuntime::new(cluster.clone(), jiffy);
+        (cluster, rt)
+    }
+
+    #[test]
+    fn identity_function_forwards_messages() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("in", 1).unwrap();
+        cluster.create_topic("out", 1).unwrap();
+        rt.register(
+            FunctionConfig {
+                name: "identity".into(),
+                inputs: vec!["in".into()],
+                output: Some("out".into()),
+            },
+            Box::new(|msg, _ctx| Some(msg.payload.to_vec())),
+        )
+        .unwrap();
+        let p = cluster.producer("in").unwrap();
+        for i in 0..10u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(rt.run_available("identity").unwrap(), 10);
+        let mut out = cluster.subscribe("out", "check", SubscriptionMode::Exclusive).unwrap();
+        assert_eq!(out.drain().unwrap().len(), 10);
+        assert_eq!(rt.processed("identity").unwrap(), 10);
+    }
+
+    #[test]
+    fn filter_function_drops_messages() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("in", 1).unwrap();
+        cluster.create_topic("out", 1).unwrap();
+        rt.register(
+            FunctionConfig {
+                name: "evens".into(),
+                inputs: vec!["in".into()],
+                output: Some("out".into()),
+            },
+            Box::new(|msg, _| {
+                let v = u64::from_le_bytes(msg.payload[..].try_into().unwrap());
+                (v % 2 == 0).then(|| msg.payload.to_vec())
+            }),
+        )
+        .unwrap();
+        let p = cluster.producer("in").unwrap();
+        for i in 0..10u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        rt.run_available("evens").unwrap();
+        let mut out = cluster.subscribe("out", "check", SubscriptionMode::Exclusive).unwrap();
+        assert_eq!(out.drain().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn stateful_counter_uses_jiffy_state() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("words", 1).unwrap();
+        rt.register(
+            FunctionConfig {
+                name: "wordcount".into(),
+                inputs: vec!["words".into()],
+                output: None,
+            },
+            Box::new(|msg, ctx| {
+                ctx.increment(&msg.payload, 1);
+                None
+            }),
+        )
+        .unwrap();
+        let p = cluster.producer("words").unwrap();
+        for w in ["a", "b", "a", "a", "c", "b"] {
+            p.send(w.as_bytes()).unwrap();
+        }
+        rt.run_available("wordcount").unwrap();
+        // State survives in Jiffy, visible from outside the function.
+        let kv = rt.jiffy().open_kv("/pulsar-functions/wordcount/state").unwrap();
+        let count = |k: &[u8]| {
+            kv.get(k)
+                .unwrap()
+                .map(|v| i64::from_le_bytes(v.try_into().unwrap()))
+                .unwrap_or(0)
+        };
+        assert_eq!(count(b"a"), 3);
+        assert_eq!(count(b"b"), 2);
+        assert_eq!(count(b"c"), 1);
+    }
+
+    #[test]
+    fn two_stage_pipeline_reaches_quiescence() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("raw", 1).unwrap();
+        cluster.create_topic("parsed", 1).unwrap();
+        cluster.create_topic("final", 1).unwrap();
+        rt.register(
+            FunctionConfig {
+                name: "stage1".into(),
+                inputs: vec!["raw".into()],
+                output: Some("parsed".into()),
+            },
+            Box::new(|msg, _| Some(msg.payload.iter().map(|b| b + 1).collect())),
+        )
+        .unwrap();
+        rt.register(
+            FunctionConfig {
+                name: "stage2".into(),
+                inputs: vec!["parsed".into()],
+                output: Some("final".into()),
+            },
+            Box::new(|msg, _| Some(msg.payload.iter().map(|b| b * 2).collect())),
+        )
+        .unwrap();
+        let p = cluster.producer("raw").unwrap();
+        p.send(&[1, 2, 3]).unwrap();
+        let total = rt.run_to_quiescence().unwrap();
+        assert_eq!(total, 2, "each stage processed the message once");
+        let mut out = cluster.subscribe("final", "check", SubscriptionMode::Exclusive).unwrap();
+        let msgs = out.drain().unwrap();
+        assert_eq!(&msgs[0].payload[..], &[4, 6, 8]);
+    }
+
+    #[test]
+    fn countmin_as_pulsar_function_figure3() {
+        // The paper's Figure 3, in Rust: a Count-Min sketch maintained
+        // inside a Pulsar function, fed from a topic.
+        use taureau_sketches::CountMinSketch;
+        let (cluster, rt) = setup();
+        cluster.create_topic("events", 1).unwrap();
+        cluster.create_topic("counts", 1).unwrap();
+        // `CountMinSketch sketch = new CountMinSketch(20, 20, 128);`
+        let mut sketch = CountMinSketch::new(8, 128, 20);
+        rt.register(
+            FunctionConfig {
+                name: "count-min".into(),
+                inputs: vec!["events".into()],
+                output: Some("counts".into()),
+            },
+            Box::new(move |msg, _ctx| {
+                // `sketch.add(input, 1);`
+                sketch.add(&msg.payload, 1);
+                // `long count = sketch.estimateCount(input);`
+                let count = sketch.estimate(&msg.payload);
+                // "React to the updated count" — publish it downstream.
+                Some(count.to_le_bytes().to_vec())
+            }),
+        )
+        .unwrap();
+        let p = cluster.producer("events").unwrap();
+        for _ in 0..7 {
+            p.send(b"popular").unwrap();
+        }
+        p.send(b"rare").unwrap();
+        rt.run_available("count-min").unwrap();
+        let mut out = cluster.subscribe("counts", "check", SubscriptionMode::Exclusive).unwrap();
+        let counts: Vec<u64> = out
+            .drain()
+            .unwrap()
+            .iter()
+            .map(|m| u64::from_le_bytes(m.payload[..].try_into().unwrap()))
+            .collect();
+        // Seven estimates for "popular" rise 1..=7; "rare" estimates 1.
+        assert_eq!(counts, vec![1, 2, 3, 4, 5, 6, 7, 1]);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("t", 1).unwrap();
+        let cfg = FunctionConfig { name: "f".into(), inputs: vec!["t".into()], output: None };
+        rt.register(cfg.clone(), Box::new(|_, _| None)).unwrap();
+        assert!(matches!(
+            rt.register(cfg, Box::new(|_, _| None)),
+            Err(PulsarError::FunctionExists(_))
+        ));
+        rt.deregister("f").unwrap();
+        assert!(matches!(
+            rt.deregister("f"),
+            Err(PulsarError::FunctionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn publish_to_arbitrary_topic_from_context() {
+        let (cluster, rt) = setup();
+        cluster.create_topic("in", 1).unwrap();
+        cluster.create_topic("alerts", 1).unwrap();
+        rt.register(
+            FunctionConfig { name: "alerter".into(), inputs: vec!["in".into()], output: None },
+            Box::new(|msg, ctx| {
+                if msg.payload.len() > 3 {
+                    ctx.publish_to("alerts", b"big message!").unwrap();
+                }
+                None
+            }),
+        )
+        .unwrap();
+        let p = cluster.producer("in").unwrap();
+        p.send(b"ok").unwrap();
+        p.send(b"way too big").unwrap();
+        rt.run_available("alerter").unwrap();
+        let mut alerts = cluster.subscribe("alerts", "check", SubscriptionMode::Exclusive).unwrap();
+        assert_eq!(alerts.drain().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Geo-replication — another §4.3 headline feature.
+//!
+//! A [`GeoReplicator`] asynchronously mirrors topics from a source cluster
+//! to a remote cluster: it holds a durable `geo-<dst>` subscription on
+//! each replicated topic and republishes on pump. Replication is
+//! at-least-once and ordered per source partition (messages are
+//! republished with their original keys, so key-routing is preserved on
+//! the remote side); the subscription cursor makes it resumable across
+//! source-broker restarts.
+
+use crate::broker::{Consumer, Producer, PulsarCluster, SubscriptionMode};
+use crate::error::Result;
+
+/// One-way topic replication between two clusters.
+pub struct GeoReplicator {
+    /// Name of the remote region (used in the subscription name).
+    remote_name: String,
+    links: Vec<Link>,
+}
+
+struct Link {
+    consumer: Consumer,
+    producer: Producer,
+}
+
+impl GeoReplicator {
+    /// Create a replicator towards `remote_name`.
+    pub fn new(remote_name: impl Into<String>) -> Self {
+        Self { remote_name: remote_name.into(), links: Vec::new() }
+    }
+
+    /// Replicate `topic` from `src` to `dst`. The topic must exist on
+    /// both; the replication subscription starts at the topic's current
+    /// beginning, so pre-existing backlog replicates too.
+    pub fn add_topic(
+        &mut self,
+        src: &PulsarCluster,
+        dst: &PulsarCluster,
+        topic: &str,
+    ) -> Result<()> {
+        let sub = format!("geo-{}", self.remote_name);
+        let consumer = src.subscribe(topic, &sub, SubscriptionMode::Failover)?;
+        let producer = dst.producer(topic)?;
+        self.links.push(Link { consumer, producer });
+        Ok(())
+    }
+
+    /// Ship everything currently available on all links; returns messages
+    /// replicated. Acks on the source only after the remote publish
+    /// succeeded (at-least-once).
+    pub fn pump(&mut self) -> Result<usize> {
+        let mut shipped = 0;
+        for link in &mut self.links {
+            while let Some(msg) = link.consumer.receive()? {
+                match msg.key.as_deref() {
+                    Some(key) => link.producer.send_keyed(key, &msg.payload)?,
+                    None => link.producer.send(&msg.payload)?,
+                };
+                link.consumer.ack(msg.id)?;
+                shipped += 1;
+            }
+        }
+        Ok(shipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::PulsarConfig;
+    use taureau_core::clock::WallClock;
+
+    fn cluster() -> PulsarCluster {
+        PulsarCluster::new(PulsarConfig::default(), WallClock::shared())
+    }
+
+    #[test]
+    fn replicates_backlog_and_new_traffic() {
+        let west = cluster();
+        let east = cluster();
+        west.create_topic("events", 2).unwrap();
+        east.create_topic("events", 2).unwrap();
+        let p = west.producer("events").unwrap();
+        for i in 0..10u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        let mut geo = GeoReplicator::new("east");
+        geo.add_topic(&west, &east, "events").unwrap();
+        assert_eq!(geo.pump().unwrap(), 10);
+        // New traffic after the link is up.
+        for i in 10..15u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(geo.pump().unwrap(), 5);
+        let mut reader = east
+            .subscribe("events", "check", SubscriptionMode::Shared)
+            .unwrap();
+        assert_eq!(reader.drain().unwrap().len(), 15);
+        // Idempotent pump: nothing new.
+        assert_eq!(geo.pump().unwrap(), 0);
+    }
+
+    #[test]
+    fn keyed_messages_keep_per_key_order_remotely() {
+        let west = cluster();
+        let east = cluster();
+        west.create_topic("orders", 4).unwrap();
+        east.create_topic("orders", 4).unwrap();
+        let p = west.producer("orders").unwrap();
+        for i in 0..20u64 {
+            p.send_keyed(format!("user-{}", i % 3).as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let mut geo = GeoReplicator::new("east");
+        geo.add_topic(&west, &east, "orders").unwrap();
+        geo.pump().unwrap();
+        let mut reader = east
+            .subscribe("orders", "check", SubscriptionMode::Shared)
+            .unwrap();
+        let mut last: std::collections::HashMap<Vec<u8>, u64> = std::collections::HashMap::new();
+        for m in reader.drain().unwrap() {
+            let v = u64::from_le_bytes(m.payload[..].try_into().unwrap());
+            let k = m.key.unwrap().to_vec();
+            if let Some(&prev) = last.get(&k) {
+                assert!(v > prev, "per-key order broken remotely");
+            }
+            last.insert(k, v);
+        }
+        assert_eq!(last.len(), 3);
+    }
+
+    #[test]
+    fn replication_survives_source_broker_restart() {
+        let west = cluster();
+        let east = cluster();
+        west.create_topic("t", 1).unwrap();
+        east.create_topic("t", 1).unwrap();
+        let p = west.producer("t").unwrap();
+        for i in 0..5u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        let mut geo = GeoReplicator::new("east");
+        geo.add_topic(&west, &east, "t").unwrap();
+        geo.pump().unwrap();
+        // Source broker restarts; the durable geo cursor resumes.
+        west.restart_broker();
+        for i in 5..8u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        // Old consumer handle is stale after restart (its in-memory
+        // consumer registration vanished) — a production replicator
+        // re-subscribes; ours reattaches the link.
+        let mut geo2 = GeoReplicator::new("east");
+        geo2.add_topic(&west, &east, "t").unwrap();
+        assert_eq!(geo2.pump().unwrap(), 3, "only unreplicated messages ship");
+        let mut reader = east
+            .subscribe("t", "check", SubscriptionMode::Shared)
+            .unwrap();
+        assert_eq!(reader.drain().unwrap().len(), 8);
+    }
+}

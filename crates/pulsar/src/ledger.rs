@@ -1,0 +1,433 @@
+//! Ledgers — the BookKeeper client layer.
+//!
+//! §4.3: "A ledger is an append-only data structure with a single writer
+//! that is assigned to multiple bookies, and their entries are replicated
+//! to multiple bookie nodes. … a process can create a ledger, append
+//! entries and close the ledger. After the ledger has been closed, either
+//! explicitly or because the writer process crashed, it can only be opened
+//! in read-only mode."
+//!
+//! Replication follows BookKeeper's model: each ledger has an *ensemble* of
+//! bookies; each entry is written to a *write quorum* of them (chosen
+//! round-robin by entry id) and acknowledged once an *ack quorum* of those
+//! writes succeed. Closing records the last acknowledged entry in metadata
+//! (fencing); recovery after writer crash reads the highest entry visible
+//! on the ensemble.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use taureau_core::id::LedgerId;
+
+use crate::bookie::Bookie;
+use crate::error::{PulsarError, Result};
+use crate::metadata::MetadataStore;
+
+/// Replication parameters for new ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerConfig {
+    /// Bookies assigned to the ledger.
+    pub ensemble: usize,
+    /// Replicas written per entry.
+    pub write_quorum: usize,
+    /// Acks required before an append succeeds.
+    pub ack_quorum: usize,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self { ensemble: 3, write_quorum: 2, ack_quorum: 2 }
+    }
+}
+
+impl LedgerConfig {
+    fn validate(&self) {
+        assert!(self.ensemble >= 1);
+        assert!(self.write_quorum >= 1 && self.write_quorum <= self.ensemble);
+        assert!(self.ack_quorum >= 1 && self.ack_quorum <= self.write_quorum);
+    }
+}
+
+/// Ledger metadata persisted in the metadata store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerMeta {
+    /// Bookie indices in the ensemble.
+    pub ensemble: Vec<usize>,
+    /// Replicas per entry.
+    pub write_quorum: usize,
+    /// Whether the ledger is sealed.
+    pub closed: bool,
+    /// Last entry id if closed and non-empty.
+    pub last_entry: Option<u64>,
+}
+
+impl LedgerMeta {
+    fn encode(&self) -> Vec<u8> {
+        let ens: Vec<String> = self.ensemble.iter().map(usize::to_string).collect();
+        format!(
+            "{};{};{};{}",
+            if self.closed { "closed" } else { "open" },
+            self.last_entry.map_or("-".to_string(), |e| e.to_string()),
+            self.write_quorum,
+            ens.join(",")
+        )
+        .into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let s = std::str::from_utf8(bytes).ok()?;
+        let mut parts = s.split(';');
+        let closed = parts.next()? == "closed";
+        let last = parts.next()?;
+        let last_entry = if last == "-" { None } else { Some(last.parse().ok()?) };
+        let write_quorum = parts.next()?.parse().ok()?;
+        let ensemble = parts
+            .next()?
+            .split(',')
+            .filter(|x| !x.is_empty())
+            .map(|x| x.parse().ok())
+            .collect::<Option<Vec<usize>>>()?;
+        Some(Self { ensemble, write_quorum, closed, last_entry })
+    }
+}
+
+/// The BookKeeper client: creates, reads, and recovers ledgers over a set
+/// of bookies, with metadata in the coordination store.
+#[derive(Clone)]
+pub struct BookKeeper {
+    bookies: Arc<Vec<Arc<Bookie>>>,
+    meta: Arc<MetadataStore>,
+}
+
+fn meta_key(id: LedgerId) -> String {
+    format!("/ledgers/{}", id.raw())
+}
+
+impl BookKeeper {
+    /// Client over the given bookies and metadata store.
+    pub fn new(bookies: Arc<Vec<Arc<Bookie>>>, meta: Arc<MetadataStore>) -> Self {
+        Self { bookies, meta }
+    }
+
+    /// Number of live bookies.
+    pub fn alive_bookies(&self) -> usize {
+        self.bookies.iter().filter(|b| b.is_alive()).count()
+    }
+
+    /// Create a new ledger with the given replication config.
+    pub fn create_ledger(&self, cfg: LedgerConfig) -> Result<LedgerWriter> {
+        cfg.validate();
+        let alive: Vec<usize> = self
+            .bookies
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_alive())
+            .map(|(i, _)| i)
+            .collect();
+        if alive.len() < cfg.ensemble {
+            return Err(PulsarError::InsufficientBookies {
+                needed: cfg.ensemble,
+                alive: alive.len(),
+            });
+        }
+        let id = LedgerId(self.meta.next_sequence());
+        // Rotate the ensemble start by ledger id so load spreads.
+        let start = (id.raw() as usize) % alive.len();
+        let ensemble: Vec<usize> = (0..cfg.ensemble)
+            .map(|i| alive[(start + i) % alive.len()])
+            .collect();
+        let meta = LedgerMeta {
+            ensemble: ensemble.clone(),
+            write_quorum: cfg.write_quorum,
+            closed: false,
+            last_entry: None,
+        };
+        self.meta.create(&meta_key(id), meta.encode())?;
+        Ok(LedgerWriter {
+            bk: self.clone(),
+            id,
+            ensemble,
+            cfg,
+            next_entry: 0,
+            closed: false,
+        })
+    }
+
+    /// Fetch ledger metadata.
+    pub fn ledger_meta(&self, id: LedgerId) -> Result<LedgerMeta> {
+        let v = self
+            .meta
+            .get(&meta_key(id))
+            .ok_or(PulsarError::LedgerNotFound(id))?;
+        LedgerMeta::decode(&v.data).ok_or(PulsarError::LedgerNotFound(id))
+    }
+
+    fn replicas_for(meta: &LedgerMeta, entry: u64) -> impl Iterator<Item = usize> + '_ {
+        let n = meta.ensemble.len();
+        let start = (entry as usize) % n;
+        (0..meta.write_quorum).map(move |i| meta.ensemble[(start + i) % n])
+    }
+
+    /// Read one entry, trying each replica until a live bookie has it.
+    pub fn read_entry(&self, id: LedgerId, entry: u64) -> Result<Bytes> {
+        let meta = self.ledger_meta(id)?;
+        for bk_idx in Self::replicas_for(&meta, entry) {
+            if let Some(data) = self.bookies[bk_idx].read_entry(id, entry) {
+                return Ok(data);
+            }
+        }
+        Err(PulsarError::EntryUnavailable { ledger: id, entry })
+    }
+
+    /// Last confirmed entry of a ledger: from metadata if closed, otherwise
+    /// by polling the ensemble (recovery read).
+    pub fn last_entry(&self, id: LedgerId) -> Result<Option<u64>> {
+        let meta = self.ledger_meta(id)?;
+        if meta.closed {
+            return Ok(meta.last_entry);
+        }
+        Ok(meta
+            .ensemble
+            .iter()
+            .filter_map(|&i| self.bookies[i].last_entry(id))
+            .max())
+    }
+
+    /// Fence and close a ledger whose writer crashed: record the highest
+    /// entry visible on the ensemble as the final length.
+    pub fn recover_and_close(&self, id: LedgerId) -> Result<Option<u64>> {
+        let mut meta = self.ledger_meta(id)?;
+        if meta.closed {
+            return Ok(meta.last_entry);
+        }
+        let last = meta
+            .ensemble
+            .iter()
+            .filter_map(|&i| self.bookies[i].last_entry(id))
+            .max();
+        meta.closed = true;
+        meta.last_entry = last;
+        self.meta.put(&meta_key(id), meta.encode());
+        Ok(last)
+    }
+
+    /// Delete a ledger's entries and metadata ("when the entries … are no
+    /// longer needed, the whole ledger can be deleted").
+    pub fn delete_ledger(&self, id: LedgerId) -> Result<()> {
+        let meta = self.ledger_meta(id)?;
+        for &i in &meta.ensemble {
+            self.bookies[i].delete_ledger(id);
+        }
+        self.meta.delete(&meta_key(id));
+        Ok(())
+    }
+}
+
+/// The single writer of an open ledger.
+pub struct LedgerWriter {
+    bk: BookKeeper,
+    id: LedgerId,
+    ensemble: Vec<usize>,
+    cfg: LedgerConfig,
+    next_entry: u64,
+    closed: bool,
+}
+
+impl LedgerWriter {
+    /// Ledger id.
+    pub fn id(&self) -> LedgerId {
+        self.id
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> u64 {
+        self.next_entry
+    }
+
+    /// Whether no entries were appended.
+    pub fn is_empty(&self) -> bool {
+        self.next_entry == 0
+    }
+
+    /// Append an entry, replicating to the write quorum.
+    ///
+    /// # Errors
+    /// [`PulsarError::LedgerClosed`] after close;
+    /// [`PulsarError::QuorumUnavailable`] if fewer than `ack_quorum`
+    /// replicas accepted the write (the entry id is *not* consumed — the
+    /// broker responds by rolling over to a new ledger).
+    pub fn append(&mut self, data: Bytes) -> Result<u64> {
+        if self.closed {
+            return Err(PulsarError::LedgerClosed(self.id));
+        }
+        let entry = self.next_entry;
+        let n = self.ensemble.len();
+        let start = (entry as usize) % n;
+        let mut acks = 0;
+        for i in 0..self.cfg.write_quorum {
+            let bk_idx = self.ensemble[(start + i) % n];
+            if self.bk.bookies[bk_idx].add_entry(self.id, entry, data.clone()) {
+                acks += 1;
+            }
+        }
+        if acks < self.cfg.ack_quorum {
+            return Err(PulsarError::QuorumUnavailable {
+                needed: self.cfg.ack_quorum,
+                got: acks,
+            });
+        }
+        self.next_entry += 1;
+        Ok(entry)
+    }
+
+    /// Seal the ledger; subsequent appends fail and readers see the final
+    /// length in metadata.
+    pub fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        let meta = LedgerMeta {
+            ensemble: self.ensemble.clone(),
+            write_quorum: self.cfg.write_quorum,
+            closed: true,
+            last_entry: self.next_entry.checked_sub(1),
+        };
+        self.bk.meta.put(&meta_key(self.id), meta.encode());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> (BookKeeper, Arc<Vec<Arc<Bookie>>>) {
+        let bookies: Arc<Vec<Arc<Bookie>>> =
+            Arc::new((0..n).map(|i| Arc::new(Bookie::new(i))).collect());
+        let meta = Arc::new(MetadataStore::new());
+        (BookKeeper::new(bookies.clone(), meta), bookies)
+    }
+
+    #[test]
+    fn meta_codec_roundtrip() {
+        for meta in [
+            LedgerMeta { ensemble: vec![0, 2, 4], write_quorum: 2, closed: false, last_entry: None },
+            LedgerMeta { ensemble: vec![1], write_quorum: 1, closed: true, last_entry: Some(41) },
+            LedgerMeta { ensemble: vec![0, 1], write_quorum: 2, closed: true, last_entry: None },
+        ] {
+            assert_eq!(LedgerMeta::decode(&meta.encode()), Some(meta));
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let (bk, _) = cluster(3);
+        let mut w = bk.create_ledger(LedgerConfig::default()).unwrap();
+        for i in 0..10u64 {
+            let e = w.append(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            assert_eq!(e, i);
+        }
+        for i in 0..10u64 {
+            let data = bk.read_entry(w.id(), i).unwrap();
+            assert_eq!(data, Bytes::from(i.to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    fn entries_are_replicated_write_quorum_times() {
+        let (bk, bookies) = cluster(3);
+        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        for _ in 0..30 {
+            w.append(Bytes::from_static(b"x")).unwrap();
+        }
+        let total: usize = bookies.iter().map(|b| b.entry_count(w.id())).sum();
+        assert_eq!(total, 60, "each entry stored write_quorum=2 times");
+    }
+
+    #[test]
+    fn close_seals_ledger() {
+        let (bk, _) = cluster(3);
+        let mut w = bk.create_ledger(LedgerConfig::default()).unwrap();
+        w.append(Bytes::from_static(b"a")).unwrap();
+        w.close().unwrap();
+        assert!(matches!(
+            w.append(Bytes::from_static(b"b")),
+            Err(PulsarError::LedgerClosed(_))
+        ));
+        let meta = bk.ledger_meta(w.id()).unwrap();
+        assert!(meta.closed);
+        assert_eq!(meta.last_entry, Some(0));
+        assert_eq!(bk.last_entry(w.id()).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn reads_survive_one_bookie_crash() {
+        let (bk, bookies) = cluster(3);
+        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        for i in 0..20u64 {
+            w.append(Bytes::from(vec![i as u8])).unwrap();
+        }
+        bookies[1].crash();
+        for i in 0..20u64 {
+            assert_eq!(bk.read_entry(w.id(), i).unwrap(), Bytes::from(vec![i as u8]));
+        }
+    }
+
+    #[test]
+    fn writes_fail_when_quorum_lost() {
+        let (bk, bookies) = cluster(3);
+        let cfg = LedgerConfig { ensemble: 3, write_quorum: 3, ack_quorum: 2 };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        w.append(Bytes::from_static(b"ok")).unwrap();
+        bookies[0].crash();
+        bookies[1].crash();
+        assert!(matches!(
+            w.append(Bytes::from_static(b"fails")),
+            Err(PulsarError::QuorumUnavailable { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn recovery_closes_orphaned_ledger() {
+        let (bk, _) = cluster(3);
+        let mut w = bk.create_ledger(LedgerConfig::default()).unwrap();
+        for _ in 0..5 {
+            w.append(Bytes::from_static(b"e")).unwrap();
+        }
+        let id = w.id();
+        drop(w); // writer "crashes" without closing
+        let last = bk.recover_and_close(id).unwrap();
+        assert_eq!(last, Some(4));
+        let meta = bk.ledger_meta(id).unwrap();
+        assert!(meta.closed);
+        // Recovery is idempotent.
+        assert_eq!(bk.recover_and_close(id).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn create_fails_without_enough_bookies() {
+        let (bk, bookies) = cluster(3);
+        bookies[0].crash();
+        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 1 };
+        assert!(matches!(
+            bk.create_ledger(cfg),
+            Err(PulsarError::InsufficientBookies { needed: 3, alive: 2 })
+        ));
+    }
+
+    #[test]
+    fn delete_ledger_reclaims_storage() {
+        let (bk, bookies) = cluster(3);
+        let mut w = bk.create_ledger(LedgerConfig::default()).unwrap();
+        w.append(Bytes::from(vec![0u8; 1000])).unwrap();
+        w.close().unwrap();
+        let id = w.id();
+        assert!(bookies.iter().map(|b| b.stored_bytes()).sum::<u64>() > 0);
+        bk.delete_ledger(id).unwrap();
+        assert_eq!(bookies.iter().map(|b| b.stored_bytes()).sum::<u64>(), 0);
+        assert!(matches!(bk.read_entry(id, 0), Err(PulsarError::LedgerNotFound(_))));
+    }
+}

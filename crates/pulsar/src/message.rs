@@ -1,0 +1,65 @@
+//! Messages and message identities.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use taureau_core::id::LedgerId;
+
+/// A message's durable address: which ledger segment and entry it was
+/// persisted as, plus the partition it belongs to. Totally ordered within a
+/// partition (ledger ids grow over segment rollovers; entry ids grow within
+/// a ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId {
+    /// Topic partition index.
+    pub partition: u32,
+    /// Ledger segment holding the entry.
+    pub ledger: LedgerId,
+    /// Entry index within the ledger.
+    pub entry: u64,
+}
+
+/// A message delivered to a consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Durable identity (used for acknowledgment).
+    pub id: MessageId,
+    /// Optional partition key the producer supplied.
+    pub key: Option<Bytes>,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Publish timestamp (clock time at the broker).
+    pub publish_time: std::time::Duration,
+}
+
+impl Message {
+    /// Payload as UTF-8, if valid (convenience for text-stream functions).
+    pub fn payload_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.payload).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_ids_order_within_partition() {
+        let a = MessageId { partition: 0, ledger: LedgerId(1), entry: 5 };
+        let b = MessageId { partition: 0, ledger: LedgerId(1), entry: 6 };
+        let c = MessageId { partition: 0, ledger: LedgerId(2), entry: 0 };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn payload_str_roundtrip() {
+        let m = Message {
+            id: MessageId { partition: 0, ledger: LedgerId(0), entry: 0 },
+            key: None,
+            payload: Bytes::from_static(b"hello"),
+            publish_time: std::time::Duration::ZERO,
+        };
+        assert_eq!(m.payload_str(), Some("hello"));
+        let bin = Message { payload: Bytes::from_static(&[0xff, 0xfe]), ..m };
+        assert_eq!(bin.payload_str(), None);
+    }
+}

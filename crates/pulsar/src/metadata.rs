@@ -1,0 +1,176 @@
+//! Versioned metadata store — the ZooKeeper stand-in of Figure 1.
+//!
+//! Pulsar uses a ZooKeeper ensemble for "coordination and configuration
+//! management": ledger metadata, topic ownership, subscription cursors.
+//! This in-process equivalent provides the two primitives those uses need:
+//! versioned reads and compare-and-swap writes (so concurrent brokers can't
+//! clobber each other's updates), plus watch-free sequential node creation
+//! for id allocation.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::error::{PulsarError, Result};
+
+/// A value with its version (ZooKeeper zxid analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Versioned {
+    /// Stored bytes.
+    pub data: Vec<u8>,
+    /// Monotone version, starting at 0 on create.
+    pub version: u64,
+}
+
+/// In-process versioned KV store with CAS semantics.
+#[derive(Debug, Default)]
+pub struct MetadataStore {
+    state: Mutex<MetaState>,
+}
+
+#[derive(Debug, Default)]
+struct MetaState {
+    nodes: BTreeMap<String, Versioned>,
+    next_seq: u64,
+}
+
+impl MetadataStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a node.
+    pub fn get(&self, key: &str) -> Option<Versioned> {
+        self.state.lock().nodes.get(key).cloned()
+    }
+
+    /// Create a node; fails if it exists.
+    pub fn create(&self, key: &str, data: Vec<u8>) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.nodes.contains_key(key) {
+            return Err(PulsarError::MetadataConflict(key.to_string()));
+        }
+        st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+        Ok(())
+    }
+
+    /// Compare-and-swap: write succeeds only if the stored version matches
+    /// `expected_version` (pass `None` to create-if-absent).
+    pub fn cas(&self, key: &str, data: Vec<u8>, expected_version: Option<u64>) -> Result<u64> {
+        let mut st = self.state.lock();
+        match (st.nodes.get_mut(key), expected_version) {
+            (None, None) => {
+                st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+                Ok(0)
+            }
+            (Some(node), Some(v)) if node.version == v => {
+                node.data = data;
+                node.version += 1;
+                Ok(node.version)
+            }
+            _ => Err(PulsarError::MetadataConflict(key.to_string())),
+        }
+    }
+
+    /// Unconditional write (used where a single owner is already
+    /// guaranteed, e.g. cursor updates by the owning subscription).
+    pub fn put(&self, key: &str, data: Vec<u8>) -> u64 {
+        let mut st = self.state.lock();
+        match st.nodes.get_mut(key) {
+            Some(node) => {
+                node.data = data;
+                node.version += 1;
+                node.version
+            }
+            None => {
+                st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+                0
+            }
+        }
+    }
+
+    /// Delete a node (idempotent).
+    pub fn delete(&self, key: &str) {
+        self.state.lock().nodes.remove(key);
+    }
+
+    /// Keys under a prefix (ZooKeeper getChildren analogue).
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.state
+            .lock()
+            .nodes
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Allocate the next value of a global sequence (for ledger ids).
+    pub fn next_sequence(&self) -> u64 {
+        let mut st = self.state.lock();
+        let v = st.next_seq;
+        st.next_seq += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_then_get() {
+        let m = MetadataStore::new();
+        m.create("/topics/t", b"cfg".to_vec()).unwrap();
+        let v = m.get("/topics/t").unwrap();
+        assert_eq!(v.data, b"cfg");
+        assert_eq!(v.version, 0);
+        assert!(m.create("/topics/t", b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn cas_enforces_versions() {
+        let m = MetadataStore::new();
+        m.cas("/k", b"v0".to_vec(), None).unwrap();
+        // Stale writer (expects version 1) fails.
+        assert!(m.cas("/k", b"bad".to_vec(), Some(1)).is_err());
+        let v1 = m.cas("/k", b"v1".to_vec(), Some(0)).unwrap();
+        assert_eq!(v1, 1);
+        assert_eq!(m.get("/k").unwrap().data, b"v1");
+    }
+
+    #[test]
+    fn cas_create_if_absent_conflicts_when_present() {
+        let m = MetadataStore::new();
+        m.put("/k", b"x".to_vec());
+        assert!(m.cas("/k", b"y".to_vec(), None).is_err());
+    }
+
+    #[test]
+    fn put_bumps_version() {
+        let m = MetadataStore::new();
+        assert_eq!(m.put("/k", b"a".to_vec()), 0);
+        assert_eq!(m.put("/k", b"b".to_vec()), 1);
+    }
+
+    #[test]
+    fn list_prefix_and_delete() {
+        let m = MetadataStore::new();
+        m.put("/topics/a", vec![]);
+        m.put("/topics/b", vec![]);
+        m.put("/ledgers/1", vec![]);
+        assert_eq!(m.list_prefix("/topics/").len(), 2);
+        m.delete("/topics/a");
+        assert_eq!(m.list_prefix("/topics/").len(), 1);
+        m.delete("/topics/a"); // idempotent
+    }
+
+    #[test]
+    fn sequence_is_monotone() {
+        let m = MetadataStore::new();
+        assert_eq!(m.next_sequence(), 0);
+        assert_eq!(m.next_sequence(), 1);
+        assert_eq!(m.next_sequence(), 2);
+    }
+}

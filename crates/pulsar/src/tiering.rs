@@ -1,0 +1,155 @@
+//! Tiered storage — one of the "key features of Pulsar" §4.3 lists.
+//!
+//! Sealed ledger segments migrate from the bookies (hot, replicated,
+//! memory-priced) to a BaaS blob store (cold, cheap, S3-priced). Consumers
+//! read through transparently: the broker's read path falls back to the
+//! cold tier when a ledger is no longer on the bookies. Offloading is
+//! driven explicitly by [`crate::broker::PulsarCluster::offload_sealed`],
+//! mirroring Pulsar's offload policies.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use taureau_baas::BlobStore;
+use taureau_core::id::LedgerId;
+
+use crate::metadata::MetadataStore;
+
+/// The cold-tier backend configured on a cluster.
+#[derive(Clone)]
+pub struct TierBackend {
+    /// The blob store holding offloaded segments.
+    pub blob: Arc<BlobStore>,
+    /// Bucket for segment objects.
+    pub bucket: String,
+}
+
+fn offload_meta_key(id: LedgerId) -> String {
+    format!("/offload/{}", id.raw())
+}
+
+fn object_key(id: LedgerId) -> Vec<u8> {
+    format!("segment/{}", id.raw()).into_bytes()
+}
+
+/// Encode a sealed segment's entries: `[count u32] ([len u32][bytes])*`.
+pub(crate) fn encode_segment(entries: &[Bytes]) -> Vec<u8> {
+    let total: usize = 4 + entries.iter().map(|e| 4 + e.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+        out.extend_from_slice(e);
+    }
+    out
+}
+
+fn decode_entry(bytes: &[u8], index: u64) -> Option<Bytes> {
+    let count = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as u64;
+    if index >= count {
+        return None;
+    }
+    let mut pos = 4usize;
+    for i in 0..count {
+        let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        if i == index {
+            return Some(Bytes::copy_from_slice(bytes.get(pos..pos + len)?));
+        }
+        pos += len;
+    }
+    None
+}
+
+impl TierBackend {
+    /// New backend writing to `bucket`.
+    pub fn new(blob: Arc<BlobStore>, bucket: impl Into<String>) -> Self {
+        let bucket = bucket.into();
+        blob.create_bucket(&bucket);
+        Self { blob, bucket }
+    }
+
+    /// Record an offloaded segment: blob object plus metadata (entry
+    /// count), so readers can find it after the bookies forget it.
+    pub(crate) fn store_segment(
+        &self,
+        meta: &MetadataStore,
+        id: LedgerId,
+        entries: &[Bytes],
+    ) {
+        self.blob
+            .put(&self.bucket, &object_key(id), &encode_segment(entries));
+        meta.put(
+            &offload_meta_key(id),
+            entries.len().to_string().into_bytes(),
+        );
+    }
+
+    /// Whether a ledger was offloaded, and its entry count if so.
+    pub(crate) fn offloaded_len(&self, meta: &MetadataStore, id: LedgerId) -> Option<u64> {
+        let v = meta.get(&offload_meta_key(id))?;
+        std::str::from_utf8(&v.data).ok()?.parse().ok()
+    }
+
+    /// Read one entry of an offloaded segment (pays cold-tier latency).
+    pub(crate) fn read_entry(
+        &self,
+        meta: &MetadataStore,
+        id: LedgerId,
+        entry: u64,
+    ) -> Option<Bytes> {
+        self.offloaded_len(meta, id)?;
+        let bytes = self.blob.get(&self.bucket, &object_key(id))?;
+        decode_entry(&bytes, entry)
+    }
+
+    /// Remove an offloaded segment (topic trim of cold data).
+    pub(crate) fn delete_segment(&self, meta: &MetadataStore, id: LedgerId) {
+        self.blob.delete(&self.bucket, &object_key(id));
+        meta.delete(&offload_meta_key(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taureau_core::clock::VirtualClock;
+    use taureau_core::latency::LatencyModel;
+
+    fn backend() -> (TierBackend, Arc<MetadataStore>) {
+        let blob = Arc::new(BlobStore::with_latency(
+            VirtualClock::shared(),
+            LatencyModel::zero(),
+            LatencyModel::zero(),
+        ));
+        (TierBackend::new(blob, "pulsar-cold"), Arc::new(MetadataStore::new()))
+    }
+
+    #[test]
+    fn segment_codec_roundtrip() {
+        let entries: Vec<Bytes> = vec![
+            Bytes::from_static(b"first"),
+            Bytes::new(),
+            Bytes::from(vec![9u8; 1000]),
+        ];
+        let enc = encode_segment(&entries);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(decode_entry(&enc, i as u64).as_ref(), Some(e));
+        }
+        assert_eq!(decode_entry(&enc, 3), None);
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let (tier, meta) = backend();
+        let id = LedgerId(7);
+        let entries: Vec<Bytes> = (0..5u8).map(|i| Bytes::from(vec![i; 10])).collect();
+        tier.store_segment(&meta, id, &entries);
+        assert_eq!(tier.offloaded_len(&meta, id), Some(5));
+        assert_eq!(tier.read_entry(&meta, id, 3), Some(Bytes::from(vec![3u8; 10])));
+        assert_eq!(tier.read_entry(&meta, id, 9), None);
+        assert_eq!(tier.read_entry(&meta, LedgerId(99), 0), None);
+        tier.delete_segment(&meta, id);
+        assert_eq!(tier.offloaded_len(&meta, id), None);
+    }
+}

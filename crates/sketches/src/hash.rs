@@ -1,0 +1,7 @@
+//! Seeded 64-bit hashing for sketches.
+//!
+//! Re-exported from `taureau_core::hash` so every crate in the workspace
+//! (Jiffy's partitioner, Pulsar's topic router, the sketches here) uses the
+//! same deterministic hash family.
+
+pub use taureau_core::hash::{hash64, HashPair};

@@ -1,0 +1,141 @@
+//! Property-based tests for the sketch invariants the paper's analytics
+//! use-cases rely on (§5.1): no-underestimate for Count-Min, no false
+//! negatives for Bloom, merge-equals-union for all linear sketches.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use taureau_sketches::{AmsF2, BloomFilter, CountMinSketch, HyperLogLog, KllSketch, Mergeable};
+
+proptest! {
+    /// Count-Min never underestimates, for any stream.
+    #[test]
+    fn countmin_never_underestimates(stream in vec(0u16..64, 1..500)) {
+        let mut cm = CountMinSketch::new(4, 32, 99);
+        let mut truth = [0u64; 64];
+        for &item in &stream {
+            cm.add(&item.to_le_bytes(), 1);
+            truth[item as usize] += 1;
+        }
+        for item in 0u16..64 {
+            prop_assert!(cm.estimate(&item.to_le_bytes()) >= truth[item as usize]);
+        }
+    }
+
+    /// Splitting a stream at any point and merging reproduces the
+    /// whole-stream Count-Min exactly.
+    #[test]
+    fn countmin_merge_equals_whole(
+        stream in vec(0u16..128, 0..400),
+        split in 0usize..400,
+    ) {
+        let split = split.min(stream.len());
+        let mut whole = CountMinSketch::new(3, 64, 5);
+        let mut left = CountMinSketch::new(3, 64, 5);
+        let mut right = CountMinSketch::new(3, 64, 5);
+        for (i, &item) in stream.iter().enumerate() {
+            whole.add(&item.to_le_bytes(), 1);
+            if i < split {
+                left.add(&item.to_le_bytes(), 1);
+            } else {
+                right.add(&item.to_le_bytes(), 1);
+            }
+        }
+        left.merge(&right).unwrap();
+        prop_assert_eq!(left, whole);
+    }
+
+    /// Bloom filters have no false negatives for any insertion set.
+    #[test]
+    fn bloom_no_false_negatives(items in vec(any::<u32>(), 1..300)) {
+        let mut bf = BloomFilter::new(300, 0.01, 7);
+        for &i in &items {
+            bf.insert(&i.to_le_bytes());
+        }
+        for &i in &items {
+            prop_assert!(bf.contains(&i.to_le_bytes()));
+        }
+    }
+
+    /// Bloom merge is union: anything in either side is in the merge.
+    #[test]
+    fn bloom_merge_is_union(
+        left in vec(any::<u32>(), 0..100),
+        right in vec(any::<u32>(), 0..100),
+    ) {
+        let mut a = BloomFilter::new(200, 0.01, 3);
+        let mut b = BloomFilter::new(200, 0.01, 3);
+        for &i in &left { a.insert(&i.to_le_bytes()); }
+        for &i in &right { b.insert(&i.to_le_bytes()); }
+        a.merge(&b).unwrap();
+        for &i in left.iter().chain(&right) {
+            prop_assert!(a.contains(&i.to_le_bytes()));
+        }
+    }
+
+    /// HLL merge is idempotent, commutative in its estimates, and dominated
+    /// by register-wise max.
+    #[test]
+    fn hll_merge_commutes(
+        left in vec(any::<u64>(), 0..200),
+        right in vec(any::<u64>(), 0..200),
+    ) {
+        let mut a1 = HyperLogLog::new(8, 1);
+        let mut b1 = HyperLogLog::new(8, 1);
+        for &i in &left { a1.add(&i.to_le_bytes()); }
+        for &i in &right { b1.add(&i.to_le_bytes()); }
+        let mut ab = a1.clone();
+        ab.merge(&b1).unwrap();
+        let mut ba = b1.clone();
+        ba.merge(&a1).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        // Merging a sketch into itself changes nothing.
+        let mut aa = a1.clone();
+        aa.merge(&a1).unwrap();
+        prop_assert_eq!(aa, a1);
+    }
+
+    /// KLL rank estimates are within the coarse additive bound even for
+    /// adversarial small streams, and quantiles are monotone.
+    #[test]
+    fn kll_quantiles_monotone(values in vec(-1e6f64..1e6, 1..2000)) {
+        let mut s = KllSketch::new(64);
+        for &v in &values {
+            s.update(v);
+        }
+        let qs: Vec<f64> = (0..=10)
+            .map(|i| s.quantile(i as f64 / 10.0).unwrap())
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        // Extremes are bracketed by the true min/max.
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(qs[0] >= min && qs[10] <= max);
+    }
+
+    /// AMS F2 is exactly linear: sketch(a) + sketch(b) = sketch(a ++ b).
+    #[test]
+    fn ams_linearity(
+        left in vec(0u8..32, 0..200),
+        right in vec(0u8..32, 0..200),
+    ) {
+        let mut a = AmsF2::new(3, 16, 11);
+        let mut b = AmsF2::new(3, 16, 11);
+        let mut whole = AmsF2::new(3, 16, 11);
+        for &i in &left { a.update(&[i], 1); whole.update(&[i], 1); }
+        for &i in &right { b.update(&[i], 1); whole.update(&[i], 1); }
+        a.merge(&b).unwrap();
+        prop_assert_eq!(a, whole);
+    }
+
+    /// Inserting then deleting everything returns AMS to the zero sketch.
+    #[test]
+    fn ams_turnstile_cancellation(items in vec(0u8..16, 0..100)) {
+        let mut s = AmsF2::new(3, 16, 2);
+        for &i in &items { s.update(&[i], 3); }
+        for &i in &items { s.update(&[i], -3); }
+        prop_assert_eq!(s.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The §3.1 "Data Processing" application: an extract→transform→load
+//! pipeline of three black-box serverless functions, composed with the
+//! orchestration crate, with records landing in a Jiffy-backed sink.
+//!
+//! Run with: `cargo run --example etl_pipeline`
+
+use taureau::apps::etl::{run_batched, synthetic_lines, EtlPipeline};
+use taureau::prelude::*;
+
+fn main() {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock);
+
+    // Deploy: drop records below 10.0, scale survivors by 1.5.
+    let pipeline = EtlPipeline::deploy(&platform, &jiffy, 10.0, 1.5);
+
+    // 1000 raw CSV lines, every 10th malformed.
+    let lines = synthetic_lines(1000, 10, 42);
+    let report = run_batched(&pipeline, &lines, 100).expect("pipeline run");
+
+    println!("input lines : {}", report.input_lines);
+    println!("loaded      : {}", report.loaded);
+    println!("in sink     : {}", report.extracted);
+    println!("invocations : {}", report.invocations);
+    println!();
+    println!("per-category aggregates (count, sum of enriched values):");
+    for cat in ["web", "iot", "mobile", "batch"] {
+        if let Some((count, sum)) = pipeline.aggregate(cat) {
+            println!("  {cat:<8} {count:>5}  {sum:>12.2}");
+        }
+    }
+    println!();
+    println!(
+        "etl tenant billed ${:.8} for {} function executions",
+        platform.billing().total("etl"),
+        platform.billing().invocations("etl"),
+    );
+}

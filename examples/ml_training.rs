@@ -1,0 +1,91 @@
+//! §5.2's serverless model training: data-parallel gradient workers on
+//! FaaS, a Jiffy-backed parameter server, straggler injection, and the
+//! coded-computation mitigation of Gupta et al. — then a Seneca-style
+//! hyperparameter sweep.
+//!
+//! Run with: `cargo run --example ml_training`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taureau::apps::ml::{
+    accuracy, hyperparameter_search, synthetic_logreg, train_serverless, TrainingConfig,
+};
+use taureau::prelude::*;
+
+fn main() {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock);
+
+    let (ds, _) = synthetic_logreg(2000, 8, 99);
+    let ds = Arc::new(ds);
+    println!("dataset: {} examples x {} features", ds.len(), ds.dim());
+
+    // Train with 8 workers under a 20% straggler regime, uncoded vs coded.
+    let base = TrainingConfig {
+        lr: 0.5,
+        epochs: 20,
+        workers: 8,
+        straggler_prob: 0.2,
+        straggler_slowdown: 8.0,
+        compute_per_example: Duration::from_micros(50),
+        ..TrainingConfig::default()
+    };
+
+    let uncoded = train_serverless(
+        &platform,
+        &jiffy,
+        Arc::clone(&ds),
+        &TrainingConfig { redundancy: 1, ..base.clone() },
+        "demo-uncoded",
+    );
+    let coded = train_serverless(
+        &platform,
+        &jiffy,
+        Arc::clone(&ds),
+        &TrainingConfig { redundancy: 3, ..base },
+        "demo-coded",
+    );
+
+    println!("\n               uncoded      coded(r=3)");
+    println!(
+        "final loss     {:<12.5} {:<12.5}",
+        uncoded.loss_history.last().unwrap(),
+        coded.loss_history.last().unwrap()
+    );
+    println!(
+        "accuracy       {:<12.4} {:<12.4}",
+        accuracy(&uncoded.weights, &ds),
+        accuracy(&coded.weights, &ds)
+    );
+    println!(
+        "job time       {:<12?} {:<12?}",
+        uncoded.total_time(),
+        coded.total_time()
+    );
+    println!(
+        "invocations    {:<12} {:<12}",
+        uncoded.invocations, coded.invocations
+    );
+    println!(
+        "\ncoding cut straggler wait by {:.1}x at {}x the compute",
+        uncoded.total_time().as_secs_f64() / coded.total_time().as_secs_f64().max(1e-9),
+        3
+    );
+
+    // Hyperparameter sweep: "concurrently invokes functions for all
+    // combinations … returns the configuration with the best score."
+    let (best, table) = hyperparameter_search(
+        &platform,
+        &jiffy,
+        Arc::clone(&ds),
+        &[0.01, 0.1, 0.5, 1.0, 2.0],
+        15,
+    );
+    println!("\nhyperparameter sweep (lr -> final loss):");
+    for (lr, loss) in &table {
+        let marker = if *lr == best { "  <-- best" } else { "" };
+        println!("  {lr:<6} {loss:.5}{marker}");
+    }
+}

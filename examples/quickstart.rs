@@ -1,0 +1,53 @@
+//! Quickstart: register a serverless function, invoke it cold and warm,
+//! and read the fine-grained bill — the three FaaS properties of §4.1 in
+//! thirty lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use taureau::prelude::*;
+
+fn main() {
+    // A platform on the wall clock with the default (Lambda-calibrated)
+    // cold-start model and pricing.
+    let platform = FaasPlatform::with_defaults();
+
+    // Register a function: plain Rust, 256 MiB, 5 s timeout.
+    platform
+        .register(
+            FunctionSpec::new("greet", "demo-tenant", |ctx| {
+                let name = ctx.payload_str().unwrap_or("world");
+                Ok(format!("Hello, {name}!").into_bytes())
+            })
+            .with_memory(ByteSize::mb(256))
+            .with_timeout(Duration::from_secs(5)),
+        )
+        .expect("register");
+
+    // First invocation pays a cold start…
+    let cold = platform.invoke("greet", &b"serverless"[..]).expect("invoke");
+    println!(
+        "cold : {:>8?} startup + {:?} exec -> {}",
+        cold.startup_latency,
+        cold.exec_duration,
+        String::from_utf8_lossy(&cold.output)
+    );
+
+    // …the second finds the container warm.
+    let warm = platform.invoke("greet", &b"again"[..]).expect("invoke");
+    println!(
+        "warm : {:>8?} startup + {:?} exec -> {}",
+        warm.startup_latency,
+        warm.exec_duration,
+        String::from_utf8_lossy(&warm.output)
+    );
+
+    let (cold_starts, warm_starts) = platform.start_counts();
+    println!("starts: {cold_starts} cold, {warm_starts} warm");
+    println!(
+        "bill for demo-tenant: ${:.10} across {} invocations",
+        platform.billing().total("demo-tenant"),
+        platform.billing().invocations("demo-tenant"),
+    );
+}

@@ -1,0 +1,101 @@
+//! Figure 3 of the paper, end to end: a Count-Min sketch deployed as a
+//! Pulsar function, estimating event frequencies over a Zipf-skewed stream
+//! — plus a Space-Saving function finding the top-k heavy hitters on the
+//! same topic, showing fan-out to two subscriptions.
+//!
+//! Run with: `cargo run --example stream_sketches`
+
+use taureau::core::rng::{det_rng, Zipf};
+use taureau::prelude::*;
+use taureau::sketches::SpaceSaving;
+
+fn main() {
+    let cluster = PulsarCluster::with_defaults();
+    let jiffy = Jiffy::with_defaults();
+    let runtime = FunctionRuntime::new(cluster.clone(), jiffy);
+
+    cluster.create_topic("events", 1).expect("create topic");
+    cluster.create_topic("alerts", 1).expect("create topic");
+
+    // Figure 3: `CountMinSketch sketch = new CountMinSketch(...)` inside a
+    // function; alert when an item's estimate crosses a threshold.
+    let mut sketch = CountMinSketch::with_error_bounds(0.001, 0.01, 128);
+    runtime
+        .register(
+            FunctionConfig {
+                name: "count-min".into(),
+                inputs: vec!["events".into()],
+                output: Some("alerts".into()),
+            },
+            Box::new(move |msg, _ctx| {
+                sketch.add(&msg.payload, 1); // sketch.add(input, 1)
+                let count = sketch.estimate(&msg.payload); // estimateCount
+                (count == 500).then(|| {
+                    format!("item {} crossed 500", String::from_utf8_lossy(&msg.payload))
+                        .into_bytes()
+                })
+            }),
+        )
+        .expect("register count-min");
+
+    // A second sketch function on the same topic: top-k heavy hitters.
+    let mut topk = SpaceSaving::new(16);
+    runtime
+        .register(
+            FunctionConfig {
+                name: "top-k".into(),
+                inputs: vec!["events".into()],
+                output: None,
+            },
+            Box::new(move |msg, ctx| {
+                topk.add(&msg.payload, 1);
+                // Persist the current top-3 into function state each 1000
+                // events, so it survives the function instance.
+                if topk.total().is_multiple_of(1000) {
+                    for (rank, h) in topk.heavy_hitters().into_iter().take(3).enumerate() {
+                        ctx.state_put(
+                            format!("top{rank}").as_bytes(),
+                            format!("{}:{}", String::from_utf8_lossy(&h.item), h.count)
+                                .as_bytes(),
+                        );
+                    }
+                }
+                None
+            }),
+        )
+        .expect("register top-k");
+
+    // Publish a 20k-event Zipf stream.
+    let producer = cluster.producer("events").expect("producer");
+    let zipf = Zipf::new(1000, 1.2);
+    let mut rng = det_rng(7);
+    for _ in 0..20_000 {
+        let item = zipf.sample(&mut rng);
+        producer
+            .send(format!("item-{item}").as_bytes())
+            .expect("publish");
+    }
+
+    let processed = runtime.run_to_quiescence().expect("pump functions");
+    println!("function executions: {processed}");
+
+    // Read the alerts the Count-Min function emitted.
+    let mut alerts = cluster
+        .subscribe("alerts", "reader", SubscriptionMode::Exclusive)
+        .expect("subscribe");
+    for msg in alerts.drain().expect("drain") {
+        println!("alert: {}", String::from_utf8_lossy(&msg.payload));
+    }
+
+    // Read the heavy-hitter table from the function's Jiffy state.
+    let state = runtime
+        .jiffy()
+        .open_kv("/pulsar-functions/top-k/state")
+        .expect("state");
+    println!("\ntop items by Space-Saving estimate:");
+    for rank in 0..3 {
+        if let Some(v) = state.get(format!("top{rank}").as_bytes()).expect("get") {
+            println!("  #{rank}: {}", String::from_utf8_lossy(&v));
+        }
+    }
+}

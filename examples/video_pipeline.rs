@@ -1,0 +1,56 @@
+//! §5.1's video story (ExCamera/Sprocket): chunk a video, encode chunks in
+//! parallel serverless workers, hand the boundary reference frames through
+//! Jiffy, and verify the result decodes losslessly — reporting the
+//! fan-out's critical-path win and the compression ratio.
+//!
+//! Run with: `cargo run --example video_pipeline`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taureau::apps::video::{decode_all, encode_serverless, synthetic_video};
+use taureau::prelude::*;
+
+fn main() {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(
+        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+        clock,
+    );
+
+    let (frames, w, h) = (120usize, 96usize, 64usize);
+    let video = Arc::new(synthetic_video(frames, w, h, 2024));
+    println!("video: {frames} frames of {w}x{h} ({} raw)", ByteSize::b((frames * w * h) as u64));
+
+    let chunk = 12;
+    let out = encode_serverless(
+        &platform,
+        &jiffy,
+        Arc::clone(&video),
+        chunk,
+        Duration::from_millis(30), // simulated encode cost per frame
+        "demo",
+    );
+
+    println!("chunks encoded      : {}", out.invocations);
+    println!("encoded size        : {}", ByteSize::b(out.encoded_bytes));
+    println!("compression ratio   : {:.2}x", out.compression_ratio());
+    println!("serial critical path: {:?}", out.serial_time());
+    println!("fan-out critical path: {:?}", out.parallel_time());
+    println!(
+        "speedup             : {:.1}x across {} workers",
+        out.serial_time().as_secs_f64() / out.parallel_time().as_secs_f64(),
+        out.invocations
+    );
+
+    let decoded = decode_all(&out, video.len(), chunk, w * h, &video).expect("decode");
+    println!(
+        "lossless roundtrip  : {}",
+        if decoded == *video { "verified" } else { "FAILED" }
+    );
+    println!(
+        "video tenant billed ${:.8} for the job",
+        platform.billing().total("video"),
+    );
+}

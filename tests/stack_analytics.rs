@@ -1,0 +1,106 @@
+//! Integration: the §5.1 analytics workloads sharing one platform and one
+//! Jiffy deployment — graph processing, matrix multiplication, and
+//! sequence comparison running back-to-back with correct isolation.
+
+use std::sync::Arc;
+
+use taureau::apps::graph::{run_pregel, sssp_seq, Graph, Sssp};
+use taureau::apps::matmul::{distributed_multiply, Matrix};
+use taureau::apps::seqcompare::{all_pairs_serverless, smith_waterman, synthetic_proteins};
+use taureau::prelude::*;
+
+fn stack() -> (FaasPlatform, Jiffy) {
+    let clock = VirtualClock::shared();
+    (
+        FaasPlatform::new(PlatformConfig::deterministic(), clock.clone()),
+        Jiffy::new(JiffyConfig::default(), clock),
+    )
+}
+
+#[test]
+fn three_analytics_jobs_share_the_stack() {
+    let (platform, jiffy) = stack();
+
+    // 1. Graph job.
+    let g = Arc::new(Graph::random(40, 160, 1));
+    let sssp = run_pregel(
+        &platform,
+        &jiffy,
+        Arc::clone(&g),
+        Arc::new(Sssp { source: 0 }),
+        3,
+        "shared-sssp",
+    );
+    let reference = sssp_seq(&g, 0);
+    for (a, b) in sssp.values.iter().zip(&reference) {
+        if b.is_finite() {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    // 2. Matmul job on the same deployment.
+    let a = Matrix::random(24, 24, 2);
+    let b = Matrix::random(24, 24, 3);
+    let (c, _) = distributed_multiply(&platform, &jiffy, &a, &b, 3);
+    assert!(a.mul_naive(&b).max_abs_diff(&c).unwrap() < 1e-9);
+
+    // 3. Bioinformatics job.
+    let seqs = Arc::new(synthetic_proteins(5, 30, 4));
+    let pairs = all_pairs_serverless(&platform, &jiffy, Arc::clone(&seqs), "shared-bio");
+    assert_eq!(pairs.invocations, 10);
+    assert_eq!(
+        pairs.score(0, 1),
+        smith_waterman(&seqs[0], &seqs[1], 2, -1, -1)
+    );
+
+    // All jobs cleaned their ephemeral namespaces; the pool is empty.
+    assert_eq!(jiffy.pool_stats().allocated_blocks, 0);
+    // Each tenant was billed separately.
+    assert!(platform.billing().total("pregel") > 0.0);
+    assert!(platform.billing().total("matmul") > 0.0);
+    assert!(platform.billing().total("bio") > 0.0);
+}
+
+#[test]
+fn jiffy_multiplexing_across_sequential_jobs() {
+    // The E5 claim at application scale: jobs run one after another, so
+    // the pool's peak is far below the sum of per-job peaks.
+    let (platform, jiffy) = stack();
+    for job in 0..4 {
+        let a = Matrix::random(32, 32, job);
+        let b = Matrix::random(32, 32, job + 100);
+        let (_, _) = distributed_multiply(&platform, &jiffy, &a, &b, 2);
+    }
+    let (pool_peak, sum_of_peaks) = jiffy.multiplexing_report();
+    assert!(
+        (sum_of_peaks as f64) >= 1.5 * pool_peak as f64 || sum_of_peaks == pool_peak,
+        "pool peak {pool_peak}, sum of app peaks {sum_of_peaks}"
+    );
+    assert_eq!(jiffy.pool_stats().allocated_blocks, 0);
+}
+
+#[test]
+fn concurrent_tenants_stay_isolated_under_quota() {
+    // A greedy analytics job cannot starve a small one when quotas are on.
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(
+        JiffyConfig {
+            memory_nodes: 2,
+            blocks_per_node: 32,
+            block_size: ByteSize::kb(16),
+            app_quota_blocks: Some(24),
+            ..JiffyConfig::default()
+        },
+        clock,
+    );
+    // Greedy tenant tries to stage far more than its quota.
+    let f = jiffy.create_file("/greedy/blob").unwrap();
+    let res = f.append(&vec![0u8; 16 * 1024 * 30]);
+    assert!(res.is_err(), "quota should have stopped the greedy tenant");
+    // The small job still completes.
+    let a = Matrix::random(8, 8, 5);
+    let b = Matrix::random(8, 8, 6);
+    let (c, _) = distributed_multiply(&platform, &jiffy, &a, &b, 2);
+    assert!(a.mul_naive(&b).max_abs_diff(&c).unwrap() < 1e-9);
+}

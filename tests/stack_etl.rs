@@ -1,0 +1,62 @@
+//! Integration: the ETL application across FaaS + Jiffy + orchestration,
+//! with a billing audit at the end.
+
+use taureau::apps::etl::{run_batched, synthetic_lines, EtlPipeline};
+use taureau::prelude::*;
+
+fn stack() -> (FaasPlatform, Jiffy) {
+    let clock = VirtualClock::shared();
+    (
+        FaasPlatform::new(PlatformConfig::deterministic(), clock.clone()),
+        Jiffy::new(JiffyConfig::default(), clock),
+    )
+}
+
+#[test]
+fn etl_processes_a_realistic_batch() {
+    let (platform, jiffy) = stack();
+    let pipeline = EtlPipeline::deploy(&platform, &jiffy, 0.0, 1.0);
+    let lines = synthetic_lines(2000, 20, 7);
+    let report = run_batched(&pipeline, &lines, 250).unwrap();
+    assert_eq!(report.input_lines, 2000);
+    assert_eq!(report.extracted, 1900); // 5% malformed dropped
+    assert_eq!(report.loaded, 1900);
+    // 8 batches x 3 stages.
+    assert_eq!(report.invocations, 24);
+    // Aggregates cover all loaded records.
+    let total: u64 = ["web", "iot", "mobile", "batch"]
+        .iter()
+        .filter_map(|c| pipeline.aggregate(c))
+        .map(|(count, _)| count)
+        .sum();
+    assert_eq!(total, 1900);
+}
+
+#[test]
+fn etl_billing_matches_executions() {
+    let (platform, jiffy) = stack();
+    let pipeline = EtlPipeline::deploy(&platform, &jiffy, 0.0, 1.0);
+    run_batched(&pipeline, &synthetic_lines(100, 0, 8), 50).unwrap();
+    // 2 batches x 3 stages, each billed at least one 100 ms granule.
+    assert_eq!(platform.billing().invocations("etl"), 6);
+    let min_granule = platform.billing().pricing().invocation_cost(
+        ByteSize::mb(512),
+        std::time::Duration::from_millis(1),
+    );
+    assert!(platform.billing().total("etl") >= 6.0 * min_granule * 0.99);
+}
+
+#[test]
+fn etl_state_survives_in_jiffy_between_batches() {
+    let (platform, jiffy) = stack();
+    let pipeline = EtlPipeline::deploy(&platform, &jiffy, 0.0, 2.0);
+    pipeline.run(&["1,web,5.0".to_string()]).unwrap();
+    pipeline.run(&["2,web,7.0".to_string()]).unwrap();
+    // Both records and a combined aggregate visible from outside.
+    assert_eq!(pipeline.lookup(1).unwrap().value, 10.0);
+    assert_eq!(pipeline.lookup(2).unwrap().value, 14.0);
+    assert_eq!(pipeline.aggregate("web"), Some((2, 24.0)));
+    // The underlying Jiffy namespace exists and holds blocks.
+    assert!(jiffy.exists("/etl/sink"));
+    assert!(jiffy.blocks_held_by("etl") > 0);
+}

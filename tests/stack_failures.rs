@@ -1,0 +1,177 @@
+//! Integration: failure injection across the stack — bookie crashes during
+//! replication, lease expiry reclaiming a live job's state, and function
+//! re-execution semantics.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use taureau::prelude::*;
+use taureau_faas::{FaasError, FunctionSpec};
+use taureau_jiffy::JiffyError;
+use taureau_pulsar::broker::PulsarConfig as PCfg;
+use taureau_pulsar::ledger::LedgerConfig;
+
+#[test]
+fn messaging_survives_single_bookie_crash_end_to_end() {
+    let cfg = PCfg {
+        bookies: 4,
+        ledger: LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 },
+        max_entries_per_ledger: 16,
+    };
+    let cluster = PulsarCluster::new(cfg, WallClock::shared());
+    cluster.create_topic("t", 1).unwrap();
+    let producer = cluster.producer("t").unwrap();
+    for i in 0..40u64 {
+        producer.send(&i.to_le_bytes()).unwrap();
+    }
+    // One bookie dies; every message must still be readable from replicas,
+    // and publishing continues (rollover onto live ensembles).
+    cluster.bookies()[1].crash();
+    for i in 40..60u64 {
+        producer.send(&i.to_le_bytes()).unwrap();
+    }
+    let mut consumer = cluster
+        .subscribe("t", "s", SubscriptionMode::Exclusive)
+        .unwrap();
+    let got = consumer.drain().unwrap();
+    assert_eq!(got.len(), 60, "messages lost after bookie crash");
+    let payloads: Vec<u64> = got
+        .iter()
+        .map(|m| u64::from_le_bytes(m.payload[..].try_into().unwrap()))
+        .collect();
+    assert_eq!(payloads, (0..60).collect::<Vec<_>>());
+}
+
+#[test]
+fn lease_expiry_reclaims_abandoned_job_state() {
+    let clock = VirtualClock::shared();
+    let jiffy = Jiffy::new(
+        JiffyConfig {
+            default_lease_ttl: Duration::from_secs(30),
+            ..JiffyConfig::default()
+        },
+        clock.clone(),
+    );
+    // A job stages state, then its producer crashes (no more accesses).
+    let kv = jiffy.create_kv("/crashed-job/state", 4).unwrap();
+    kv.put(b"progress", b"50%").unwrap();
+    let held = jiffy.blocks_held_by("crashed-job");
+    assert!(held > 0);
+    // A live job keeps renewing by using its state.
+    let live = jiffy.create_kv("/live-job/state", 2).unwrap();
+    for _ in 0..5 {
+        clock.advance(Duration::from_secs(20));
+        live.put(b"heartbeat", b"x").unwrap();
+        jiffy.reap_expired();
+    }
+    // The crashed job is gone; the live one survives.
+    assert!(!jiffy.exists("/crashed-job"));
+    assert_eq!(jiffy.blocks_held_by("crashed-job"), 0);
+    assert!(jiffy.exists("/live-job"));
+    assert!(matches!(
+        kv.get(b"progress"),
+        Err(JiffyError::NotFound(_))
+    ));
+}
+
+#[test]
+fn subscriber_is_notified_of_lease_reclamation() {
+    let clock = VirtualClock::shared();
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock.clone());
+    let sub = jiffy.subscribe("/job");
+    jiffy.create_queue("/job/out").unwrap();
+    sub.drain();
+    clock.advance(Duration::from_secs(3600));
+    jiffy.reap_expired();
+    let events = sub.drain();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, taureau_jiffy::EventKind::LeaseExpired)),
+        "consumer never learned its input vanished: {events:?}"
+    );
+}
+
+#[test]
+fn at_least_once_reexecution_duplicates_side_effects() {
+    // §4.1: "most FaaS platforms re-execute functions transparently on
+    // failure" — which is why the paper stresses transactional BaaS
+    // semantics. Demonstrate the anomaly: a non-idempotent function
+    // double-writes under retry.
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock);
+    let store = jiffy.clone();
+    let fail_once = Arc::new(AtomicU32::new(1));
+    let f = fail_once.clone();
+    platform
+        .register(FunctionSpec::new("append-row", "t", move |_| {
+            let q = store
+                .open_queue("/t/rows")
+                .or_else(|_| store.create_queue("/t/rows"))
+                .map_err(|e| e.to_string())?;
+            q.push(b"row").map_err(|e| e.to_string())?;
+            if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                Err("crash after side effect".into())
+            } else {
+                Ok(vec![])
+            }
+        }))
+        .unwrap();
+    let r = platform.invoke_with_retries("append-row", &[][..], 3).unwrap();
+    assert_eq!(r.attempts, 2);
+    // The side effect happened twice — at-least-once, not exactly-once.
+    let q = jiffy.open_queue("/t/rows").unwrap();
+    assert_eq!(q.len().unwrap(), 2);
+}
+
+#[test]
+fn timeout_mid_job_is_billed_and_reported() {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    platform
+        .register(
+            FunctionSpec::new("runaway", "t", |ctx| {
+                ctx.burn(Duration::from_secs(300));
+                Ok(vec![])
+            })
+            .with_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+    let err = platform.invoke("runaway", &[][..]).unwrap_err();
+    assert!(matches!(err, FaasError::Timeout { .. }));
+    // Billed for the timeout window, not the runaway duration.
+    let billed = platform.billing().total("t");
+    let cap = platform
+        .billing()
+        .pricing()
+        .invocation_cost(ByteSize::mb(512), Duration::from_secs(30));
+    assert!((billed - cap).abs() < 1e-12);
+}
+
+#[test]
+fn pool_exhaustion_fails_cleanly_and_recovers() {
+    let clock = VirtualClock::shared();
+    let jiffy = Jiffy::new(
+        JiffyConfig {
+            memory_nodes: 1,
+            blocks_per_node: 8,
+            block_size: ByteSize::kb(4),
+            ..JiffyConfig::default()
+        },
+        clock,
+    );
+    let f = jiffy.create_file("/big/blob").unwrap();
+    // 8 blocks of 4 KiB = 32 KiB capacity; a 64 KiB write must fail…
+    assert!(matches!(
+        f.append(&vec![0u8; 64 * 1024]),
+        Err(JiffyError::PoolExhausted { .. })
+    ));
+    // …but freeing makes room again.
+    jiffy.remove_namespace("/big").unwrap();
+    let g = jiffy.create_file("/small/blob").unwrap();
+    assert!(g.append(&vec![0u8; 8 * 1024]).is_ok());
+}

@@ -1,0 +1,127 @@
+//! Integration: orchestrated multi-function applications with the Lopez
+//! et al. properties checked across the real platform, including failure
+//! retries and Jiffy side effects.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use taureau::orchestration::frame;
+use taureau::prelude::*;
+use taureau_faas::FunctionSpec as Spec;
+
+fn stack() -> (FaasPlatform, Jiffy, Orchestrator) {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock);
+    let orch = Orchestrator::new(platform.clone());
+    (platform, jiffy, orch)
+}
+
+#[test]
+fn fan_out_image_thumbnailing_shape() {
+    // The classic serverless example: map a "resize" function over a
+    // framed batch of images (here: byte blobs halved in size).
+    let (platform, _, orch) = stack();
+    platform
+        .register(Spec::new("resize", "media", |ctx| {
+            Ok(ctx.payload.iter().step_by(2).copied().collect())
+        }))
+        .unwrap();
+    let comp = Composition::Map(Box::new(Composition::Task("resize".into())));
+    let images: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 100]).collect();
+    let report = orch.run(&comp, &frame::pack(&images)).unwrap();
+    let thumbs = frame::unpack(&report.output).unwrap();
+    assert_eq!(thumbs.len(), 8);
+    assert!(thumbs.iter().all(|t| t.len() == 50));
+    assert_eq!(report.invocation_count(), 8);
+    // No double billing: platform charged exactly the 8 resize runs.
+    let billed = platform.billing().total("media");
+    assert!((billed - report.total_cost()).abs() < 1e-15);
+}
+
+#[test]
+fn nested_named_compositions_with_jiffy_side_effects() {
+    let (platform, jiffy, orch) = stack();
+    let store = jiffy.clone();
+    platform
+        .register(Spec::new("persist", "app", move |ctx| {
+            let kv = store
+                .open_kv("/app/results")
+                .or_else(|_| store.create_kv("/app/results", 1))
+                .map_err(|e| e.to_string())?;
+            let n = kv.len().map_err(|e| e.to_string())? as u64;
+            kv.put(&n.to_le_bytes(), &ctx.payload)
+                .map_err(|e| e.to_string())?;
+            Ok(ctx.payload.to_vec())
+        }))
+        .unwrap();
+    platform
+        .register(Spec::new("stamp", "app", |ctx| {
+            let mut out = ctx.payload.to_vec();
+            out.extend_from_slice(b"!");
+            Ok(out)
+        }))
+        .unwrap();
+    orch.register_composition(
+        "stamp_and_persist",
+        Composition::pipeline(["stamp", "persist"]),
+    );
+    // Closure property: the named composition nests inside a parallel.
+    let comp = Composition::Parallel(vec![
+        Composition::Named("stamp_and_persist".into()),
+        Composition::Named("stamp_and_persist".into()),
+    ]);
+    let report = orch.run(&comp, b"x").unwrap();
+    assert_eq!(report.invocation_count(), 4);
+    let kv = jiffy.open_kv("/app/results").unwrap();
+    assert_eq!(kv.len().unwrap(), 2);
+}
+
+#[test]
+fn retry_wrapped_stage_recovers_and_audit_includes_failures_cost() {
+    let (platform, _, orch) = stack();
+    let failures = Arc::new(AtomicU32::new(1));
+    let f = failures.clone();
+    platform
+        .register(Spec::new("sometimes", "t", move |ctx| {
+            if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                Err("transient outage".into())
+            } else {
+                Ok(ctx.payload.to_vec())
+            }
+        }))
+        .unwrap();
+    let comp = Composition::Sequence(vec![Composition::Retry {
+        inner: Box::new(Composition::Task("sometimes".into())),
+        attempts: 3,
+    }]);
+    let before = platform.billing().invocations("t");
+    let report = orch.run(&comp, b"data").unwrap();
+    assert_eq!(report.output, b"data");
+    // Two executions were billed (one failed, one succeeded): failed
+    // attempts cost money on real platforms, and do here too.
+    assert_eq!(platform.billing().invocations("t") - before, 2);
+}
+
+#[test]
+fn choice_routes_hot_and_cold_paths() {
+    let (platform, _, orch) = stack();
+    platform
+        .register(Spec::new("express", "t", |_| Ok(b"express".to_vec())))
+        .unwrap();
+    platform
+        .register(Spec::new("batch", "t", |_| Ok(b"batch".to_vec())))
+        .unwrap();
+    let comp = Composition::choice(
+        |input| input.len() < 10,
+        Composition::Task("express".into()),
+        Composition::Task("batch".into()),
+    );
+    assert_eq!(orch.run(&comp, b"small").unwrap().output, b"express");
+    assert_eq!(
+        orch.run(&comp, &[0u8; 100]).unwrap().output,
+        b"batch"
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration: the cluster-scale simulator reproduces the paper's
+//! economic claims in shape — serverless wins under spiky load, the
+//! server-centric fleet wins at sustained high utilisation, and the whole
+//! simulation is deterministic.
+
+use std::time::Duration;
+
+use taureau::core::bytesize::ByteSize;
+use taureau::core::latency::LatencyModel;
+use taureau::sim::serverless::{simulate_serverless, ServerlessConfig};
+use taureau::sim::vmfleet::{simulate_vm_fleet, VmFleetConfig, VmScalingPolicy};
+use taureau::sim::workload::{typical_duration_model, WorkloadSpec};
+
+fn hour() -> Duration {
+    Duration::from_secs(3600)
+}
+
+#[test]
+fn serverless_wins_on_spiky_low_utilization_load() {
+    // §3.2's shape: peak >> mean, minimum near zero.
+    let spec = WorkloadSpec::Bursty {
+        on_rate: 40.0,
+        on_mean: Duration::from_secs(20),
+        off_mean: Duration::from_secs(300),
+    };
+    let w = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 1);
+    let sl = simulate_serverless(&w, &ServerlessConfig::default());
+    let vm = simulate_vm_fleet(
+        &w,
+        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..VmFleetConfig::default() },
+    );
+    assert!(
+        sl.cost < vm.cost / 2.0,
+        "serverless {} should be well under peak-provisioned VM {}",
+        sl.cost,
+        vm.cost
+    );
+}
+
+#[test]
+fn vms_win_at_sustained_high_utilization() {
+    // The crossover the paper's cost argument implies: steady, saturating
+    // load favors reserved capacity.
+    let spec = WorkloadSpec::Poisson { rate: 400.0 };
+    let w = spec.generate(
+        hour(),
+        &LatencyModel::Constant(Duration::from_millis(500)),
+        ByteSize::gb(1),
+        2,
+    );
+    let sl = simulate_serverless(&w, &ServerlessConfig::default());
+    let vm = simulate_vm_fleet(
+        &w,
+        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..VmFleetConfig::default() },
+    );
+    assert!(
+        vm.cost < sl.cost,
+        "at sustained load VMs ({}) should beat serverless ({})",
+        vm.cost,
+        sl.cost
+    );
+    // And the fleet is actually busy.
+    assert!(vm.mean_utilization > 0.3, "utilization {}", vm.mean_utilization);
+}
+
+#[test]
+fn cold_start_fraction_vs_keep_alive_shape() {
+    // E2's ablation shape: longer keep-alive monotonically (within noise)
+    // reduces the cold-start fraction.
+    let spec = WorkloadSpec::Poisson { rate: 1.0 };
+    let w = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 3);
+    let mut last = f64::INFINITY;
+    for keep_secs in [1u64, 10, 60, 600] {
+        let cfg = ServerlessConfig {
+            keep_alive: Duration::from_secs(keep_secs),
+            ..ServerlessConfig::default()
+        };
+        let out = simulate_serverless(&w, &cfg);
+        assert!(
+            out.cold_fraction() <= last + 0.02,
+            "keep-alive {keep_secs}s worsened cold fraction: {} -> {}",
+            last,
+            out.cold_fraction()
+        );
+        last = out.cold_fraction();
+    }
+    assert!(last < 0.2, "long keep-alive should mostly eliminate colds");
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let spec = WorkloadSpec::diurnal_with_peak_ratio(10.0, 5.0, Duration::from_secs(600));
+    let w1 = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 7);
+    let w2 = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 7);
+    let a = simulate_serverless(&w1, &ServerlessConfig::default());
+    let b = simulate_serverless(&w2, &ServerlessConfig::default());
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert!((a.cost - b.cost).abs() < 1e-12);
+    assert_eq!(a.latency_us.p99(), b.latency_us.p99());
+}
+
+#[test]
+fn provider_side_multiplexing_footprint() {
+    // The provider's win (§6 "higher degree of resource multiplexing"):
+    // container-seconds are far below a peak fleet's slot-seconds.
+    let spec = WorkloadSpec::Bursty {
+        on_rate: 30.0,
+        on_mean: Duration::from_secs(30),
+        off_mean: Duration::from_secs(240),
+    };
+    let w = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 9);
+    let sl = simulate_serverless(
+        &w,
+        &ServerlessConfig { keep_alive: Duration::from_secs(60), ..Default::default() },
+    );
+    let peak_fleet_slot_seconds = w.peak_concurrency() as f64 * 3600.0;
+    assert!(
+        sl.container_seconds < peak_fleet_slot_seconds / 2.0,
+        "containers {} vs peak-fleet {}",
+        sl.container_seconds,
+        peak_fleet_slot_seconds
+    );
+}

