@@ -41,7 +41,11 @@ impl Record {
         if parts.next().is_some() {
             return None;
         }
-        Some(Record { id, category: category.to_string(), value })
+        Some(Record {
+            id,
+            category: category.to_string(),
+            value,
+        })
     }
 }
 
@@ -172,17 +176,28 @@ impl EtlPipeline {
 
         let orchestrator = Orchestrator::new(platform.clone());
         let composition = Composition::pipeline(["etl-extract", "etl-transform", "etl-load"]);
-        Self { orchestrator, composition, jiffy: jiffy.clone() }
+        Self {
+            orchestrator,
+            composition,
+            jiffy: jiffy.clone(),
+        }
     }
 
     /// Run the pipeline over a batch of raw lines.
     pub fn run(&self, lines: &[String]) -> Result<EtlReport, taureau_faas::FaasError> {
         let framed = frame::pack(
-            &lines.iter().map(|l| l.as_bytes().to_vec()).collect::<Vec<_>>(),
+            &lines
+                .iter()
+                .map(|l| l.as_bytes().to_vec())
+                .collect::<Vec<_>>(),
         );
         let report = self.orchestrator.run(&self.composition, &framed)?;
         let loaded = u64::from_le_bytes(
-            report.output.as_slice().try_into().expect("load returns u64"),
+            report
+                .output
+                .as_slice()
+                .try_into()
+                .expect("load returns u64"),
         ) as usize;
         let extracted = self
             .jiffy
@@ -223,7 +238,12 @@ pub fn run_batched(
     batch: usize,
 ) -> Result<EtlReport, taureau_faas::FaasError> {
     assert!(batch > 0);
-    let mut total = EtlReport { input_lines: 0, extracted: 0, loaded: 0, invocations: 0 };
+    let mut total = EtlReport {
+        input_lines: 0,
+        extracted: 0,
+        loaded: 0,
+        invocations: 0,
+    };
     for chunk in lines.chunks(batch) {
         let r = pipeline.run(chunk)?;
         total.input_lines += r.input_lines;
@@ -256,7 +276,11 @@ mod tests {
     fn record_parsing() {
         assert_eq!(
             Record::parse("7,web,3.5"),
-            Some(Record { id: 7, category: "web".into(), value: 3.5 })
+            Some(Record {
+                id: 7,
+                category: "web".into(),
+                value: 3.5
+            })
         );
         assert_eq!(Record::parse("x,web,3.5"), None);
         assert_eq!(Record::parse("7,,3.5"), None);
@@ -278,7 +302,7 @@ mod tests {
         assert_eq!(report.input_lines, 3);
         assert_eq!(report.loaded, 2);
         assert_eq!(report.invocations, 3); // extract, transform, load
-        // Enrichment doubled values.
+                                           // Enrichment doubled values.
         assert_eq!(p.lookup(1).unwrap().value, 20.0);
         assert_eq!(p.lookup(2).unwrap().value, 10.0);
         assert_eq!(p.lookup(99), None);
@@ -288,7 +312,11 @@ mod tests {
     fn transform_filters_below_threshold() {
         let (platform, jiffy) = setup();
         let p = EtlPipeline::deploy(&platform, &jiffy, 50.0, 1.0);
-        let lines = vec!["1,web,10.0".into(), "2,web,60.0".into(), "3,web,55.0".into()];
+        let lines = vec![
+            "1,web,10.0".into(),
+            "2,web,60.0".into(),
+            "3,web,55.0".into(),
+        ];
         let report = p.run(&lines).unwrap();
         assert_eq!(report.loaded, 2);
         assert_eq!(p.lookup(1), None);
@@ -317,7 +345,7 @@ mod tests {
         let report = run_batched(&p, &lines, 16).unwrap();
         assert_eq!(report.input_lines, 100);
         assert_eq!(report.extracted, 90); // 10 malformed dropped
-        // 7 batches × 3 stages.
+                                          // 7 batches × 3 stages.
         assert_eq!(report.invocations, 21);
     }
 

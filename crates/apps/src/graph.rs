@@ -26,7 +26,9 @@ pub struct Graph {
 impl Graph {
     /// Graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n] }
+        Self {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Build from an edge list.
@@ -149,7 +151,11 @@ impl VertexProgram for PageRank {
         let share = new_value / deg as f64;
         (
             new_value,
-            graph.neighbors(vertex).iter().map(|&(v, _)| (v, share)).collect(),
+            graph
+                .neighbors(vertex)
+                .iter()
+                .map(|&(v, _)| (v, share))
+                .collect(),
         )
     }
 
@@ -231,7 +237,11 @@ impl VertexProgram for Wcc {
         let _ = vertex;
         (
             best,
-            graph.neighbors(vertex).iter().map(|&(v, _)| (v, best)).collect(),
+            graph
+                .neighbors(vertex)
+                .iter()
+                .map(|&(v, _)| (v, best))
+                .collect(),
         )
     }
 
@@ -422,8 +432,7 @@ pub fn run_pregel<P: VertexProgram>(
             // at step 0 all are; later only those with messages.
             let mut outgoing: Vec<Vec<(u32, f64)>> = vec![Vec::new(); parts];
             let mut sent = 0u64;
-            let my_vertices =
-                (0..g.n() as u32).filter(|v| (*v as usize) % parts == part);
+            let my_vertices = (0..g.n() as u32).filter(|v| (*v as usize) % parts == part);
             let always_active = prog.always_active();
             for v in my_vertices {
                 let msgs = by_vertex.remove(&v);
@@ -435,8 +444,7 @@ pub fn run_pregel<P: VertexProgram>(
                     .map_err(|e| e.to_string())?
                     .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
                     .ok_or("missing vertex state")?;
-                let (new_val, out) =
-                    prog.compute(v, cur, &msgs.unwrap_or_default(), step, &g);
+                let (new_val, out) = prog.compute(v, cur, &msgs.unwrap_or_default(), step, &g);
                 state
                     .put(&v.to_le_bytes(), &new_val.to_le_bytes())
                     .map_err(|e| e.to_string())?;
@@ -466,8 +474,7 @@ pub fn run_pregel<P: VertexProgram>(
                 .invoke(&fn_name, format!("{part},{step}").into_bytes())
                 .expect("superstep invocation");
             invocations += 1;
-            sent_this_step +=
-                u64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
+            sent_this_step += u64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
         }
         messages += sent_this_step;
         step += 1;
@@ -487,7 +494,12 @@ pub fn run_pregel<P: VertexProgram>(
         .collect();
     let _ = platform.deregister(&fn_name);
     let _ = jiffy.remove_namespace(format!("/{job}").as_str());
-    PregelOutcome { values, supersteps: step, invocations, messages }
+    PregelOutcome {
+        values,
+        supersteps: step,
+        invocations,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -572,7 +584,14 @@ mod tests {
         );
         let g = Arc::new(symmetrize(&base));
         let seq = wcc_seq(&g);
-        let out = run_pregel(&platform, &jiffy, Arc::clone(&g), Arc::new(Wcc), 3, "wcc-test");
+        let out = run_pregel(
+            &platform,
+            &jiffy,
+            Arc::clone(&g),
+            Arc::new(Wcc),
+            3,
+            "wcc-test",
+        );
         let got: Vec<u32> = out.values.iter().map(|&v| v as u32).collect();
         assert_eq!(got, seq);
         // Three components: {0,1,2}, {3,4}, {5,6,7}.
@@ -582,7 +601,10 @@ mod tests {
     #[test]
     fn sssp_halts_before_max_steps_on_small_graph() {
         let (platform, jiffy) = setup();
-        let g = Arc::new(Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]));
+        let g = Arc::new(Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        ));
         let out = run_pregel(
             &platform,
             &jiffy,

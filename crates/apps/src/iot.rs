@@ -40,7 +40,11 @@ impl Registration {
         if device_id.is_empty() || it.next().is_some() {
             return None;
         }
-        Some(Self { device_id, kind, location })
+        Some(Self {
+            device_id,
+            kind,
+            location,
+        })
     }
 }
 
@@ -117,7 +121,8 @@ impl IotBackend {
                 let mut buf = Vec::with_capacity(16);
                 buf.extend_from_slice(&count.to_le_bytes());
                 buf.extend_from_slice(&sum.to_le_bytes());
-                kv.put(stats_key.as_bytes(), &buf).map_err(|e| e.to_string())?;
+                kv.put(stats_key.as_bytes(), &buf)
+                    .map_err(|e| e.to_string())?;
                 kv.put(format!("last:{id}").as_bytes(), &reading.to_le_bytes())
                     .map_err(|e| e.to_string())?;
                 Ok(Vec::new())
@@ -138,13 +143,16 @@ impl IotBackend {
 
     /// A device registers (event lands on the trigger queue).
     pub fn register_device(&self, reg: &Registration) {
-        self.triggers.enqueue(self.registration_queue, &reg.encode());
+        self.triggers
+            .enqueue(self.registration_queue, &reg.encode());
     }
 
     /// A device reports a reading.
     pub fn report(&self, device_id: &str, reading: f64) {
-        self.triggers
-            .enqueue(self.telemetry_queue, format!("{device_id}|{reading}").as_bytes());
+        self.triggers.enqueue(
+            self.telemetry_queue,
+            format!("{device_id}|{reading}").as_bytes(),
+        );
     }
 
     /// Pump all queued events through the functions; returns how many ran.
@@ -181,9 +189,7 @@ impl IotBackend {
     /// Query: (last, mean) of a device's readings.
     pub fn device_stats(&self, device_id: &str) -> Option<(f64, f64)> {
         let kv = self.jiffy.open_kv("/iot/telemetry").ok()?;
-        let last = kv
-            .get(format!("last:{device_id}").as_bytes())
-            .ok()??;
+        let last = kv.get(format!("last:{device_id}").as_bytes()).ok()??;
         let last = f64::from_le_bytes(last.try_into().ok()?);
         let stats = kv.get(format!("stats:{device_id}").as_bytes()).ok()??;
         let count = u64::from_le_bytes(stats[0..8].try_into().ok()?);
@@ -274,7 +280,8 @@ mod tests {
     #[test]
     fn malformed_events_do_not_poison_the_queue() {
         let b = setup();
-        b.triggers.enqueue(b.registration_queue, b"not a registration without pipes");
+        b.triggers
+            .enqueue(b.registration_queue, b"not a registration without pipes");
         b.register_device(&reg("ok", "sensor", "x"));
         // The malformed event fails its invocation; the valid one lands.
         b.process_events();

@@ -77,7 +77,11 @@ pub fn synthetic_logreg(n: usize, d: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let logit: f64 = row.iter().zip(&true_w).map(|(a, b)| a * b).sum();
         // Mostly-separable labels with 5% flip noise (Bayes ≈ 95%).
         let clean = logit > 0.0;
-        let label = if rng.gen::<f64>() < 0.05 { !clean } else { clean };
+        let label = if rng.gen::<f64>() < 0.05 {
+            !clean
+        } else {
+            clean
+        };
         y.push(if label { 1.0 } else { 0.0 });
         x.push(row);
     }
@@ -102,15 +106,14 @@ pub fn log_loss(w: &[f64], ds: &Dataset) -> f64 {
 
 /// Classification accuracy at threshold 0.5.
 pub fn accuracy(w: &[f64], ds: &Dataset) -> f64 {
-    let correct = ds
-        .x
-        .iter()
-        .zip(&ds.y)
-        .filter(|(row, &label)| {
-            let z: f64 = row.iter().zip(w).map(|(a, b)| a * b).sum();
-            (sigmoid(z) >= 0.5) == (label >= 0.5)
-        })
-        .count();
+    let correct =
+        ds.x.iter()
+            .zip(&ds.y)
+            .filter(|(row, &label)| {
+                let z: f64 = row.iter().zip(w).map(|(a, b)| a * b).sum();
+                (sigmoid(z) >= 0.5) == (label >= 0.5)
+            })
+            .count();
     correct as f64 / ds.len() as f64
 }
 
@@ -238,7 +241,9 @@ pub fn train_serverless(
     let params = jiffy
         .create_kv(format!("/{job}/params").as_str(), 1)
         .expect("param server");
-    params.put(b"w", &encode_f64s(&vec![0.0; d])).expect("seed weights");
+    params
+        .put(b"w", &encode_f64s(&vec![0.0; d]))
+        .expect("seed weights");
     let grads = jiffy
         .create_kv(format!("/{job}/grads").as_str(), w_count.max(1))
         .expect("gradient store");
@@ -288,9 +293,7 @@ pub fn train_serverless(
             let mut work = cfg_for_fn.compute_per_example * examples as u32;
             let coin = hash64(cfg_for_fn.seed, format!("{worker}:{epoch}").as_bytes());
             if (coin as f64 / u64::MAX as f64) < cfg_for_fn.straggler_prob {
-                work = Duration::from_secs_f64(
-                    work.as_secs_f64() * cfg_for_fn.straggler_slowdown,
-                );
+                work = Duration::from_secs_f64(work.as_secs_f64() * cfg_for_fn.straggler_slowdown);
             }
             ctx.burn(work);
             Ok(Vec::new())
@@ -353,7 +356,9 @@ pub fn train_serverless(
             .zip(&total)
             .map(|(wi, gi)| wi - cfg.lr * gi / n as f64)
             .collect();
-        params.put(b"w", &encode_f64s(&new_w)).expect("weights write");
+        params
+            .put(b"w", &encode_f64s(&new_w))
+            .expect("weights write");
         loss_history.push(log_loss(&new_w, &ds));
     }
 
@@ -364,7 +369,12 @@ pub fn train_serverless(
         .expect("weights present");
     let _ = platform.deregister(&fn_name);
     let _ = jiffy.remove_namespace(format!("/{job}").as_str());
-    TrainingOutcome { weights, loss_history, epoch_times, invocations }
+    TrainingOutcome {
+        weights,
+        loss_history,
+        epoch_times,
+        invocations,
+    }
 }
 
 /// Grid hyperparameter search à la Seneca: one serverless training job per
@@ -380,7 +390,11 @@ pub fn hyperparameter_search(
     assert!(!lrs.is_empty());
     let mut table = Vec::with_capacity(lrs.len());
     for (i, &lr) in lrs.iter().enumerate() {
-        let cfg = TrainingConfig { lr, epochs, ..TrainingConfig::default() };
+        let cfg = TrainingConfig {
+            lr,
+            epochs,
+            ..TrainingConfig::default()
+        };
         let out = train_serverless(platform, jiffy, Arc::clone(&ds), &cfg, &format!("hpo-{i}"));
         table.push((lr, *out.loss_history.last().expect("at least one epoch")));
     }
@@ -420,7 +434,12 @@ mod tests {
         let (platform, jiffy) = setup();
         let (ds, _) = synthetic_logreg(200, 4, 2);
         let ds = Arc::new(ds);
-        let cfg = TrainingConfig { lr: 0.3, epochs: 8, workers: 4, ..TrainingConfig::default() };
+        let cfg = TrainingConfig {
+            lr: 0.3,
+            epochs: 8,
+            workers: 4,
+            ..TrainingConfig::default()
+        };
         let out = train_serverless(&platform, &jiffy, Arc::clone(&ds), &cfg, "match-test");
         let (w_local, hist_local) = train_local(&ds, 0.3, 8);
         for (a, b) in out.weights.iter().zip(&w_local) {
@@ -447,14 +466,20 @@ mod tests {
             &platform,
             &jiffy,
             Arc::clone(&ds),
-            &TrainingConfig { straggler_prob: 0.0, ..base.clone() },
+            &TrainingConfig {
+                straggler_prob: 0.0,
+                ..base.clone()
+            },
             "clean",
         );
         let straggly = train_serverless(
             &platform,
             &jiffy,
             Arc::clone(&ds),
-            &TrainingConfig { straggler_prob: 0.3, ..base },
+            &TrainingConfig {
+                straggler_prob: 0.3,
+                ..base
+            },
             "straggly",
         );
         assert!(
@@ -482,14 +507,20 @@ mod tests {
             &platform,
             &jiffy,
             Arc::clone(&ds),
-            &TrainingConfig { redundancy: 1, ..base.clone() },
+            &TrainingConfig {
+                redundancy: 1,
+                ..base.clone()
+            },
             "uncoded",
         );
         let coded = train_serverless(
             &platform,
             &jiffy,
             Arc::clone(&ds),
-            &TrainingConfig { redundancy: 3, ..base },
+            &TrainingConfig {
+                redundancy: 3,
+                ..base
+            },
             "coded",
         );
         // Same model (full-batch semantics are unchanged by coding)…
@@ -510,13 +541,7 @@ mod tests {
         let (platform, jiffy) = setup();
         let (ds, _) = synthetic_logreg(300, 4, 5);
         let ds = Arc::new(ds);
-        let (best, table) = hyperparameter_search(
-            &platform,
-            &jiffy,
-            ds,
-            &[0.001, 0.1, 1.0],
-            15,
-        );
+        let (best, table) = hyperparameter_search(&platform, &jiffy, ds, &[0.001, 0.1, 1.0], 15);
         assert_eq!(table.len(), 3);
         // The degenerate tiny step should not win.
         assert!(best > 0.001, "best lr {best}");
@@ -530,7 +555,10 @@ mod tests {
     fn training_cleans_up_ephemeral_state() {
         let (platform, jiffy) = setup();
         let (ds, _) = synthetic_logreg(100, 3, 6);
-        let cfg = TrainingConfig { epochs: 2, ..TrainingConfig::default() };
+        let cfg = TrainingConfig {
+            epochs: 2,
+            ..TrainingConfig::default()
+        };
         train_serverless(&platform, &jiffy, Arc::new(ds), &cfg, "cleanup");
         assert!(!jiffy.exists("/cleanup"));
     }

@@ -44,7 +44,10 @@ pub fn estimate_pi(
     platform
         .register(FunctionSpec::new(fn_name, "montecarlo", move |ctx| {
             use rand::Rng;
-            let worker: u64 = ctx.payload_str().and_then(|s| s.parse().ok()).ok_or("bad id")?;
+            let worker: u64 = ctx
+                .payload_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad id")?;
             let mut rng = taureau_core::rng::det_rng(seed ^ (worker + 1).wrapping_mul(0x9e37));
             let mut hits = 0u64;
             for _ in 0..trials_per_worker {
@@ -91,8 +94,7 @@ pub struct CallOption {
 /// Black–Scholes closed form (the oracle the Monte Carlo estimate is
 /// validated against).
 pub fn black_scholes_call(o: &CallOption) -> f64 {
-    let d1 = ((o.spot / o.strike).ln()
-        + (o.rate + o.volatility * o.volatility / 2.0) * o.expiry)
+    let d1 = ((o.spot / o.strike).ln() + (o.rate + o.volatility * o.volatility / 2.0) * o.expiry)
         / (o.volatility * o.expiry.sqrt());
     let d2 = d1 - o.volatility * o.expiry.sqrt();
     o.spot * phi(d1) - o.strike * (-o.rate * o.expiry).exp() * phi(d2)
@@ -130,7 +132,10 @@ pub fn price_european_call(
     let _ = platform.deregister(fn_name);
     platform
         .register(FunctionSpec::new(fn_name, "montecarlo", move |ctx| {
-            let worker: u64 = ctx.payload_str().and_then(|s| s.parse().ok()).ok_or("bad id")?;
+            let worker: u64 = ctx
+                .payload_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad id")?;
             let mut rng = taureau_core::rng::det_rng(seed ^ (worker + 1).wrapping_mul(0xACE1));
             let o = *opt;
             let drift = (o.rate - o.volatility * o.volatility / 2.0) * o.expiry;
@@ -152,10 +157,13 @@ pub fn price_european_call(
         total_payoff += f64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
     }
     let trials = workers as u64 * trials_per_worker;
-    let discounted =
-        (total_payoff / trials as f64) * (-option.rate * option.expiry).exp();
+    let discounted = (total_payoff / trials as f64) * (-option.rate * option.expiry).exp();
     let _ = platform.deregister(fn_name);
-    MonteCarloOutcome { estimate: discounted, trials, invocations: workers as u64 }
+    MonteCarloOutcome {
+        estimate: discounted,
+        trials,
+        invocations: workers as u64,
+    }
 }
 
 #[cfg(test)]

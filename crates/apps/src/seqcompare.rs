@@ -26,7 +26,12 @@ pub fn smith_waterman(a: &[u8], b: &[u8], match_s: i32, mismatch: i32, gap: i32)
         let mut diag = 0; // prev[j-1] from the previous row
         for j in 1..=m {
             let up = prev[j];
-            let sub = diag + if a[i - 1] == b[j - 1] { match_s } else { mismatch };
+            let sub = diag
+                + if a[i - 1] == b[j - 1] {
+                    match_s
+                } else {
+                    mismatch
+                };
             let score = 0.max(sub).max(up + gap).max(prev[j - 1] + gap);
             diag = prev[j];
             prev[j] = score;
@@ -162,7 +167,10 @@ pub fn all_pairs_serverless(
     }
     let _ = platform.deregister(&fn_name);
     let _ = jiffy.remove_namespace(format!("/{job}").as_str());
-    AllPairsOutcome { scores, invocations }
+    AllPairsOutcome {
+        scores,
+        invocations,
+    }
 }
 
 #[cfg(test)]

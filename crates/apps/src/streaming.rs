@@ -35,7 +35,12 @@ pub struct WindowStats {
 
 impl WindowStats {
     fn new(v: f64) -> Self {
-        Self { count: 1, sum: v, min: v, max: v }
+        Self {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
     }
 
     fn add(&mut self, v: f64) {
@@ -131,7 +136,10 @@ impl TumblingWindow {
             .collect();
         for s in ready {
             let stats = self.open.remove(&s).expect("present");
-            fired.push(FiredWindow { start: Duration::from_nanos(s), stats });
+            fired.push(FiredWindow {
+                start: Duration::from_nanos(s),
+                stats,
+            });
         }
         fired
     }
@@ -141,7 +149,10 @@ impl TumblingWindow {
         let mut fired: Vec<FiredWindow> = self
             .open
             .iter()
-            .map(|(&s, &stats)| FiredWindow { start: Duration::from_nanos(s), stats })
+            .map(|(&s, &stats)| FiredWindow {
+                start: Duration::from_nanos(s),
+                stats,
+            })
             .collect();
         self.open.clear();
         fired.sort_by_key(|f| f.start);
@@ -188,7 +199,8 @@ impl SlidingWindow {
         let fired_panes = self.inner.process(event_time, value);
         let mut out = Vec::new();
         for pane in fired_panes {
-            self.closed_panes.insert(pane.start.as_nanos() as u64, pane.stats);
+            self.closed_panes
+                .insert(pane.start.as_nanos() as u64, pane.stats);
             // The sliding window ending at this pane's end is complete.
             let end = pane.start + self.slide;
             let start = end.checked_sub(self.width).unwrap_or(Duration::ZERO);
@@ -329,7 +341,7 @@ mod tests {
     fn out_of_order_within_lateness_is_counted() {
         let mut w = TumblingWindow::new(ms(100), ms(50));
         w.process(ms(120), 1.0); // watermark = 70
-        // An out-of-order event for [0,100) still lands (70 < 100).
+                                 // An out-of-order event for [0,100) still lands (70 < 100).
         assert!(w.process(ms(80), 2.0).is_empty());
         // Advance watermark past 100: the window fires with both… wait,
         // the 120 event is in [100,200). [0,100) holds only the 80 event.
@@ -383,7 +395,10 @@ mod tests {
         let w0 = fired.iter().find(|f| f.start == ms(0)).expect("[0,200)");
         assert_eq!(w0.stats.sum, 3.0);
         assert_eq!(w0.stats.count, 2);
-        let w1 = fired.iter().find(|f| f.start == ms(100)).expect("[100,300)");
+        let w1 = fired
+            .iter()
+            .find(|f| f.start == ms(100))
+            .expect("[100,300)");
         assert_eq!(w1.stats.sum, 5.0);
     }
 
@@ -436,7 +451,12 @@ mod tests {
         assert_eq!(decode_event(b"garbage"), None);
         let fired = FiredWindow {
             start: ms(100),
-            stats: WindowStats { count: 3, sum: 6.0, min: 1.0, max: 3.0 },
+            stats: WindowStats {
+                count: 3,
+                sum: 6.0,
+                min: 1.0,
+                max: 3.0,
+            },
         };
         let enc = format!(
             "{}|{}|{}|{}|{}",

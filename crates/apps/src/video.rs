@@ -32,7 +32,9 @@ pub type Frame = Vec<u8>;
 pub fn synthetic_video(frames: usize, width: usize, height: usize, seed: u64) -> Vec<Frame> {
     use rand::Rng;
     let mut rng = taureau_core::rng::det_rng(seed);
-    let mut base: Frame = (0..width * height).map(|_| rng.gen_range(0..32u8)).collect();
+    let mut base: Frame = (0..width * height)
+        .map(|_| rng.gen_range(0..32u8))
+        .collect();
     let mut out = Vec::with_capacity(frames);
     for f in 0..frames {
         // A few background pixels flicker…
@@ -209,7 +211,10 @@ pub fn encode_serverless(
     let _ = platform.deregister(&fn_name);
     platform
         .register(FunctionSpec::new(&fn_name, "video", move |ctx| {
-            let c: usize = ctx.payload_str().and_then(|s| s.parse().ok()).ok_or("bad chunk id")?;
+            let c: usize = ctx
+                .payload_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or("bad chunk id")?;
             let lo = c * chunk_size;
             let hi = ((c + 1) * chunk_size).min(vid.len());
             let reference = jf
@@ -257,7 +262,13 @@ pub fn encode_serverless(
 }
 
 /// Decode the chunked output back to frames (the verification path).
-pub fn decode_all(outcome: &EncodeOutcome, video_len: usize, chunk_size: usize, frame_len: usize, original: &[Frame]) -> Option<Vec<Frame>> {
+pub fn decode_all(
+    outcome: &EncodeOutcome,
+    video_len: usize,
+    chunk_size: usize,
+    frame_len: usize,
+    original: &[Frame],
+) -> Option<Vec<Frame>> {
     let mut frames = Vec::with_capacity(video_len);
     for (c, chunk) in outcome.chunks.iter().enumerate() {
         let reference: Frame = if c == 0 {
@@ -384,6 +395,10 @@ mod tests {
             Duration::from_millis(1),
             "ratio",
         );
-        assert!(out.compression_ratio() > 1.5, "ratio {}", out.compression_ratio());
+        assert!(
+            out.compression_ratio() > 1.5,
+            "ratio {}",
+            out.compression_ratio()
+        );
     }
 }

@@ -27,7 +27,10 @@ impl Response {
     }
 
     fn not_found() -> Self {
-        Self { status: 404, body: b"not found".to_vec() }
+        Self {
+            status: 404,
+            body: b"not found".to_vec(),
+        }
     }
 
     /// Body as UTF-8 (convenience).
@@ -134,7 +137,10 @@ impl WebApp {
             }))
             .expect("register web-session");
 
-        Self { platform: platform.clone(), jiffy: jiffy.clone() }
+        Self {
+            platform: platform.clone(),
+            jiffy: jiffy.clone(),
+        }
     }
 
     /// GET a path: `/static/*` reads the store directly (no function —
@@ -173,7 +179,10 @@ impl WebApp {
         match self.platform.invoke(function, payload.to_vec()) {
             Ok(r) => Response::ok(r.output),
             Err(FaasError::FunctionNotFound(_)) => Response::not_found(),
-            Err(e) => Response { status: 500, body: e.to_string().into_bytes() },
+            Err(e) => Response {
+                status: 500,
+                body: e.to_string().into_bytes(),
+            },
         }
     }
 

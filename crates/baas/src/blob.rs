@@ -17,6 +17,7 @@ use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::SharedClock;
 use taureau_core::cost::{Dollars, StoragePricing};
 use taureau_core::latency::{profiles, LatencyModel};
+use taureau_core::metrics::MetricsRegistry;
 use taureau_core::rng::det_rng;
 
 /// Metadata of a stored object.
@@ -53,12 +54,17 @@ pub struct BlobStore {
     pricing: StoragePricing,
     state: Mutex<BlobState>,
     rng: Mutex<ChaCha8Rng>,
+    metrics: MetricsRegistry,
 }
 
 impl BlobStore {
     /// Store with S3-calibrated latencies and default pricing.
     pub fn new(clock: SharedClock) -> Self {
-        Self::with_latency(clock, profiles::persistent_read(), profiles::persistent_write())
+        Self::with_latency(
+            clock,
+            profiles::persistent_read(),
+            profiles::persistent_write(),
+        )
     }
 
     /// Store with explicit latency models (tests pass
@@ -75,17 +81,29 @@ impl BlobStore {
             pricing: StoragePricing::default(),
             state: Mutex::new(BlobState::default()),
             rng: Mutex::new(det_rng(0xB10B)),
+            metrics: MetricsRegistry::new(),
         }
     }
 
-    fn pay(&self, model: &LatencyModel) {
+    /// Metrics registry (op counters, stored-bytes gauge, injected-latency
+    /// histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn pay(&self, model: &LatencyModel, latency_hist: &str) {
         let d = model.sample(&mut *self.rng.lock());
+        self.metrics.histogram(latency_hist).record_duration(d);
         self.clock.sleep(d);
     }
 
     /// Create a bucket (idempotent).
     pub fn create_bucket(&self, bucket: &str) {
-        self.state.lock().buckets.entry(bucket.to_string()).or_default();
+        self.state
+            .lock()
+            .buckets
+            .entry(bucket.to_string())
+            .or_default();
     }
 
     /// PUT an object; returns its new version.
@@ -116,7 +134,11 @@ impl BlobStore {
             );
             version
         };
-        self.pay(&self.write_latency);
+        self.metrics.counter("blob_writes").inc();
+        self.metrics
+            .gauge("bytes_stored")
+            .set(self.state.lock().bytes_stored as i64);
+        self.pay(&self.write_latency, "write_latency_us");
         version
     }
 
@@ -127,13 +149,19 @@ impl BlobStore {
             st.reads += 1;
             st.buckets.get(bucket)?.get(key).map(|o| o.data.clone())
         };
-        self.pay(&self.read_latency);
+        self.metrics.counter("blob_reads").inc();
+        self.pay(&self.read_latency, "read_latency_us");
         out
     }
 
     /// HEAD an object's metadata (no read fee in this model).
     pub fn head(&self, bucket: &str, key: &[u8]) -> Option<BlobMeta> {
-        self.state.lock().buckets.get(bucket)?.get(key).map(|o| o.meta.clone())
+        self.state
+            .lock()
+            .buckets
+            .get(bucket)?
+            .get(key)
+            .map(|o| o.meta.clone())
     }
 
     /// DELETE an object; returns whether it existed.
@@ -149,7 +177,11 @@ impl BlobStore {
                 None => false,
             }
         };
-        self.pay(&self.write_latency);
+        self.metrics.counter("blob_deletes").inc();
+        self.metrics
+            .gauge("bytes_stored")
+            .set(self.state.lock().bytes_stored as i64);
+        self.pay(&self.write_latency, "write_latency_us");
         existed
     }
 

@@ -51,7 +51,11 @@ impl std::fmt::Display for DbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DbError::Conflict { key } => {
-                write!(f, "optimistic conflict on key {:?}", String::from_utf8_lossy(key))
+                write!(
+                    f,
+                    "optimistic conflict on key {:?}",
+                    String::from_utf8_lossy(key)
+                )
             }
             DbError::RetriesExhausted { attempts } => {
                 write!(f, "transaction failed after {attempts} attempts")
@@ -127,7 +131,8 @@ impl ServerlessDb {
     pub fn put(&self, key: &[u8], value: &[u8]) {
         let mut txn = self.begin();
         txn.put(key, value);
-        txn.commit().expect("single-key auto-commit cannot conflict");
+        txn.commit()
+            .expect("single-key auto-commit cannot conflict");
     }
 
     /// Run `body` as a transaction, retrying on optimistic conflicts up to
@@ -148,7 +153,9 @@ impl ServerlessDb {
                 Err(e) => return Err(e),
             }
         }
-        Err(DbError::RetriesExhausted { attempts: max_attempts })
+        Err(DbError::RetriesExhausted {
+            attempts: max_attempts,
+        })
     }
 
     /// Drop versions (and commit-log entries) no transaction can still
@@ -255,7 +262,10 @@ impl Txn {
         let mut written = HashSet::with_capacity(self.write_set.len());
         for (key, value) in self.write_set {
             st.writes += 1;
-            st.versions.entry(key.clone()).or_default().insert(ts, value);
+            st.versions
+                .entry(key.clone())
+                .or_default()
+                .insert(ts, value);
             written.insert(key);
         }
         st.commit_log.insert(ts, written);
@@ -365,9 +375,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..100 {
                     db.run_transaction(1000, |txn| {
-                        let v = u64::from_le_bytes(
-                            txn.get(b"n").unwrap().try_into().unwrap(),
-                        );
+                        let v = u64::from_le_bytes(txn.get(b"n").unwrap().try_into().unwrap());
                         txn.put(b"n", &(v + 1).to_le_bytes());
                         Ok(())
                     })
@@ -408,7 +416,10 @@ mod tests {
         let (a, b) = setup(IsolationLevel::Snapshot);
         assert!(a && b, "SI permits write skew (both commit)");
         let (a, b) = setup(IsolationLevel::Serializable);
-        assert!(a ^ b, "serializable must conflict exactly one (got {a}, {b})");
+        assert!(
+            a ^ b,
+            "serializable must conflict exactly one (got {a}, {b})"
+        );
     }
 
     #[test]

@@ -24,8 +24,10 @@ fn platform() -> FaasPlatform {
 fn bench_invoke_paths(c: &mut Criterion) {
     // Warm path: container reused every time.
     let p = platform();
-    p.register(FunctionSpec::new("echo", "t", |ctx| Ok(ctx.payload.to_vec())))
-        .unwrap();
+    p.register(FunctionSpec::new("echo", "t", |ctx| {
+        Ok(ctx.payload.to_vec())
+    }))
+    .unwrap();
     p.invoke("echo", &b"warmup"[..]).unwrap();
     c.bench_function("invoke_warm_path_overhead", |b| {
         b.iter(|| black_box(p.invoke("echo", &b"x"[..]).unwrap().output.len()))
@@ -39,16 +41,20 @@ fn bench_invoke_paths(c: &mut Criterion) {
         ..PlatformConfig::default()
     };
     let p = FaasPlatform::new(cfg, WallClock::shared());
-    p.register(FunctionSpec::new("echo", "t", |ctx| Ok(ctx.payload.to_vec())))
-        .unwrap();
+    p.register(FunctionSpec::new("echo", "t", |ctx| {
+        Ok(ctx.payload.to_vec())
+    }))
+    .unwrap();
     c.bench_function("invoke_cold_path_overhead", |b| {
         b.iter(|| black_box(p.invoke("echo", &b"x"[..]).unwrap().output.len()))
     });
 
     // Retried path.
     let p = platform();
-    p.register(FunctionSpec::new("echo2", "t", |ctx| Ok(ctx.payload.to_vec())))
-        .unwrap();
+    p.register(FunctionSpec::new("echo2", "t", |ctx| {
+        Ok(ctx.payload.to_vec())
+    }))
+    .unwrap();
     c.bench_function("invoke_with_retries_happy_path", |b| {
         b.iter(|| {
             black_box(

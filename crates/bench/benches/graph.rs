@@ -34,7 +34,10 @@ fn bench_pagerank(c: &mut Criterion) {
                         clock.clone(),
                     );
                     let jiffy = Jiffy::new(
-                        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+                        JiffyConfig {
+                            blocks_per_node: 8192,
+                            ..Default::default()
+                        },
                         clock,
                     );
                     job += 1;

@@ -43,7 +43,10 @@ fn bench_distributed(c: &mut Criterion) {
                     clock.clone(),
                 );
                 let jiffy = Jiffy::new(
-                    JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+                    JiffyConfig {
+                        blocks_per_node: 8192,
+                        ..Default::default()
+                    },
                     clock,
                 );
                 let a = Matrix::random(96, 96, 1);

@@ -11,7 +11,11 @@ fn cluster(ensemble: usize, write_quorum: usize, ack_quorum: usize) -> PulsarClu
     PulsarCluster::new(
         PulsarConfig {
             bookies: 5,
-            ledger: LedgerConfig { ensemble, write_quorum, ack_quorum },
+            ledger: LedgerConfig {
+                ensemble,
+                write_quorum,
+                ack_quorum,
+            },
             max_entries_per_ledger: 4096,
         },
         WallClock::shared(),

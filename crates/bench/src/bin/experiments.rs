@@ -3,7 +3,14 @@
 //! ```text
 //! cargo run -p taureau-bench --release --bin experiments -- all
 //! cargo run -p taureau-bench --release --bin experiments -- e1 e4
+//! cargo run -p taureau-bench --release --bin experiments -- e22 \
+//!     --trace-out trace.json --metrics-out metrics.prom
 //! ```
+//!
+//! `--trace-out PATH` dumps E22's Chrome trace-event JSON (open it at
+//! <https://ui.perfetto.dev>); `--metrics-out PATH` dumps a Prometheus
+//! text-format snapshot of every subsystem's metrics registry. Either
+//! flag implies running E22.
 //!
 //! Each experiment is keyed to a claim in the paper; see `DESIGN.md` §5
 //! for the claim → experiment mapping. Everything is seeded and
@@ -13,17 +20,22 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use taureau_baas::BlobStore;
 use taureau_bench::{fmt_dur, fmt_usd, Table};
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, VirtualClock, WallClock};
 use taureau_core::cost::VmPricing;
 use taureau_core::latency::LatencyModel;
+use taureau_core::metrics::MetricsRegistry;
 use taureau_core::rng::{det_rng, Zipf};
+use taureau_core::trace::Tracer;
 use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
 use taureau_jiffy::baseline::{GlobalStore, PersistentStore};
 use taureau_jiffy::{Jiffy, JiffyConfig};
 use taureau_orchestration::{frame, Composition, Orchestrator};
-use taureau_pulsar::{FunctionConfig, FunctionRuntime, PulsarCluster, PulsarConfig};
+use taureau_pulsar::{
+    FunctionConfig, FunctionRuntime, PulsarCluster, PulsarConfig, SubscriptionMode,
+};
 use taureau_sim::scheduler::{pack, Demand, PackingPolicy};
 use taureau_sim::serverless::{simulate_serverless, ServerlessConfig};
 use taureau_sim::vmfleet::{simulate_vm_fleet, VmFleetConfig, VmScalingPolicy};
@@ -31,12 +43,34 @@ use taureau_sim::workload::{typical_duration_model, WorkloadSpec};
 use taureau_sketches::CountMinSketch;
 
 const KNOWN: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
+    "e18", "e19", "e20", "e21", "e22",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if let Some(v) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(v.to_string());
+        } else if a == "--trace-out" {
+            trace_out = Some(raw.next().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a path");
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+            metrics_out = Some(v.to_string());
+        } else if a == "--metrics-out" {
+            metrics_out = Some(raw.next().unwrap_or_else(|| {
+                eprintln!("--metrics-out needs a path");
+                std::process::exit(2);
+            }));
+        } else {
+            args.push(a);
+        }
+    }
     let unknown: Vec<&String> = args
         .iter()
         .filter(|a| *a != "all" && !KNOWN.contains(&a.as_str()))
@@ -113,6 +147,165 @@ fn main() {
     if want("e21") {
         e21_edge_placement();
     }
+    // The two dump flags imply the traced experiment.
+    if want("e22") || trace_out.is_some() || metrics_out.is_some() {
+        e22_traced_pipeline(trace_out.as_deref(), metrics_out.as_deref());
+    }
+}
+
+/// E22 — observability across the deconstructed stack: one FaaS
+/// invocation synchronously touches Pulsar (publish → bookie append) and
+/// Jiffy (state put/get), and the tracer stitches all of it into one
+/// causally-linked span tree. Every subsystem also exposes a metrics
+/// registry rendered in Prometheus text format.
+fn e22_traced_pipeline(trace_out: Option<&str>, metrics_out: Option<&str>) {
+    banner(
+        "E22",
+        "end-to-end tracing: FaaS → Pulsar → Jiffy span trees; Prometheus metrics from every subsystem",
+    );
+    let clock: SharedClock = Arc::new(VirtualClock::new());
+    let tracer = Tracer::new(clock.clone());
+
+    let faas = FaasPlatform::new(PlatformConfig::default(), clock.clone());
+    faas.set_tracer(tracer.clone());
+    let pulsar = PulsarCluster::new(PulsarConfig::default(), clock.clone());
+    pulsar.set_tracer(tracer.clone());
+    pulsar.create_topic("pipeline/events", 1).expect("topic");
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock.clone());
+    jiffy.set_tracer(tracer.clone());
+    let blob = Arc::new(BlobStore::new(clock.clone()));
+    blob.create_bucket("archive");
+
+    // The pipeline function: stage state in Jiffy, publish the event to
+    // Pulsar, archive the payload to the blob store.
+    let producer = pulsar.producer("pipeline/events").expect("producer");
+    let kv = jiffy.create_kv("/pipeline/state", 2).expect("kv");
+    let blob_h = blob.clone();
+    faas.register(FunctionSpec::new("ingest", "tenant", move |ctx| {
+        kv.put(b"last", &ctx.payload).map_err(|e| e.to_string())?;
+        let staged = kv
+            .get(b"last")
+            .map_err(|e| e.to_string())?
+            .unwrap_or_default();
+        producer.send(&staged).map_err(|e| e.to_string())?;
+        blob_h.put("archive", b"last", &staged);
+        Ok(staged)
+    }))
+    .expect("register");
+
+    // Drive it through the orchestrator so composition metrics appear too.
+    let orch = Orchestrator::new(faas.clone());
+    for i in 0..8u64 {
+        orch.run(&Composition::pipeline(["ingest"]), &i.to_le_bytes())
+            .expect("pipeline run");
+    }
+    // Drain the topic: dispatch spans + delivery counters.
+    let mut consumer = pulsar
+        .subscribe("pipeline/events", "archiver", SubscriptionMode::Exclusive)
+        .expect("subscribe");
+    let delivered = consumer.drain().expect("drain").len();
+
+    // A small fleet simulation contributes the sim crate's registry.
+    let workload = WorkloadSpec::Poisson { rate: 5.0 }.generate(
+        Duration::from_secs(600),
+        &typical_duration_model(),
+        ByteSize::mb(512),
+        7,
+    );
+    let sim_metrics = MetricsRegistry::new();
+    simulate_serverless(&workload, &ServerlessConfig::default()).export_metrics(&sim_metrics);
+
+    // Span tree summary per subsystem.
+    let spans = tracer.spans();
+    let mut t = Table::new(["system", "spans", "operations", "total time"]);
+    for system in ["taureau-faas", "taureau-pulsar", "taureau-jiffy"] {
+        let sys_spans: Vec<_> = spans.iter().filter(|s| s.system == system).collect();
+        let total: Duration = sys_spans.iter().map(|s| s.duration()).sum();
+        let mut names: Vec<&str> = sys_spans.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        t.row([
+            system.to_string(),
+            sys_spans.len().to_string(),
+            names.join(" "),
+            fmt_dur(total),
+        ]);
+    }
+    t.print();
+
+    // The acceptance check: at least one faas.invoke root whose descendant
+    // set contains spans from both Pulsar and Jiffy.
+    let cross_linked = spans
+        .iter()
+        .filter(|s| s.name == "faas.invoke")
+        .any(|root| {
+            let (mut has_pulsar, mut has_jiffy) = (false, false);
+            let mut frontier = vec![root.span_id];
+            while let Some(id) = frontier.pop() {
+                for child in spans.iter().filter(|s| s.parent == Some(id)) {
+                    match child.system {
+                        "taureau-pulsar" => has_pulsar = true,
+                        "taureau-jiffy" => has_jiffy = true,
+                        _ => {}
+                    }
+                    frontier.push(child.span_id);
+                }
+            }
+            has_pulsar && has_jiffy
+        });
+    println!(
+        "one invocation, one tree: faas.invoke with pulsar + jiffy descendants: {}",
+        if cross_linked { "yes" } else { "NO" }
+    );
+    println!("pulsar deliveries drained: {delivered}");
+
+    // Gauges surfaced alongside the counters (satellite: gauge exposition).
+    let pool = jiffy.pool_stats();
+    jiffy
+        .metrics()
+        .gauge("allocated_blocks")
+        .set(pool.allocated_blocks as i64);
+    jiffy
+        .metrics()
+        .gauge("peak_allocated_blocks")
+        .set(pool.peak_allocated_blocks as i64);
+    let mut g = Table::new(["gauge", "value"]);
+    for (prefix, reg) in [
+        ("jiffy_", jiffy.metrics()),
+        ("baas_", blob.metrics()),
+        ("sim_", &sim_metrics),
+    ] {
+        for (name, value) in reg.gauge_values() {
+            g.row([format!("{prefix}{name}"), value.to_string()]);
+        }
+    }
+    g.print();
+
+    // Heaviest call paths, folded flamegraph-style.
+    let flame = tracer.flame_summary();
+    println!("heaviest call paths (path count total_us):");
+    for line in flame.lines().take(5) {
+        println!("  {line}");
+    }
+
+    if let Some(path) = metrics_out {
+        let mut out = String::new();
+        out.push_str(&faas.metrics().render_prometheus_prefixed("faas_"));
+        out.push_str(&pulsar.metrics().render_prometheus_prefixed("pulsar_"));
+        out.push_str(&jiffy.metrics().render_prometheus_prefixed("jiffy_"));
+        out.push_str(&blob.metrics().render_prometheus_prefixed("baas_"));
+        out.push_str(&orch.metrics().render_prometheus_prefixed("orchestration_"));
+        out.push_str(&sim_metrics.render_prometheus_prefixed("sim_"));
+        std::fs::write(path, &out).expect("write metrics snapshot");
+        println!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, tracer.chrome_trace_json()).expect("write trace");
+        println!(
+            "chrome trace written to {path} ({} spans) — open in https://ui.perfetto.dev",
+            tracer.span_count()
+        );
+    }
 }
 
 /// E21 — §1: serverless at the edge. Placement policies on a skewed geo
@@ -130,18 +323,31 @@ fn e21_edge_placement() {
     let trace = geo_trace(8, horizon, &rates, 0xE21);
     let warm = LatencyModel::Constant(Duration::from_millis(2));
     let mut t = Table::new([
-        "policy", "edge PoPs", "edge share", "p50", "p99", "edge container-h",
+        "policy",
+        "edge PoPs",
+        "edge share",
+        "p50",
+        "p99",
+        "edge container-h",
     ]);
     for (name, policy) in [
         ("cloud only", EdgePolicy::CloudOnly),
         ("edge everywhere", EdgePolicy::EdgeOnly),
-        ("adaptive (>=100 req/h)", EdgePolicy::Adaptive { min_rate_per_hour: 100.0 }),
+        (
+            "adaptive (>=100 req/h)",
+            EdgePolicy::Adaptive {
+                min_rate_per_hour: 100.0,
+            },
+        ),
     ] {
         let out = simulate_edge(&trace, &geo, policy, horizon, &warm);
         t.row([
             name.to_string(),
             out.edge_regions.to_string(),
-            format!("{:.1}%", 100.0 * out.edge_served as f64 / trace.len() as f64),
+            format!(
+                "{:.1}%",
+                100.0 * out.edge_served as f64 / trace.len() as f64
+            ),
             fmt_dur(out.latency_us.quantile_duration(0.5)),
             fmt_dur(out.latency_us.quantile_duration(0.99)),
             format!("{:.0}", out.edge_container_hours),
@@ -238,9 +444,7 @@ fn e15_transactional_retry_safety() {
 
     let clock: SharedClock = Arc::new(VirtualClock::new());
     let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock);
-    let mut t = Table::new([
-        "mode", "attempts", "alice", "bob", "total (invariant: 100)",
-    ]);
+    let mut t = Table::new(["mode", "attempts", "alice", "bob", "total (invariant: 100)"]);
 
     // Naive: two independent auto-commits with a crash in between; the
     // retry re-runs the debit.
@@ -251,9 +455,7 @@ fn e15_transactional_retry_safety() {
     let (dbf, cf) = (db.clone(), crashed.clone());
     platform
         .register(FunctionSpec::new("transfer-naive", "bank", move |_| {
-            let read = |k: &[u8]| {
-                u64::from_le_bytes(dbf.get(k).unwrap().try_into().unwrap())
-            };
+            let read = |k: &[u8]| u64::from_le_bytes(dbf.get(k).unwrap().try_into().unwrap());
             dbf.put(b"alice", &(read(b"alice") - 10).to_le_bytes());
             if !cf.swap(true, Ordering::SeqCst) {
                 return Err("crashed between debit and credit".into());
@@ -265,9 +467,8 @@ fn e15_transactional_retry_safety() {
     let r = platform
         .invoke_with_retries("transfer-naive", &[][..], 3)
         .expect("eventually succeeds");
-    let read = |db: &ServerlessDb, k: &[u8]| {
-        u64::from_le_bytes(db.get(k).unwrap().try_into().unwrap())
-    };
+    let read =
+        |db: &ServerlessDb, k: &[u8]| u64::from_le_bytes(db.get(k).unwrap().try_into().unwrap());
     let (a, b) = (read(&db, b"alice"), read(&db, b"bob"));
     t.row([
         "naive KV".to_string(),
@@ -327,7 +528,10 @@ fn e16_tiered_storage() {
     use taureau_pulsar::SubscriptionMode;
     let clock: SharedClock = Arc::new(VirtualClock::new());
     let cluster = PulsarCluster::new(
-        PulsarConfig { max_entries_per_ledger: 64, ..Default::default() },
+        PulsarConfig {
+            max_entries_per_ledger: 64,
+            ..Default::default()
+        },
         clock.clone(),
     );
     let blob = Arc::new(BlobStore::new(clock.clone())); // S3-calibrated latency
@@ -376,7 +580,11 @@ fn e17_oram_overhead() {
     use std::collections::HashMap;
     use taureau_secure::PathOram;
     let mut t = Table::new([
-        "N blocks", "buckets/access", "oram ns/op", "hashmap ns/op", "slowdown",
+        "N blocks",
+        "buckets/access",
+        "oram ns/op",
+        "hashmap ns/op",
+        "slowdown",
     ]);
     for n in [256usize, 4096] {
         let mut oram = PathOram::new(n, 0xE17);
@@ -439,7 +647,12 @@ fn e18_hetero_packing() {
         .collect();
     let pricing = HeteroPricing::default();
     let mut t = Table::new([
-        "policy", "cpu nodes", "gpu nodes", "unplaced gpu jobs", "stranded gpu", "$/hour",
+        "policy",
+        "cpu nodes",
+        "gpu nodes",
+        "unplaced gpu jobs",
+        "stranded gpu",
+        "$/hour",
     ]);
     for (name, policy) in [
         ("oblivious", HeteroPolicy::Oblivious),
@@ -472,7 +685,12 @@ fn e1_cost_vs_load_shape() {
     );
     let day = Duration::from_secs(24 * 3600);
     let mut t = Table::new([
-        "peak/mean", "requests", "serverless", "vm@peak", "vm reactive", "winner",
+        "peak/mean",
+        "requests",
+        "serverless",
+        "vm@peak",
+        "vm reactive",
+        "winner",
     ]);
     for ratio in [1.0, 2.0, 5.0, 10.0, 50.0] {
         // Mean rate fixed; only the shape varies.
@@ -481,7 +699,10 @@ fn e1_cost_vs_load_shape() {
         let sl = simulate_serverless(&w, &ServerlessConfig::default());
         let peak = simulate_vm_fleet(
             &w,
-            &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..Default::default() },
+            &VmFleetConfig {
+                policy: VmScalingPolicy::FixedAtPeak,
+                ..Default::default()
+            },
         );
         let reactive = simulate_vm_fleet(
             &w,
@@ -521,7 +742,10 @@ fn e1_cost_vs_load_shape() {
     let sl = simulate_serverless(&w, &ServerlessConfig::default());
     let peak = simulate_vm_fleet(
         &w,
-        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..Default::default() },
+        &VmFleetConfig {
+            policy: VmScalingPolicy::FixedAtPeak,
+            ..Default::default()
+        },
     );
     t.row([
         "sustained".to_string(),
@@ -529,7 +753,12 @@ fn e1_cost_vs_load_shape() {
         fmt_usd(sl.cost),
         fmt_usd(peak.cost),
         "-".to_string(),
-        if peak.cost < sl.cost { "vm@peak" } else { "serverless" }.to_string(),
+        if peak.cost < sl.cost {
+            "vm@peak"
+        } else {
+            "serverless"
+        }
+        .to_string(),
     ]);
     t.print();
 }
@@ -549,7 +778,12 @@ fn e2_cold_starts() {
         0xE2,
     );
     let mut t = Table::new([
-        "keep-alive", "provisioned", "cold %", "p50", "p99", "container-s",
+        "keep-alive",
+        "provisioned",
+        "cold %",
+        "p50",
+        "p99",
+        "container-s",
     ]);
     for (keep, prov) in [
         (Duration::from_secs(10), 0),
@@ -557,7 +791,11 @@ fn e2_cold_starts() {
         (Duration::from_secs(600), 0),
         (Duration::from_secs(600), 4),
     ] {
-        let cfg = ServerlessConfig { keep_alive: keep, provisioned: prov, ..Default::default() };
+        let cfg = ServerlessConfig {
+            keep_alive: keep,
+            provisioned: prov,
+            ..Default::default()
+        };
         let out = simulate_serverless(&w, &cfg);
         t.row([
             format!("{}s", keep.as_secs()),
@@ -590,7 +828,12 @@ fn e3_state_exchange() {
     );
     let kv = jiffy.create_kv("/bench/exchange", 8).expect("kv");
     let mut t = Table::new([
-        "object size", "jiffy put", "jiffy get", "s3-model put", "s3-model get", "speedup",
+        "object size",
+        "jiffy put",
+        "jiffy get",
+        "s3-model put",
+        "s3-model get",
+        "speedup",
     ]);
     for size in [1024usize, 64 * 1024, 1024 * 1024] {
         let payload = vec![0xABu8; size];
@@ -644,7 +887,10 @@ fn e4_isolation() {
 
     // Jiffy: per-tenant KV objects.
     let jiffy = Jiffy::new(
-        JiffyConfig { blocks_per_node: 4096, ..Default::default() },
+        JiffyConfig {
+            blocks_per_node: 4096,
+            ..Default::default()
+        },
         Arc::new(WallClock::new()),
     );
     let a = jiffy.create_kv("/tenant-a/state", 4).expect("kv a");
@@ -701,7 +947,9 @@ fn e5_multiplexing() {
         f.append(&blob).expect("write");
         // Job finishes; ephemeral state is consumed and removed before the
         // next job starts (the time-multiplexing the paper describes).
-        jiffy.remove_namespace(format!("/app-{i}").as_str()).expect("rm");
+        jiffy
+            .remove_namespace(format!("/app-{i}").as_str())
+            .expect("rm");
     }
     let (pool_peak, sum_peaks) = jiffy.multiplexing_report();
     let mut t = Table::new(["metric", "blocks", "memory"]);
@@ -734,14 +982,21 @@ fn e6_countmin_function() {
     let universe = 10_000;
     let zipf = Zipf::new(universe, 1.05);
     let mut rng = det_rng(0xE6);
-    let stream: Vec<u64> = (0..n_events).map(|_| zipf.sample(&mut rng) as u64).collect();
+    let stream: Vec<u64> = (0..n_events)
+        .map(|_| zipf.sample(&mut rng) as u64)
+        .collect();
     let mut truth = vec![0u64; universe];
     for &i in &stream {
         truth[i as usize] += 1;
     }
 
     let mut t = Table::new([
-        "eps", "width x depth", "sketch bytes", "mean overest", "max overest", "bound eps*N",
+        "eps",
+        "width x depth",
+        "sketch bytes",
+        "mean overest",
+        "max overest",
+        "bound eps*N",
     ]);
     for eps in [0.01, 0.001, 0.0001] {
         let mut cm = CountMinSketch::with_error_bounds(eps, 0.01, 128);
@@ -774,7 +1029,11 @@ fn e6_countmin_function() {
     cluster.create_topic("events", 1).expect("topic");
     let mut sketch = CountMinSketch::with_error_bounds(0.001, 0.01, 128);
     rt.register(
-        FunctionConfig { name: "cm".into(), inputs: vec!["events".into()], output: None },
+        FunctionConfig {
+            name: "cm".into(),
+            inputs: vec!["events".into()],
+            output: None,
+        },
         Box::new(move |msg, _| {
             sketch.add(&msg.payload, 1);
             let _ = sketch.estimate(&msg.payload);
@@ -810,11 +1069,16 @@ fn e7_orchestration_billing() {
     let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock);
     for name in ["parse", "enrich", "store", "notify"] {
         platform
-            .register(FunctionSpec::new(name, "tenant", |ctx| Ok(ctx.payload.to_vec())))
+            .register(FunctionSpec::new(name, "tenant", |ctx| {
+                Ok(ctx.payload.to_vec())
+            }))
             .expect("register");
     }
     let orch = Orchestrator::new(platform.clone());
-    orch.register_composition("ingest", Composition::pipeline(["parse", "enrich", "store"]));
+    orch.register_composition(
+        "ingest",
+        Composition::pipeline(["parse", "enrich", "store"]),
+    );
     let comp = Composition::Sequence(vec![
         Composition::Map(Box::new(Composition::Named("ingest".into()))),
         Composition::Task("notify".into()),
@@ -825,7 +1089,10 @@ fn e7_orchestration_billing() {
     let after = platform.billing().total("tenant");
 
     let mut t = Table::new(["metric", "value"]);
-    t.row(["basic function executions", &report.invocation_count().to_string()]);
+    t.row([
+        "basic function executions",
+        &report.invocation_count().to_string(),
+    ]);
     t.row(["sum of basic costs", &fmt_usd(report.total_cost())]);
     t.row(["platform bill delta", &fmt_usd(after - before)]);
     t.row([
@@ -848,7 +1115,11 @@ fn e8_ml_stragglers() {
     let (ds, _) = synthetic_logreg(2000, 8, 0xE8);
     let ds = Arc::new(ds);
     let mut t = Table::new([
-        "straggler p", "redundancy", "job time", "final loss", "invocations",
+        "straggler p",
+        "redundancy",
+        "job time",
+        "final loss",
+        "invocations",
     ]);
     for (p, r) in [(0.0, 1), (0.2, 1), (0.2, 2), (0.2, 3), (0.4, 1), (0.4, 3)] {
         let cfg = TrainingConfig {
@@ -861,7 +1132,13 @@ fn e8_ml_stragglers() {
             compute_per_example: Duration::from_micros(50),
             seed: 0x5EED,
         };
-        let out = train_serverless(&platform, &jiffy, Arc::clone(&ds), &cfg, &format!("e8-{p}-{r}"));
+        let out = train_serverless(
+            &platform,
+            &jiffy,
+            Arc::clone(&ds),
+            &cfg,
+            &format!("e8-{p}-{r}"),
+        );
         t.row([
             format!("{p}"),
             r.to_string(),
@@ -911,7 +1188,10 @@ fn e9_matmul() {
     let clock = VirtualClock::shared();
     let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
     let jiffy = Jiffy::new(
-        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+        JiffyConfig {
+            blocks_per_node: 8192,
+            ..Default::default()
+        },
         clock,
     );
     let n = 128;
@@ -943,12 +1223,20 @@ fn e10_graph() {
     let clock = VirtualClock::shared();
     let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
     let jiffy = Jiffy::new(
-        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+        JiffyConfig {
+            blocks_per_node: 8192,
+            ..Default::default()
+        },
         clock,
     );
     let g = Arc::new(Graph::random(2000, 16_000, 0xE10));
     let mut t = Table::new([
-        "algorithm", "partitions", "supersteps", "invocations", "messages", "max err vs seq",
+        "algorithm",
+        "partitions",
+        "supersteps",
+        "invocations",
+        "messages",
+        "max err vs seq",
     ]);
     for parts in [4usize, 16] {
         let out = run_pregel(
@@ -1022,7 +1310,10 @@ fn e11_autoscaling() {
     let mut t = Table::new(["policy", "cost", "p50", "p99", "utilization"]);
     let fixed_peak = simulate_vm_fleet(
         &w,
-        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..Default::default() },
+        &VmFleetConfig {
+            policy: VmScalingPolicy::FixedAtPeak,
+            ..Default::default()
+        },
     );
     t.row([
         "vm fixed@peak".to_string(),
@@ -1093,7 +1384,12 @@ fn e12_binpacking() {
             }
         })
         .collect();
-    let mut t = Table::new(["policy", "nodes used", "mean |cpu-mem| imbalance", "stranded"]);
+    let mut t = Table::new([
+        "policy",
+        "nodes used",
+        "mean |cpu-mem| imbalance",
+        "stranded",
+    ]);
     for (name, policy) in [
         ("first-fit", PackingPolicy::FirstFit),
         ("best-fit", PackingPolicy::BestFit),

@@ -41,7 +41,9 @@ pub struct WallClock {
 impl WallClock {
     /// Create a wall clock whose epoch is now.
     pub fn new() -> Self {
-        Self { epoch: Instant::now() }
+        Self {
+            epoch: Instant::now(),
+        }
     }
 
     /// Convenience constructor returning a [`SharedClock`].
@@ -99,7 +101,10 @@ impl VirtualClock {
     pub fn set(&self, t: Duration) {
         let target = t.as_nanos() as u64;
         let prev = self.nanos.swap(target, Ordering::SeqCst);
-        assert!(target >= prev, "virtual clock moved backwards: {prev} -> {target}");
+        assert!(
+            target >= prev,
+            "virtual clock moved backwards: {prev} -> {target}"
+        );
     }
 }
 

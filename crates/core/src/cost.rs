@@ -215,7 +215,10 @@ mod tests {
             Duration::from_millis(200)
         );
         // Zero-duration invocations still bill one granule.
-        assert_eq!(p.billed_duration(Duration::ZERO), Duration::from_millis(100));
+        assert_eq!(
+            p.billed_duration(Duration::ZERO),
+            Duration::from_millis(100)
+        );
     }
 
     #[test]
@@ -285,9 +288,6 @@ mod tests {
             10_000.0 * faas.invocation_cost(ByteSize::gb(1), Duration::from_millis(200));
         // Peak of 100 concurrent => 7 VMs up all day.
         let vm_cost = vm.fleet_cost(vm.instances_for(100), day);
-        assert!(
-            faas_cost < vm_cost / 10.0,
-            "faas={faas_cost} vm={vm_cost}"
-        );
+        assert!(faas_cost < vm_cost / 10.0, "faas={faas_cost} vm={vm_cost}");
     }
 }

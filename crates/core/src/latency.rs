@@ -64,7 +64,11 @@ impl LatencyModel {
             LatencyModel::Uniform { lo, hi } => {
                 debug_assert!(lo <= hi);
                 let span = (hi - lo).as_nanos() as u64;
-                lo + Duration::from_nanos(if span == 0 { 0 } else { rng.gen_range(0..=span) })
+                lo + Duration::from_nanos(if span == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=span)
+                })
             }
             LatencyModel::LogNormal { mu, sigma } => {
                 Duration::from_micros(sample_lognormal_us(rng, mu, sigma))
@@ -189,12 +193,13 @@ mod tests {
 
     #[test]
     fn lognormal_empirical_mean_close_to_analytic() {
-        let m = LatencyModel::LogNormal { mu: 10.0, sigma: 0.5 };
+        let m = LatencyModel::LogNormal {
+            mu: 10.0,
+            sigma: 0.5,
+        };
         let mut r = rng();
         let n = 200_000;
-        let total: f64 = (0..n)
-            .map(|_| m.sample(&mut r).as_micros() as f64)
-            .sum();
+        let total: f64 = (0..n).map(|_| m.sample(&mut r).as_micros() as f64).sum();
         let empirical = total / n as f64;
         let analytic = m.mean().as_micros() as f64;
         let err = (empirical - analytic).abs() / analytic;
@@ -207,7 +212,10 @@ mod tests {
         let cold = profiles::cold_start();
         let warm = profiles::warm_start();
         let avg = |m: &LatencyModel, r: &mut ChaCha8Rng| {
-            (0..2000).map(|_| m.sample(r).as_micros() as u64).sum::<u64>() / 2000
+            (0..2000)
+                .map(|_| m.sample(r).as_micros() as u64)
+                .sum::<u64>()
+                / 2000
         };
         let c = avg(&cold, &mut r);
         let w = avg(&warm, &mut r);
@@ -230,7 +238,11 @@ mod tests {
     #[test]
     fn shifted_lognormal_respects_floor() {
         let base = Duration::from_millis(50);
-        let m = LatencyModel::ShiftedLogNormal { base, mu: 8.0, sigma: 1.0 };
+        let m = LatencyModel::ShiftedLogNormal {
+            base,
+            mu: 8.0,
+            sigma: 1.0,
+        };
         let mut r = rng();
         for _ in 0..1000 {
             assert!(m.sample(&mut r) >= base);

@@ -22,6 +22,9 @@
 //!   workload generators (Zipf, Poisson processes, log-normal).
 //! - [`bytesize`]: human-friendly byte quantities.
 //! - [`ratelimit`]: a token bucket used for throttling and admission control.
+//! - [`trace`]: structured request tracing — causally-linked spans that
+//!   follow one invocation across FaaS, Pulsar and Jiffy, with Chrome
+//!   trace-event and flamegraph exporters.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,8 +38,10 @@ pub mod latency;
 pub mod metrics;
 pub mod ratelimit;
 pub mod rng;
+pub mod trace;
 
 pub use bytesize::ByteSize;
 pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
 pub use id::{BlockId, ContainerId, FunctionId, InvocationId, LedgerId, NodeId, TenantId};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};

@@ -131,10 +131,12 @@ impl Histogram {
             return index as u64;
         }
         let magnitude = (index / SUB_BUCKETS) as u32 + SUB_BUCKET_BITS - 1;
-        let sub = (index % SUB_BUCKETS) as u64;
-        let base = 1u64 << magnitude;
-        let width = 1u64 << (magnitude - SUB_BUCKET_BITS);
-        base + (sub + 1) * width - 1
+        let sub = (index % SUB_BUCKETS) as u128;
+        let base = 1u128 << magnitude;
+        let width = 1u128 << (magnitude - SUB_BUCKET_BITS);
+        // The very top sub-bucket's bound is 2^64, one past u64::MAX;
+        // saturate so bucket_index(u64::MAX) round-trips without overflow.
+        (base + (sub + 1) * width - 1).min(u64::MAX as u128) as u64
     }
 
     /// Record one value.
@@ -146,9 +148,29 @@ impl Histogram {
         self.min.fetch_min(value, Ordering::Relaxed);
     }
 
-    /// Record a duration in microseconds.
+    /// Record a duration in microseconds, saturating at `u64::MAX` for
+    /// durations too large to represent (rather than silently truncating).
     pub fn record_duration(&self, d: Duration) {
-        self.record(d.as_micros() as u64);
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another histogram's population into this one (used to publish
+    /// a locally-built histogram into a registry).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (bucket, other_bucket) in self.buckets.iter().zip(&other.buckets) {
+            let n = other_bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Number of recorded values.
@@ -331,6 +353,65 @@ impl MetricsRegistry {
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect()
     }
+
+    /// Names and values of all gauges, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        let inner = self.inner.lock();
+        inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges become single samples; histograms become
+    /// summaries (`{quantile="..."}` samples plus `_sum` and `_count`).
+    pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_prefixed("")
+    }
+
+    /// [`render_prometheus`](Self::render_prometheus) with every metric
+    /// name prefixed (e.g. a subsystem name), so expositions from several
+    /// registries can be concatenated without collisions.
+    pub fn render_prometheus_prefixed(&self, prefix: &str) -> String {
+        fn sanitize(prefix: &str, name: &str) -> String {
+            let mut out = String::with_capacity(prefix.len() + name.len());
+            for (i, c) in prefix.chars().chain(name.chars()).enumerate() {
+                match c {
+                    'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+                    '0'..='9' if i > 0 => out.push(c),
+                    _ => out.push('_'),
+                }
+            }
+            out
+        }
+
+        use std::fmt::Write as _;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let name = sanitize(prefix, name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in &inner.gauges {
+            let name = sanitize(prefix, name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in &inner.histograms {
+            let name = sanitize(prefix, name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in [0.5, 0.9, 0.99] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.value_at_quantile(q));
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +488,68 @@ mod tests {
         h.record(30);
         assert_eq!(h.sum(), 60);
         assert!((h.mean() - 20.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn record_duration_saturates_instead_of_truncating() {
+        let h = Histogram::new();
+        // 2^64 µs does not fit in u64; a silent `as u64` cast would wrap
+        // this to a tiny value. It must land at the very top instead.
+        let big = Duration::from_secs(u64::MAX / 1_000_000 + 1);
+        assert!(big.as_micros() > u64::MAX as u128);
+        h.record_duration(big);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_of_u64_max_round_trips() {
+        let idx = Histogram::bucket_index(u64::MAX);
+        assert!(idx < MAGNITUDES * SUB_BUCKETS);
+        // Must not overflow, and must still contain the value.
+        assert_eq!(Histogram::bucket_upper_bound(idx), u64::MAX);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.value_at_quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_values_reports_all_gauges() {
+        let r = MetricsRegistry::new();
+        r.gauge("live_containers").set(4);
+        r.gauge("allocated_blocks").add(7);
+        assert_eq!(
+            r.gauge_values(),
+            vec![
+                ("allocated_blocks".to_string(), 7),
+                ("live_containers".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let r = MetricsRegistry::new();
+        r.counter("invocations").add(3);
+        r.gauge("pool.size").set(-2);
+        r.histogram("latency_us").record(100);
+        let text = r.render_prometheus_prefixed("faas_");
+        assert!(text.contains("# TYPE faas_invocations counter\nfaas_invocations 3\n"));
+        // Dots are sanitized to underscores.
+        assert!(text.contains("# TYPE faas_pool_size gauge\nfaas_pool_size -2\n"));
+        assert!(text.contains("# TYPE faas_latency_us summary"));
+        assert!(text.contains("faas_latency_us{quantile=\"0.5\"} "));
+        assert!(text.contains("faas_latency_us_sum 100\n"));
+        assert!(text.contains("faas_latency_us_count 1\n"));
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some(), "bad line: {line}");
+            let val = parts.next().expect("value field");
+            assert!(val.parse::<f64>().is_ok(), "unparsable value in: {line}");
+            assert_eq!(parts.next(), None, "trailing fields in: {line}");
+        }
     }
 
     #[test]

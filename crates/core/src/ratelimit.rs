@@ -34,7 +34,10 @@ impl TokenBucket {
             clock,
             rate_per_sec,
             burst: burst as f64,
-            state: Mutex::new(State { tokens: burst as f64, last_refill: now }),
+            state: Mutex::new(State {
+                tokens: burst as f64,
+                last_refill: now,
+            }),
         }
     }
 

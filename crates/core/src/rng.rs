@@ -68,7 +68,10 @@ impl Zipf {
     /// Draw one item index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -152,7 +155,11 @@ mod tests {
         }
         // Top-10 of 1000 items should capture well over a third of the mass
         // at s=1.2.
-        assert!(head as f64 / n as f64 > 0.35, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.35,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]
@@ -171,7 +178,10 @@ mod tests {
         let hits = (0..n).filter(|_| z.sample(&mut r) == 0).count();
         let emp = hits as f64 / n as f64;
         let exact = z.prob(0);
-        assert!((emp - exact).abs() / exact < 0.05, "emp {emp} exact {exact}");
+        assert!(
+            (emp - exact).abs() / exact < 0.05,
+            "emp {emp} exact {exact}"
+        );
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Structured request tracing across the serverless stack.
+//!
+//! One FaaS invocation touches three decoupled systems — compute
+//! (taureau-faas), messaging (taureau-pulsar), and ephemeral state
+//! (taureau-jiffy) — and the whole point of the paper's deconstruction is
+//! that cost and latency only make sense when a single request can be
+//! followed across all of them. This module provides that spine: a
+//! [`Tracer`] records [`SpanRecord`]s with `TraceId`/`SpanId` identity,
+//! parent→child causal links, per-span key/value attributes, and
+//! timestamps taken from the stack's [`clock`](crate::clock) (so virtual
+//! and wall clocks both work).
+//!
+//! Parent propagation is implicit: each thread keeps a stack of open
+//! spans, and a span started while another is open on the same thread
+//! becomes its child — which is exactly right for this stack, where a
+//! FaaS handler synchronously calls into Pulsar and Jiffy on the invoking
+//! thread. Spans opened on other threads start new traces.
+//!
+//! Exporters: [`Tracer::chrome_trace_json`] emits Chrome `trace_event`
+//! JSON loadable in Perfetto / `chrome://tracing`, and
+//! [`Tracer::flame_summary`] emits semicolon-folded stack lines (the
+//! format flamegraph tools consume) aggregated by call path.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::clock::SharedClock;
+
+/// Identity of one causally-linked request tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identity of one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// Causal parent within the trace, `None` for the root.
+    pub parent: Option<SpanId>,
+    /// Operation name, e.g. `faas.invoke`.
+    pub name: String,
+    /// Owning subsystem, e.g. `taureau-pulsar`.
+    pub system: &'static str,
+    /// Clock timestamp at span open.
+    pub start: Duration,
+    /// Clock timestamp at span close.
+    pub end: Duration,
+    /// Key/value attributes attached while the span was open.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// Wall/virtual time the span covered.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+struct TracerInner {
+    clock: SharedClock,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl fmt::Debug for TracerInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TracerInner")
+            .field("spans", &self.spans.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// Open spans on this thread: (trace id, span id) pairs.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Span recorder shared by every instrumented subsystem. Cheap to clone
+/// (clones share the span buffer); a default-constructed tracer is
+/// disabled and records nothing, so instrumentation is free until a
+/// harness attaches a real one.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer stamping spans from `clock`.
+    pub fn new(clock: SharedClock) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A tracer that records nothing (the default for all subsystems).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span. It closes (and is recorded) when the guard drops.
+    /// If another span is open on this thread, the new one becomes its
+    /// child; otherwise it roots a new trace.
+    pub fn span(&self, system: &'static str, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { state: None };
+        };
+        let span_id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (trace_id, parent) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let (trace_id, parent) = match stack.last() {
+                Some(&(trace, parent)) => (trace, Some(SpanId(parent))),
+                None => (inner.next_id.fetch_add(1, Ordering::Relaxed), None),
+            };
+            stack.push((trace_id, span_id));
+            (trace_id, parent)
+        });
+        SpanGuard {
+            state: Some(OpenSpan {
+                tracer: Arc::clone(inner),
+                record: SpanRecord {
+                    trace_id: TraceId(trace_id),
+                    span_id: SpanId(span_id),
+                    parent,
+                    name: name.to_string(),
+                    system,
+                    start: inner.clock.now(),
+                    end: Duration::ZERO,
+                    attrs: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// Snapshot of every recorded span, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.spans.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.spans.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Drop all recorded spans.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().clear();
+        }
+    }
+
+    /// Export every span as Chrome `trace_event` JSON (complete "X"
+    /// events, microsecond timestamps), loadable in Perfetto or
+    /// `chrome://tracing`. Each trace renders as its own track (`tid` =
+    /// trace id); span/parent ids ride along in `args`.
+    pub fn chrome_trace_json(&self) -> String {
+        use std::fmt::Write as _;
+        let spans = self.spans();
+        let mut out = String::with_capacity(128 + spans.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                json_string(&s.name),
+                json_string(s.system),
+                s.start.as_micros(),
+                s.duration().as_micros(),
+                s.trace_id.0,
+            );
+            let _ = write!(
+                out,
+                ",\"args\":{{\"trace_id\":\"{}\",\"span_id\":\"{}\"",
+                s.trace_id, s.span_id
+            );
+            if let Some(p) = s.parent {
+                let _ = write!(out, ",\"parent_span_id\":\"{p}\"");
+            }
+            for (k, v) in &s.attrs {
+                let _ = write!(out, ",{}:{}", json_string(k), json_string(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aggregate spans into semicolon-folded flame lines
+    /// (`root;child;leaf count total_us`), heaviest path first — the
+    /// input format of standard flamegraph tooling, and readable as a
+    /// plain-text summary on its own.
+    pub fn flame_summary(&self) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write as _;
+
+        let spans = self.spans();
+        let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span_id.0, s)).collect();
+        let mut folded: BTreeMap<String, (u64, u128)> = BTreeMap::new();
+        for s in &spans {
+            let mut path = vec![s.name.as_str()];
+            let mut cur = s.parent;
+            while let Some(pid) = cur {
+                match by_id.get(&pid.0) {
+                    Some(p) => {
+                        path.push(p.name.as_str());
+                        cur = p.parent;
+                    }
+                    None => break,
+                }
+            }
+            path.reverse();
+            let entry = folded.entry(path.join(";")).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += s.duration().as_micros();
+        }
+        let mut lines: Vec<(String, u64, u128)> =
+            folded.into_iter().map(|(p, (c, t))| (p, c, t)).collect();
+        lines.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
+        for (path, count, total_us) in lines {
+            let _ = writeln!(out, "{path} {count} {total_us}");
+        }
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    tracer: Arc<TracerInner>,
+    record: SpanRecord,
+}
+
+/// RAII handle for an open span; records the span when dropped. Obtained
+/// from [`Tracer::span`]. Guards must drop in reverse open order on a
+/// thread (the natural result of scoping them).
+#[derive(Debug)]
+#[must_use = "a span guard records its span when dropped"]
+pub struct SpanGuard {
+    state: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Attach a key/value attribute.
+    pub fn attr(&mut self, key: &'static str, value: impl ToString) {
+        if let Some(open) = &mut self.state {
+            open.record.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// This span's trace id (`None` on a disabled tracer).
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.state.as_ref().map(|o| o.record.trace_id)
+    }
+
+    /// This span's id (`None` on a disabled tracer).
+    pub fn span_id(&self) -> Option<SpanId> {
+        self.state.as_ref().map(|o| o.record.span_id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(mut open) = self.state.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop this span; tolerate out-of-order drops by removing the
+            // matching entry rather than blindly popping the top.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(_, id)| id == open.record.span_id.0)
+            {
+                stack.remove(pos);
+            }
+        });
+        open.record.end = open.tracer.clock.now();
+        open.tracer.spans.lock().push(open.record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn virtual_tracer() -> (Tracer, std::sync::Arc<VirtualClock>) {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        (Tracer::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn nested_spans_link_parent_to_child() {
+        let (tracer, clock) = virtual_tracer();
+        {
+            let root = tracer.span("taureau-faas", "faas.invoke");
+            clock.advance(Duration::from_millis(1));
+            {
+                let mut child = tracer.span("taureau-jiffy", "jiffy.kv_put");
+                child.attr("bytes", 128);
+                clock.advance(Duration::from_millis(2));
+            }
+            let _ = &root;
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        // Children complete (and record) before parents.
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(child.name, "jiffy.kv_put");
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.span_id));
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.attrs, vec![("bytes", "128".to_string())]);
+        assert_eq!(child.duration(), Duration::from_millis(2));
+        assert_eq!(root.duration(), Duration::from_millis(3));
+        assert!(root.start <= child.start && child.end <= root.end);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent_and_new_roots_get_new_traces() {
+        let (tracer, _clock) = virtual_tracer();
+        {
+            let _root = tracer.span("a", "root");
+            let _ = tracer.span("a", "first");
+            let _ = tracer.span("a", "second");
+        }
+        let _lone = tracer.span("a", "lone");
+        drop(_lone);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 4);
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        let first = spans.iter().find(|s| s.name == "first").unwrap();
+        let second = spans.iter().find(|s| s.name == "second").unwrap();
+        let lone = spans.iter().find(|s| s.name == "lone").unwrap();
+        assert_eq!(first.parent, Some(root.span_id));
+        assert_eq!(second.parent, Some(root.span_id));
+        assert_eq!(lone.parent, None);
+        assert_ne!(lone.trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut g = tracer.span("a", "op");
+        g.attr("k", "v");
+        assert_eq!(g.span_id(), None);
+        drop(g);
+        assert_eq!(tracer.span_count(), 0);
+        assert_eq!(
+            tracer.chrome_trace_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn chrome_export_escapes_and_structures() {
+        let (tracer, clock) = virtual_tracer();
+        {
+            let mut g = tracer.span("sys", "op \"quoted\"\n");
+            g.attr("key", "va\\lue");
+            clock.advance(Duration::from_micros(7));
+        }
+        let json = tracer.chrome_trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":7"));
+        assert!(json.contains("op \\\"quoted\\\"\\n"));
+        assert!(json.contains("va\\\\lue"));
+    }
+
+    #[test]
+    fn flame_summary_folds_paths() {
+        let (tracer, clock) = virtual_tracer();
+        {
+            let _root = tracer.span("a", "root");
+            for _ in 0..3 {
+                let _child = tracer.span("a", "leaf");
+                clock.advance(Duration::from_micros(10));
+            }
+        }
+        let flame = tracer.flame_summary();
+        let leaf_line = flame.lines().find(|l| l.starts_with("root;leaf ")).unwrap();
+        assert_eq!(leaf_line, "root;leaf 3 30");
+        assert!(flame.lines().any(|l| l.starts_with("root ")));
+    }
+
+    #[test]
+    fn spans_on_other_threads_start_their_own_traces() {
+        let (tracer, _clock) = virtual_tracer();
+        let _root = tracer.span("a", "root");
+        let t2 = tracer.clone();
+        std::thread::spawn(move || {
+            let _remote = t2.span("b", "remote");
+        })
+        .join()
+        .unwrap();
+        drop(_root);
+        let spans = tracer.spans();
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        let remote = spans.iter().find(|s| s.name == "remote").unwrap();
+        assert_ne!(remote.trace_id, root.trace_id);
+        assert_eq!(remote.parent, None);
+    }
+}

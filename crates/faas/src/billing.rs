@@ -22,7 +22,10 @@ pub struct BillingMeter {
 impl BillingMeter {
     /// Meter under the given pricing.
     pub fn new(pricing: FaasPricing) -> Self {
-        Self { pricing, bills: Mutex::new(HashMap::new()) }
+        Self {
+            pricing,
+            bills: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The pricing in force.

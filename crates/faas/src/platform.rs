@@ -12,6 +12,7 @@ use taureau_core::id::{IdGen, InvocationId};
 use taureau_core::latency::{profiles, LatencyModel};
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::ratelimit::TokenBucket;
+use taureau_core::trace::Tracer;
 
 use crate::billing::BillingMeter;
 use crate::error::{FaasError, Result};
@@ -86,8 +87,12 @@ struct Inner {
     limiters: Mutex<HashMap<String, Arc<TokenBucket>>>,
     billing: BillingMeter,
     metrics: MetricsRegistry,
+    tracer: Mutex<Tracer>,
     invocation_ids: IdGen,
 }
+
+/// Subsystem label stamped on every span this crate emits.
+const TRACE_SYSTEM: &str = "taureau-faas";
 
 /// The serverless compute platform. Cheap to clone; clones share state.
 #[derive(Clone)]
@@ -98,7 +103,11 @@ pub struct FaasPlatform {
 impl FaasPlatform {
     /// Create a platform on the given clock.
     pub fn new(cfg: PlatformConfig, clock: SharedClock) -> Self {
-        let pool = ContainerPool::new(cfg.keep_alive, cfg.cold_start.clone(), cfg.warm_start.clone());
+        let pool = ContainerPool::new(
+            cfg.keep_alive,
+            cfg.cold_start.clone(),
+            cfg.warm_start.clone(),
+        );
         let pricing = cfg.pricing;
         Self {
             inner: Arc::new(Inner {
@@ -110,6 +119,7 @@ impl FaasPlatform {
                 limiters: Mutex::new(HashMap::new()),
                 billing: BillingMeter::new(pricing),
                 metrics: MetricsRegistry::new(),
+                tracer: Mutex::new(Tracer::disabled()),
                 invocation_ids: IdGen::new(),
             }),
         }
@@ -133,6 +143,16 @@ impl FaasPlatform {
     /// Metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Attach a tracer; every subsequent invocation records spans into it.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.lock() = tracer;
+    }
+
+    /// The currently attached tracer (disabled by default).
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.lock().clone()
     }
 
     /// Register a function.
@@ -235,12 +255,24 @@ impl FaasPlatform {
     fn limiter_for(&self, tenant: &str) -> Option<Arc<TokenBucket>> {
         let (rate, burst) = self.inner.cfg.tenant_rate_limit?;
         let mut limiters = self.inner.limiters.lock();
-        Some(Arc::clone(limiters.entry(tenant.to_string()).or_insert_with(
-            || Arc::new(TokenBucket::new(self.inner.clock.clone(), rate, burst)),
-        )))
+        Some(Arc::clone(
+            limiters.entry(tenant.to_string()).or_insert_with(|| {
+                Arc::new(TokenBucket::new(self.inner.clock.clone(), rate, burst))
+            }),
+        ))
     }
 
-    fn invoke_inner(&self, function: &str, payload: Bytes, attempt: u32) -> Result<InvocationResult> {
+    fn invoke_inner(
+        &self,
+        function: &str,
+        payload: Bytes,
+        attempt: u32,
+    ) -> Result<InvocationResult> {
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "faas.invoke");
+        span.attr("function", function);
+        span.attr("attempt", attempt);
+
         let spec = self
             .inner
             .registry
@@ -248,29 +280,38 @@ impl FaasPlatform {
             .get(function)
             .cloned()
             .ok_or_else(|| FaasError::FunctionNotFound(function.to_string()))?;
+        span.attr("tenant", &spec.tenant);
 
-        // Admission: tenant rate limit.
-        if let Some(limiter) = self.limiter_for(&spec.tenant) {
-            if !limiter.try_acquire(1) {
-                self.inner.metrics.counter("throttled").inc();
-                return Err(FaasError::Throttled { tenant: spec.tenant.clone() });
-            }
-        }
-        // Admission: per-function concurrency cap.
+        // Admission: tenant rate limit + per-function concurrency cap
+        // (the request's time "in the front door" before a container is
+        // committed to it).
         {
+            let mut admission = tracer.span(TRACE_SYSTEM, "faas.admission");
+            if let Some(limiter) = self.limiter_for(&spec.tenant) {
+                if !limiter.try_acquire(1) {
+                    self.inner.metrics.counter("throttled").inc();
+                    admission.attr("outcome", "throttled");
+                    return Err(FaasError::Throttled {
+                        tenant: spec.tenant.clone(),
+                    });
+                }
+            }
             let mut inflight = self.inner.inflight.lock();
             let n = inflight.entry(spec.name.clone()).or_insert(0);
             if *n >= spec.max_concurrency {
                 self.inner.metrics.counter("concurrency_rejections").inc();
+                admission.attr("outcome", "concurrency_limit");
                 return Err(FaasError::ConcurrencyLimit {
                     function: spec.name.clone(),
                     limit: spec.max_concurrency,
                 });
             }
             *n += 1;
+            admission.attr("outcome", "admitted");
         }
 
-        let result = self.execute(&spec, payload, attempt);
+        let result = self.execute(&tracer, &spec, payload, attempt);
+        span.attr("outcome", if result.is_ok() { "ok" } else { "error" });
 
         // Always decrement in-flight.
         {
@@ -282,37 +323,70 @@ impl FaasPlatform {
         result
     }
 
-    fn execute(&self, spec: &FunctionSpec, payload: Bytes, attempt: u32) -> Result<InvocationResult> {
+    fn execute(
+        &self,
+        tracer: &Tracer,
+        spec: &FunctionSpec,
+        payload: Bytes,
+        attempt: u32,
+    ) -> Result<InvocationResult> {
         let clock = &self.inner.clock;
         let now = clock.now();
-        let (start, startup_latency) = self.inner.pool.lock().acquire(spec.sandbox_key(), now);
-        match start {
-            StartKind::Cold => self.inner.metrics.counter("cold_starts").inc(),
-            StartKind::Warm => self.inner.metrics.counter("warm_starts").inc(),
-        }
-        clock.sleep(startup_latency);
+        let (start, startup_latency) = {
+            let mut startup = tracer.span(TRACE_SYSTEM, "faas.startup");
+            let (start, startup_latency) = self.inner.pool.lock().acquire(spec.sandbox_key(), now);
+            match start {
+                StartKind::Cold => {
+                    self.inner.metrics.counter("cold_starts").inc();
+                    startup.attr("kind", "cold");
+                }
+                StartKind::Warm => {
+                    self.inner.metrics.counter("warm_starts").inc();
+                    startup.attr("kind", "warm");
+                }
+            }
+            startup.attr("latency_us", startup_latency.as_micros());
+            clock.sleep(startup_latency);
+            (start, startup_latency)
+        };
 
-        let ctx = InvocationCtx { payload, clock: clock.clone() };
+        let ctx = InvocationCtx {
+            payload,
+            clock: clock.clone(),
+        };
+        let exec_span = tracer.span(TRACE_SYSTEM, "faas.execute");
         let t0 = clock.now();
         let output = (spec.handler)(&ctx);
         let exec_duration = clock.now() - t0;
+        drop(exec_span);
 
         // Timeout enforcement (post-hoc: handlers are cooperative in this
         // in-process platform; the billed duration is capped at the limit,
         // as providers cap billing at the configured timeout).
         if exec_duration > spec.timeout {
             self.inner.metrics.counter("timeouts").inc();
+            let mut billing = tracer.span(TRACE_SYSTEM, "faas.billing");
+            billing.attr("billed", "timeout_cap");
             self.inner
                 .billing
                 .charge(&spec.tenant, spec.memory, spec.timeout);
+            drop(billing);
             // The container is destroyed, not returned warm.
-            return Err(FaasError::Timeout { limit: spec.timeout, ran: exec_duration });
+            return Err(FaasError::Timeout {
+                limit: spec.timeout,
+                ran: exec_duration,
+            });
         }
 
-        let cost = self
-            .inner
-            .billing
-            .charge(&spec.tenant, spec.memory, exec_duration);
+        let cost = {
+            let mut billing = tracer.span(TRACE_SYSTEM, "faas.billing");
+            let cost = self
+                .inner
+                .billing
+                .charge(&spec.tenant, spec.memory, exec_duration);
+            billing.attr("cost_usd", format!("{cost:.9}"));
+            cost
+        };
         self.inner
             .metrics
             .histogram("exec_duration_us")
@@ -326,7 +400,10 @@ impl FaasPlatform {
         match output {
             Ok(bytes) => {
                 // Healthy container returns to the warm pool.
-                self.inner.pool.lock().release(spec.sandbox_key(), clock.now());
+                self.inner
+                    .pool
+                    .lock()
+                    .release(spec.sandbox_key(), clock.now());
                 self.inner.metrics.counter("invocations_ok").inc();
                 Ok(InvocationResult {
                     id: InvocationId(self.inner.invocation_ids.next()),
@@ -342,9 +419,15 @@ impl FaasPlatform {
             Err(reason) => {
                 // Handler errors keep the container warm (the process
                 // survived), as Lambda does.
-                self.inner.pool.lock().release(spec.sandbox_key(), clock.now());
+                self.inner
+                    .pool
+                    .lock()
+                    .release(spec.sandbox_key(), clock.now());
                 self.inner.metrics.counter("invocations_failed").inc();
-                Err(FaasError::ExecutionFailed { function: spec.name.clone(), reason })
+                Err(FaasError::ExecutionFailed {
+                    function: spec.name.clone(),
+                    reason,
+                })
             }
         }
     }
@@ -381,7 +464,8 @@ mod tests {
     #[test]
     fn cold_then_warm_latency_gap() {
         let (p, _) = platform();
-        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![])))
+            .unwrap();
         let cold = p.invoke("f", &[][..]).unwrap();
         let warm = p.invoke("f", &[][..]).unwrap();
         assert_eq!(cold.start, StartKind::Cold);
@@ -399,7 +483,8 @@ mod tests {
             ..PlatformConfig::deterministic()
         };
         let p = FaasPlatform::new(cfg, clock.clone());
-        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![])))
+            .unwrap();
         p.invoke("f", &[][..]).unwrap();
         clock.advance(Duration::from_secs(5));
         assert_eq!(p.invoke("f", &[][..]).unwrap().start, StartKind::Warm);
@@ -421,8 +506,8 @@ mod tests {
         let r = p.invoke("work", &[][..]).unwrap();
         assert_eq!(r.exec_duration, Duration::from_millis(250));
         // 250 ms rounds to 300 ms at 100 ms granularity.
-        let expect = FaasPricing::default()
-            .invocation_cost(ByteSize::gb(1), Duration::from_millis(250));
+        let expect =
+            FaasPricing::default().invocation_cost(ByteSize::gb(1), Duration::from_millis(250));
         assert!((r.cost - expect).abs() < 1e-12);
         assert!((p.billing().total("tenant-a") - expect).abs() < 1e-12);
     }
@@ -451,10 +536,8 @@ mod tests {
     #[test]
     fn handler_errors_surface_and_keep_container_warm() {
         let (p, _) = platform();
-        p.register(FunctionSpec::new("bad", "t", |_| {
-            Err("boom".to_string())
-        }))
-        .unwrap();
+        p.register(FunctionSpec::new("bad", "t", |_| Err("boom".to_string())))
+            .unwrap();
         let err = p.invoke("bad", &[][..]).unwrap_err();
         assert!(matches!(err, FaasError::ExecutionFailed { ref reason, .. } if reason == "boom"));
         assert_eq!(p.warm_count("bad"), 1);
@@ -466,7 +549,9 @@ mod tests {
         let failures = Arc::new(AtomicU32::new(2));
         let f = failures.clone();
         p.register(FunctionSpec::new("flaky", "t", move |_| {
-            if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1)) .is_ok() {
+            if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
                 Err("transient".into())
             } else {
                 Ok(b"finally".to_vec())
@@ -520,7 +605,8 @@ mod tests {
             ..PlatformConfig::deterministic()
         };
         let p = FaasPlatform::new(cfg, clock.clone());
-        p.register(FunctionSpec::new("f", "noisy", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("f", "noisy", |_| Ok(vec![])))
+            .unwrap();
         for _ in 0..3 {
             p.invoke("f", &[][..]).unwrap();
         }
@@ -536,7 +622,8 @@ mod tests {
     #[test]
     fn provisioned_concurrency_eliminates_cold_starts() {
         let (p, _) = platform();
-        p.register(FunctionSpec::new("hot", "t", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("hot", "t", |_| Ok(vec![])))
+            .unwrap();
         p.provision("hot", 2).unwrap();
         assert_eq!(p.invoke("hot", &[][..]).unwrap().start, StartKind::Warm);
         assert_eq!(p.start_counts().0, 0, "no cold starts with pre-warming");
@@ -551,7 +638,8 @@ mod tests {
             .unwrap();
         p.register(FunctionSpec::new("store", "t", |_| Ok(vec![])).with_app("pipeline"))
             .unwrap();
-        p.register(FunctionSpec::new("stranger", "t", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("stranger", "t", |_| Ok(vec![])))
+            .unwrap();
         assert_eq!(p.invoke("parse", &[][..]).unwrap().start, StartKind::Cold);
         assert_eq!(
             p.invoke("store", &[][..]).unwrap().start,
@@ -587,7 +675,8 @@ mod tests {
             p.invoke("ghost", &[][..]),
             Err(FaasError::FunctionNotFound(_))
         ));
-        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![]))).unwrap();
+        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![])))
+            .unwrap();
         assert!(matches!(
             p.register(FunctionSpec::new("f", "t", |_| Ok(vec![]))),
             Err(FaasError::FunctionExists(_))
@@ -606,9 +695,7 @@ mod tests {
             let p = p.clone();
             handles.push(std::thread::spawn(move || {
                 (0..25)
-                    .map(|i| {
-                        p.invoke("f", vec![t as u8, i as u8]).unwrap().output
-                    })
+                    .map(|i| p.invoke("f", vec![t as u8, i as u8]).unwrap().output)
                     .collect::<Vec<_>>()
             }));
         }

@@ -173,11 +173,7 @@ impl Explorer {
 
 /// Exhaustively check a handler against the naive semantics over every
 /// schedule with up to `max_crashes` crash-retries.
-pub fn check_equivalence(
-    handler: ModelHandler,
-    requests: &[u8],
-    max_crashes: u32,
-) -> CheckReport {
+pub fn check_equivalence(handler: ModelHandler, requests: &[u8], max_crashes: u32) -> CheckReport {
     let naive = naive_semantics(handler, requests);
     let mut ex = Explorer {
         handler,
@@ -210,7 +206,10 @@ pub fn safe_handler(request: u8, instance_state: u64) -> (u8, u64) {
 /// response — the "works in testing, flaky in production" bug class the
 /// statelessness requirement exists to prevent.
 pub fn unsafe_handler(request: u8, instance_state: u64) -> (u8, u64) {
-    (request.wrapping_add(instance_state as u8), instance_state + 1)
+    (
+        request.wrapping_add(instance_state as u8),
+        instance_state + 1,
+    )
 }
 
 #[cfg(test)]

@@ -67,13 +67,18 @@ impl TriggerManager {
     /// Register a queue trigger; returns its index for enqueueing.
     pub fn add_queue(&self, function: &str) -> usize {
         let mut queues = self.queues.lock();
-        queues.push(QueueTrigger { function: function.to_string(), queue: VecDeque::new() });
+        queues.push(QueueTrigger {
+            function: function.to_string(),
+            queue: VecDeque::new(),
+        });
         queues.len() - 1
     }
 
     /// Enqueue an event for a queue trigger.
     pub fn enqueue(&self, queue_idx: usize, payload: &[u8]) {
-        self.queues.lock()[queue_idx].queue.push_back(payload.to_vec());
+        self.queues.lock()[queue_idx]
+            .queue
+            .push_back(payload.to_vec());
     }
 
     /// Pending events in a queue trigger.
@@ -134,8 +139,10 @@ mod tests {
     fn setup() -> (TriggerManager, FaasPlatform, Arc<VirtualClock>) {
         let clock = VirtualClock::shared();
         let p = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
-        p.register(FunctionSpec::new("tick", "t", |ctx| Ok(ctx.payload.to_vec())))
-            .unwrap();
+        p.register(FunctionSpec::new("tick", "t", |ctx| {
+            Ok(ctx.payload.to_vec())
+        }))
+        .unwrap();
         (TriggerManager::new(p.clone()), p, clock)
     }
 

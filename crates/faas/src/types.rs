@@ -148,7 +148,10 @@ mod tests {
     fn ctx_burn_advances_virtual_clock() {
         use taureau_core::clock::{Clock, VirtualClock};
         let clock = VirtualClock::shared();
-        let ctx = InvocationCtx { payload: Bytes::new(), clock: clock.clone() };
+        let ctx = InvocationCtx {
+            payload: Bytes::new(),
+            clock: clock.clone(),
+        };
         ctx.burn(Duration::from_millis(250));
         assert_eq!(clock.now(), Duration::from_millis(250));
         assert_eq!(ctx.payload_str(), Some(""));

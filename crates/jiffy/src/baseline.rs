@@ -18,10 +18,10 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
+use rand_chacha::ChaCha8Rng;
 use taureau_core::clock::SharedClock;
 use taureau_core::latency::{profiles, LatencyModel};
 use taureau_core::rng::det_rng;
-use rand_chacha::ChaCha8Rng;
 
 use taureau_core::hash::hash64;
 
@@ -46,7 +46,11 @@ struct PersistentState {
 impl PersistentStore {
     /// Create with the standard S3-calibrated latency profiles.
     pub fn new(clock: SharedClock) -> Self {
-        Self::with_latency(clock, profiles::persistent_read(), profiles::persistent_write())
+        Self::with_latency(
+            clock,
+            profiles::persistent_read(),
+            profiles::persistent_write(),
+        )
     }
 
     /// Create with explicit latency models (tests use `LatencyModel::zero`).
@@ -213,13 +217,21 @@ impl GlobalStore {
         let mut st = self.state.lock();
         let n = st.partitions.len();
         if target == n {
-            return RepartitionReport { total_moved: 0, other_tenants_moved: 0, keys_moved: 0 };
+            return RepartitionReport {
+                total_moved: 0,
+                other_tenants_moved: 0,
+                keys_moved: 0,
+            };
         }
         let old = std::mem::replace(
             &mut st.partitions,
             (0..target).map(|_| GlobalPartition::new()).collect(),
         );
-        let mut report = RepartitionReport { total_moved: 0, other_tenants_moved: 0, keys_moved: 0 };
+        let mut report = RepartitionReport {
+            total_moved: 0,
+            other_tenants_moved: 0,
+            keys_moved: 0,
+        };
         for (old_idx, part) in old.into_iter().enumerate() {
             for (full_key, (tenant, value)) in part {
                 let new_idx = Self::index(&full_key, target);

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, WallClock};
 use taureau_core::metrics::MetricsRegistry;
+use taureau_core::trace::Tracer;
 
 use crate::data::{FileObject, KvObject, ObjectState, QueueObject};
 use crate::error::{JiffyError, Result};
@@ -22,6 +23,9 @@ use crate::namespace::NamespaceTree;
 use crate::notify::{Event, EventKind, NotificationBus, Subscription};
 use crate::path::JPath;
 use crate::pool::{MemoryPool, PoolStats};
+
+/// Subsystem label stamped on every span this crate records.
+const TRACE_SYSTEM: &str = "taureau-jiffy";
 
 /// Configuration for a Jiffy deployment.
 #[derive(Debug, Clone)]
@@ -62,6 +66,7 @@ struct Inner {
     cfg: JiffyConfig,
     state: Mutex<State>,
     metrics: MetricsRegistry,
+    tracer: Mutex<Tracer>,
 }
 
 /// The Jiffy virtual-memory service for ephemeral serverless state.
@@ -90,6 +95,7 @@ impl Jiffy {
                     bus: NotificationBus::new(),
                 }),
                 metrics: MetricsRegistry::new(),
+                tracer: Mutex::new(Tracer::disabled()),
             }),
         }
     }
@@ -109,6 +115,18 @@ impl Jiffy {
         &self.inner.metrics
     }
 
+    /// Attach a tracer; object creation and data-path operations record
+    /// spans on it.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.lock() = tracer;
+    }
+
+    /// The attached tracer (disabled unless [`Jiffy::set_tracer`] was
+    /// called).
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.lock().clone()
+    }
+
     /// Pool statistics snapshot.
     pub fn pool_stats(&self) -> PoolStats {
         self.inner.state.lock().pool.stats()
@@ -123,7 +141,10 @@ impl Jiffy {
     /// (for the E5 multiplexing report).
     pub fn multiplexing_report(&self) -> (u64, u64) {
         let st = self.inner.state.lock();
-        (st.pool.stats().peak_allocated_blocks, st.pool.sum_of_app_peaks())
+        (
+            st.pool.stats().peak_allocated_blocks,
+            st.pool.sum_of_app_peaks(),
+        )
     }
 
     fn app_lease_path(path: &JPath) -> Option<JPath> {
@@ -145,7 +166,10 @@ impl Jiffy {
                 st.leases.renew(&path, now);
             }
         }
-        st.bus.publish(Event { path, kind: EventKind::Created });
+        st.bus.publish(Event {
+            path,
+            kind: EventKind::Created,
+        });
         Ok(())
     }
 
@@ -172,7 +196,10 @@ impl Jiffy {
         if path.depth() == 1 {
             st.leases.release(&path);
         }
-        st.bus.publish(Event { path, kind: EventKind::Removed });
+        st.bus.publish(Event {
+            path,
+            kind: EventKind::Removed,
+        });
         Ok(())
     }
 
@@ -199,8 +226,10 @@ impl Jiffy {
                 }
             }
             reclaimed.inc();
-            st.bus
-                .publish(Event { path: path.clone(), kind: EventKind::LeaseExpired });
+            st.bus.publish(Event {
+                path: path.clone(),
+                kind: EventKind::LeaseExpired,
+            });
         }
         expired
     }
@@ -227,18 +256,31 @@ impl Jiffy {
     /// The namespace is created if missing.
     pub fn create_kv(&self, path: impl Into<JPath>, partitions: usize) -> Result<KvHandle> {
         let path = path.into();
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "jiffy.create_kv");
+        span.attr("path", &path);
+        span.attr("partitions", partitions);
         let now = self.inner.clock.now();
-        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let app = path
+            .app()
+            .ok_or(JiffyError::NotADirectory(path.clone()))?
+            .to_string();
         let mut st = self.inner.state.lock();
         Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
         let node = st.tree.get(&path)?;
         if node.object.is_some() {
             return Err(JiffyError::AlreadyExists(path));
         }
+        let mut alloc_span = tracer.span(TRACE_SYSTEM, "jiffy.block_alloc");
+        alloc_span.attr("blocks", partitions);
         let kv = KvObject::create(&mut st.pool, &app, partitions)?;
+        drop(alloc_span);
         st.tree.get_mut(&path)?.object = Some(ObjectState::Kv(kv));
         drop(st);
-        Ok(KvHandle { jiffy: self.clone(), path })
+        Ok(KvHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     /// Open an existing KV object.
@@ -246,7 +288,10 @@ impl Jiffy {
         let path = path.into();
         let st = self.inner.state.lock();
         match &st.tree.get(&path)?.object {
-            Some(ObjectState::Kv(_)) => Ok(KvHandle { jiffy: self.clone(), path: path.clone() }),
+            Some(ObjectState::Kv(_)) => Ok(KvHandle {
+                jiffy: self.clone(),
+                path: path.clone(),
+            }),
             Some(other) => Err(JiffyError::WrongKind {
                 path,
                 actual: other.kind(),
@@ -259,8 +304,13 @@ impl Jiffy {
     /// Create a queue object at `path` (namespace created if missing).
     pub fn create_queue(&self, path: impl Into<JPath>) -> Result<QueueHandle> {
         let path = path.into();
+        let mut span = self.tracer().span(TRACE_SYSTEM, "jiffy.create_queue");
+        span.attr("path", &path);
         let now = self.inner.clock.now();
-        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let app = path
+            .app()
+            .ok_or(JiffyError::NotADirectory(path.clone()))?
+            .to_string();
         let mut st = self.inner.state.lock();
         Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
         let node = st.tree.get(&path)?;
@@ -269,7 +319,10 @@ impl Jiffy {
         }
         st.tree.get_mut(&path)?.object = Some(ObjectState::Queue(QueueObject::create(&app)));
         drop(st);
-        Ok(QueueHandle { jiffy: self.clone(), path })
+        Ok(QueueHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     /// Open an existing queue object.
@@ -277,9 +330,10 @@ impl Jiffy {
         let path = path.into();
         let st = self.inner.state.lock();
         match &st.tree.get(&path)?.object {
-            Some(ObjectState::Queue(_)) => {
-                Ok(QueueHandle { jiffy: self.clone(), path: path.clone() })
-            }
+            Some(ObjectState::Queue(_)) => Ok(QueueHandle {
+                jiffy: self.clone(),
+                path: path.clone(),
+            }),
             Some(other) => Err(JiffyError::WrongKind {
                 path,
                 actual: other.kind(),
@@ -292,8 +346,13 @@ impl Jiffy {
     /// Create a file object at `path` (namespace created if missing).
     pub fn create_file(&self, path: impl Into<JPath>) -> Result<FileHandle> {
         let path = path.into();
+        let mut span = self.tracer().span(TRACE_SYSTEM, "jiffy.create_file");
+        span.attr("path", &path);
         let now = self.inner.clock.now();
-        let app = path.app().ok_or(JiffyError::NotADirectory(path.clone()))?.to_string();
+        let app = path
+            .app()
+            .ok_or(JiffyError::NotADirectory(path.clone()))?
+            .to_string();
         let mut st = self.inner.state.lock();
         Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
         let node = st.tree.get(&path)?;
@@ -302,7 +361,10 @@ impl Jiffy {
         }
         st.tree.get_mut(&path)?.object = Some(ObjectState::File(FileObject::create(&app)));
         drop(st);
-        Ok(FileHandle { jiffy: self.clone(), path })
+        Ok(FileHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     /// Open an existing file object.
@@ -310,9 +372,10 @@ impl Jiffy {
         let path = path.into();
         let st = self.inner.state.lock();
         match &st.tree.get(&path)?.object {
-            Some(ObjectState::File(_)) => {
-                Ok(FileHandle { jiffy: self.clone(), path: path.clone() })
-            }
+            Some(ObjectState::File(_)) => Ok(FileHandle {
+                jiffy: self.clone(),
+                path: path.clone(),
+            }),
             Some(other) => Err(JiffyError::WrongKind {
                 path,
                 actual: other.kind(),
@@ -385,11 +448,10 @@ impl Jiffy {
     }
 
     fn publish(&self, path: &JPath, kind: EventKind) {
-        self.inner
-            .state
-            .lock()
-            .bus
-            .publish(Event { path: path.clone(), kind });
+        self.inner.state.lock().bus.publish(Event {
+            path: path.clone(),
+            kind,
+        });
     }
 }
 
@@ -410,9 +472,16 @@ impl KvHandle {
     /// full; re-partitioned bytes are recorded in the
     /// `kv_repartitioned_bytes` metric.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.kv_put");
+        span.attr("path", &self.path);
+        span.attr("bytes", key.len() + value.len());
+        self.jiffy.metrics().counter("kv_puts").inc();
         let moved = self
             .jiffy
             .with_kv(&self.path, |kv, pool| kv.put(pool, key, value))?;
+        if moved > 0 {
+            span.attr("repartitioned_bytes", moved);
+        }
         if moved > 0 {
             self.jiffy
                 .metrics()
@@ -426,8 +495,14 @@ impl KvHandle {
 
     /// Read a key.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.jiffy
-            .with_kv(&self.path, |kv, _| Ok(kv.get(key).map(<[u8]>::to_vec)))
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.kv_get");
+        span.attr("path", &self.path);
+        self.jiffy.metrics().counter("kv_gets").inc();
+        let value = self
+            .jiffy
+            .with_kv(&self.path, |kv, _| Ok(kv.get(key).map(<[u8]>::to_vec)))?;
+        span.attr("hit", value.is_some());
+        Ok(value)
     }
 
     /// Remove a key, returning its value.
@@ -484,6 +559,10 @@ impl QueueHandle {
 
     /// Append a payload.
     pub fn push(&self, payload: &[u8]) -> Result<()> {
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.queue_push");
+        span.attr("path", &self.path);
+        span.attr("bytes", payload.len());
+        self.jiffy.metrics().counter("queue_pushes").inc();
         self.jiffy
             .with_queue(&self.path, |q, pool| q.push(pool, payload))?;
         self.jiffy.publish(&self.path, EventKind::QueuePush);
@@ -492,7 +571,14 @@ impl QueueHandle {
 
     /// Pop the oldest payload.
     pub fn pop(&self) -> Result<Option<Vec<u8>>> {
-        self.jiffy.with_queue(&self.path, |q, pool| Ok(q.pop(pool)))
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.queue_pop");
+        span.attr("path", &self.path);
+        self.jiffy.metrics().counter("queue_pops").inc();
+        let popped = self
+            .jiffy
+            .with_queue(&self.path, |q, pool| Ok(q.pop(pool)))?;
+        span.attr("hit", popped.is_some());
+        Ok(popped)
     }
 
     /// Elements queued.
@@ -521,6 +607,10 @@ impl FileHandle {
 
     /// Append bytes; returns the new length.
     pub fn append(&self, bytes: &[u8]) -> Result<u64> {
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.file_append");
+        span.attr("path", &self.path);
+        span.attr("bytes", bytes.len());
+        self.jiffy.metrics().counter("file_appends").inc();
         let len = self
             .jiffy
             .with_file(&self.path, |f, pool| f.append(pool, bytes))?;
@@ -530,8 +620,15 @@ impl FileHandle {
 
     /// Read a byte range (clamped to the file length).
     pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.jiffy
-            .with_file(&self.path, |f, _| Ok(f.read(offset, len).to_vec()))
+        let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.file_read");
+        span.attr("path", &self.path);
+        span.attr("offset", offset);
+        self.jiffy.metrics().counter("file_reads").inc();
+        let data = self
+            .jiffy
+            .with_file(&self.path, |f, _| Ok(f.read(offset, len).to_vec()))?;
+        span.attr("bytes", data.len());
+        Ok(data)
     }
 
     /// Full contents.

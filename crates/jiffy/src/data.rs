@@ -82,17 +82,17 @@ pub struct KvObject {
 
 impl KvObject {
     /// Create with `initial_partitions` blocks allocated for `app`.
-    pub fn create(
-        pool: &mut MemoryPool,
-        app: &str,
-        initial_partitions: usize,
-    ) -> Result<Self> {
+    pub fn create(pool: &mut MemoryPool, app: &str, initial_partitions: usize) -> Result<Self> {
         assert!(initial_partitions > 0, "need at least one partition");
         let blocks = pool.allocate(app, initial_partitions as u64)?;
         Ok(Self {
             partitions: blocks
                 .into_iter()
-                .map(|block| Partition { block, map: HashMap::new(), used: 0 })
+                .map(|block| Partition {
+                    block,
+                    map: HashMap::new(),
+                    used: 0,
+                })
                 .collect(),
             app: app.to_string(),
         })
@@ -191,7 +191,11 @@ impl KvObject {
         let new_blocks = pool.allocate(&self.app, target as u64)?;
         let mut new_parts: Vec<Partition> = new_blocks
             .into_iter()
-            .map(|block| Partition { block, map: HashMap::new(), used: 0 })
+            .map(|block| Partition {
+                block,
+                map: HashMap::new(),
+                used: 0,
+            })
             .collect();
         let mut moved = 0u64;
         let old_parts = std::mem::take(&mut self.partitions);
@@ -225,11 +229,7 @@ impl KvObject {
         self.partitions = new_parts;
         // If shrink over-committed any partition, grow back out until all
         // partitions fit.
-        while self
-            .partitions
-            .iter()
-            .any(|p| p.used > block_size)
-        {
+        while self.partitions.iter().any(|p| p.used > block_size) {
             let next = self.partitions.len() + 1;
             moved += self.scale_to(pool, next)?;
         }

@@ -56,19 +56,29 @@ impl std::fmt::Display for JiffyError {
         match self {
             JiffyError::NotFound(p) => write!(f, "namespace not found: {p}"),
             JiffyError::AlreadyExists(p) => write!(f, "namespace already exists: {p}"),
-            JiffyError::PoolExhausted { requested, available } => write!(
+            JiffyError::PoolExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "memory pool exhausted: requested {requested} blocks, {available} available"
             ),
             JiffyError::QuotaExceeded { app, held, quota } => {
-                write!(f, "quota exceeded for {app}: holds {held} of {quota} blocks")
+                write!(
+                    f,
+                    "quota exceeded for {app}: holds {held} of {quota} blocks"
+                )
             }
-            JiffyError::WrongKind { path, actual, requested } => write!(
-                f,
-                "object at {path} is a {actual}, not a {requested}"
-            ),
+            JiffyError::WrongKind {
+                path,
+                actual,
+                requested,
+            } => write!(f, "object at {path} is a {actual}, not a {requested}"),
             JiffyError::LeaseExpired(p) => write!(f, "lease expired for {p}"),
-            JiffyError::ValueTooLarge { value_bytes, block_bytes } => write!(
+            JiffyError::ValueTooLarge {
+                value_bytes,
+                block_bytes,
+            } => write!(
                 f,
                 "value of {value_bytes} B exceeds block size {block_bytes} B"
             ),

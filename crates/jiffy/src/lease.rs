@@ -46,7 +46,13 @@ impl LeaseManager {
 
     /// Grant (or re-grant) a lease at `now` with the given TTL.
     pub fn grant(&mut self, path: JPath, ttl: Duration, now: Duration) {
-        self.leases.insert(path, Lease { ttl, renewed_at: now });
+        self.leases.insert(
+            path,
+            Lease {
+                ttl,
+                renewed_at: now,
+            },
+        );
     }
 
     /// Renew the lease covering `path` (i.e. the lease on `path` itself or

@@ -129,7 +129,10 @@ mod tests {
     use super::*;
 
     fn event(path: &str, kind: EventKind) -> Event {
-        Event { path: JPath::parse(path), kind }
+        Event {
+            path: JPath::parse(path),
+            kind,
+        }
     }
 
     #[test]

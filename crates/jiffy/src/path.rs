@@ -18,7 +18,9 @@ pub struct JPath {
 impl JPath {
     /// The root path `/`.
     pub fn root() -> Self {
-        Self { segments: Vec::new() }
+        Self {
+            segments: Vec::new(),
+        }
     }
 
     /// Parse a path like `"/app/stage/task"`. Empty segments are dropped,

@@ -77,7 +77,10 @@ impl MemoryPool {
                         id
                     })
                     .collect();
-                NodeState { capacity: blocks_per_node, free }
+                NodeState {
+                    capacity: blocks_per_node,
+                    free,
+                }
             })
             .collect();
         Self {
@@ -169,7 +172,10 @@ impl MemoryPool {
                 .max_by_key(|(_, s)| s.free.len())
                 .expect("pool has nodes");
             let id = node.free.pop().expect("checked free capacity");
-            out.push(BlockRef { node: NodeId(idx as u64), id });
+            out.push(BlockRef {
+                node: NodeId(idx as u64),
+                id,
+            });
         }
         self.allocated += n;
         self.peak_allocated = self.peak_allocated.max(self.allocated);
@@ -199,11 +205,7 @@ impl MemoryPool {
         );
         for b in blocks {
             let node = &mut self.nodes[b.node.raw() as usize];
-            debug_assert!(
-                !node.free.contains(&b.id),
-                "double free of {:?}",
-                b.id
-            );
+            debug_assert!(!node.free.contains(&b.id), "double free of {:?}", b.id);
             node.free.push(b.id);
         }
         *held -= blocks.len() as u64;
@@ -223,8 +225,7 @@ mod tests {
     fn allocation_spreads_across_nodes() {
         let mut p = pool();
         let blocks = p.allocate("a", 4).unwrap();
-        let nodes: std::collections::HashSet<NodeId> =
-            blocks.iter().map(|b| b.node).collect();
+        let nodes: std::collections::HashSet<NodeId> = blocks.iter().map(|b| b.node).collect();
         assert_eq!(nodes.len(), 4, "4 blocks should land on 4 distinct nodes");
     }
 
@@ -234,7 +235,10 @@ mod tests {
         let all = p.allocate("a", 32).unwrap();
         assert_eq!(all.len(), 32);
         let err = p.allocate("a", 1).unwrap_err();
-        assert!(matches!(err, JiffyError::PoolExhausted { available: 0, .. }));
+        assert!(matches!(
+            err,
+            JiffyError::PoolExhausted { available: 0, .. }
+        ));
     }
 
     #[test]
@@ -293,7 +297,10 @@ mod tests {
     #[should_panic(expected = "never allocated")]
     fn freeing_unheld_blocks_panics() {
         let mut p = pool();
-        let fake = BlockRef { node: NodeId(0), id: BlockId(0) };
+        let fake = BlockRef {
+            node: NodeId(0),
+            id: BlockId(0),
+        };
         p.free("ghost", &[fake]);
     }
 }

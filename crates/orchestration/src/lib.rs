@@ -34,6 +34,7 @@ use std::time::Duration;
 use parking_lot::RwLock;
 
 use taureau_core::cost::Dollars;
+use taureau_core::metrics::MetricsRegistry;
 use taureau_faas::{FaasError, FaasPlatform};
 
 /// A predicate over input bytes, used by [`Composition::Choice`].
@@ -82,7 +83,12 @@ impl Composition {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Composition::Sequence(names.into_iter().map(|n| Composition::Task(n.into())).collect())
+        Composition::Sequence(
+            names
+                .into_iter()
+                .map(|n| Composition::Task(n.into()))
+                .collect(),
+        )
     }
 
     /// Convenience: a choice on a plain closure.
@@ -139,12 +145,23 @@ impl ExecutionReport {
 pub struct Orchestrator {
     platform: FaasPlatform,
     named: Arc<RwLock<HashMap<String, Composition>>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Orchestrator {
     /// Orchestrator over a platform.
     pub fn new(platform: FaasPlatform) -> Self {
-        Self { platform, named: Arc::new(RwLock::new(HashMap::new())) }
+        Self {
+            platform,
+            named: Arc::new(RwLock::new(HashMap::new())),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Metrics registry (compositions run, tasks invoked, retries, task
+    /// execution times).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Register a composition under a name (the closure property: it can
@@ -155,9 +172,16 @@ impl Orchestrator {
 
     /// Run a composition on an input.
     pub fn run(&self, comp: &Composition, input: &[u8]) -> Result<ExecutionReport, FaasError> {
-        let mut report = ExecutionReport { output: Vec::new(), invocations: Vec::new() };
+        self.metrics.counter("compositions_run").inc();
+        let mut report = ExecutionReport {
+            output: Vec::new(),
+            invocations: Vec::new(),
+        };
         let output = self.eval(comp, input.to_vec(), &mut report)?;
         report.output = output;
+        self.metrics
+            .histogram("composition_billed_us")
+            .record_duration(report.invocations.iter().map(|r| r.duration).sum());
         Ok(report)
     }
 
@@ -169,7 +193,17 @@ impl Orchestrator {
     ) -> Result<Vec<u8>, FaasError> {
         match comp {
             Composition::Task(name) => {
-                let r = self.platform.invoke(name, input)?;
+                self.metrics.counter("tasks_invoked").inc();
+                let r = match self.platform.invoke(name, input) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.metrics.counter("task_failures").inc();
+                        return Err(e);
+                    }
+                };
+                self.metrics
+                    .histogram("task_exec_us")
+                    .record_duration(r.exec_duration);
                 report.invocations.push(InvocationRecord {
                     function: name.clone(),
                     cost: r.cost,
@@ -201,7 +235,11 @@ impl Orchestrator {
                 }
                 Ok(frame::pack(&outputs))
             }
-            Composition::Choice { predicate, then, otherwise } => {
+            Composition::Choice {
+                predicate,
+                then,
+                otherwise,
+            } => {
                 if predicate(&input) {
                     self.eval(then, input, report)
                 } else {
@@ -225,7 +263,10 @@ impl Orchestrator {
                 for _ in 0..*attempts {
                     match self.eval(inner, input.clone(), report) {
                         Ok(out) => return Ok(out),
-                        Err(e @ (FaasError::ExecutionFailed { .. } | FaasError::Timeout { .. })) => {
+                        Err(
+                            e @ (FaasError::ExecutionFailed { .. } | FaasError::Timeout { .. }),
+                        ) => {
+                            self.metrics.counter("retries").inc();
                             last = Some(e);
                         }
                         Err(e) => return Err(e),

@@ -154,7 +154,11 @@ impl StateMachine {
             payload = r.output;
             current = match &state.next {
                 Transition::End => {
-                    return Ok(StateMachineReport { output: payload, path, invocations });
+                    return Ok(StateMachineReport {
+                        output: payload,
+                        path,
+                        invocations,
+                    });
                 }
                 Transition::Always(next) => next.clone(),
                 Transition::Branch { arms, otherwise } => arms
@@ -164,7 +168,9 @@ impl StateMachine {
                     .unwrap_or_else(|| otherwise.clone()),
             };
         }
-        Err(StateMachineError::TransitionLimit { limit: self.max_transitions })
+        Err(StateMachineError::TransitionLimit {
+            limit: self.max_transitions,
+        })
     }
 }
 
@@ -184,8 +190,10 @@ mod tests {
             Ok(vec![ctx.payload[0] * 2])
         }))
         .unwrap();
-        p.register(FunctionSpec::new("noop", "t", |ctx| Ok(ctx.payload.to_vec())))
-            .unwrap();
+        p.register(FunctionSpec::new("noop", "t", |ctx| {
+            Ok(ctx.payload.to_vec())
+        }))
+        .unwrap();
         p
     }
 
@@ -193,8 +201,20 @@ mod tests {
     fn linear_machine_terminates() {
         let p = platform();
         let m = StateMachine::new("a")
-            .state("a", State { function: "inc".into(), next: Transition::Always("b".into()) })
-            .state("b", State { function: "double".into(), next: Transition::End });
+            .state(
+                "a",
+                State {
+                    function: "inc".into(),
+                    next: Transition::Always("b".into()),
+                },
+            )
+            .state(
+                "b",
+                State {
+                    function: "double".into(),
+                    next: Transition::End,
+                },
+            );
         let r = m.run(&p, &[3]).unwrap();
         assert_eq!(r.output, vec![8]); // (3+1)*2
         assert_eq!(r.path, vec!["a", "b"]);
@@ -214,7 +234,13 @@ mod tests {
                     next: Transition::branch(|out| out[0] >= 10, "done", "bump"),
                 },
             )
-            .state("done", State { function: "noop".into(), next: Transition::End });
+            .state(
+                "done",
+                State {
+                    function: "noop".into(),
+                    next: Transition::End,
+                },
+            );
         let r = m.run(&p, &[0]).unwrap();
         assert_eq!(r.output, vec![10]);
         assert_eq!(r.path.len(), 11); // 10 bumps + done
@@ -226,7 +252,10 @@ mod tests {
         let m = StateMachine::new("spin")
             .state(
                 "spin",
-                State { function: "noop".into(), next: Transition::Always("spin".into()) },
+                State {
+                    function: "noop".into(),
+                    next: Transition::Always("spin".into()),
+                },
             )
             .with_max_transitions(25);
         assert!(matches!(
@@ -265,9 +294,27 @@ mod tests {
                     },
                 },
             )
-            .state("big", State { function: "noop".into(), next: Transition::End })
-            .state("medium", State { function: "noop".into(), next: Transition::End })
-            .state("small", State { function: "noop".into(), next: Transition::End });
+            .state(
+                "big",
+                State {
+                    function: "noop".into(),
+                    next: Transition::End,
+                },
+            )
+            .state(
+                "medium",
+                State {
+                    function: "noop".into(),
+                    next: Transition::End,
+                },
+            )
+            .state(
+                "small",
+                State {
+                    function: "noop".into(),
+                    next: Transition::End,
+                },
+            );
         assert_eq!(m.run(&p, &[200]).unwrap().path[1], "big");
         assert_eq!(m.run(&p, &[50]).unwrap().path[1], "medium");
         assert_eq!(m.run(&p, &[5]).unwrap().path[1], "small");
@@ -277,8 +324,20 @@ mod tests {
     fn no_double_billing_for_machines() {
         let p = platform();
         let m = StateMachine::new("a")
-            .state("a", State { function: "inc".into(), next: Transition::Always("b".into()) })
-            .state("b", State { function: "inc".into(), next: Transition::End });
+            .state(
+                "a",
+                State {
+                    function: "inc".into(),
+                    next: Transition::Always("b".into()),
+                },
+            )
+            .state(
+                "b",
+                State {
+                    function: "inc".into(),
+                    next: Transition::End,
+                },
+            );
         let before = p.billing().total("t");
         let r = m.run(&p, &[0]).unwrap();
         let delta = p.billing().total("t") - before;

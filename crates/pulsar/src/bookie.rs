@@ -114,7 +114,10 @@ mod tests {
         let b = Bookie::new(0);
         assert!(b.add_entry(LedgerId(1), 0, Bytes::from_static(b"e0")));
         assert!(b.add_entry(LedgerId(1), 1, Bytes::from_static(b"e1")));
-        assert_eq!(b.read_entry(LedgerId(1), 0), Some(Bytes::from_static(b"e0")));
+        assert_eq!(
+            b.read_entry(LedgerId(1), 0),
+            Some(Bytes::from_static(b"e0"))
+        );
         assert_eq!(b.read_entry(LedgerId(1), 9), None);
         assert_eq!(b.last_entry(LedgerId(1)), Some(1));
         assert_eq!(b.entry_count(LedgerId(1)), 2);

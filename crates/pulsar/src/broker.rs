@@ -25,6 +25,7 @@ use taureau_core::clock::{SharedClock, WallClock};
 use taureau_core::hash::hash64;
 use taureau_core::id::LedgerId;
 use taureau_core::metrics::MetricsRegistry;
+use taureau_core::trace::Tracer;
 
 use crate::bookie::Bookie;
 use crate::error::{PulsarError, Result};
@@ -33,6 +34,9 @@ use crate::message::{Message, MessageId};
 use crate::metadata::MetadataStore;
 
 const ROUTE_SEED: u64 = 0x52_4f55_5445; // "ROUTE"
+
+/// Subsystem label stamped on every span this crate records.
+const TRACE_SYSTEM: &str = "taureau-pulsar";
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -165,6 +169,7 @@ struct ClusterInner {
     meta: Arc<MetadataStore>,
     topics: Mutex<HashMap<String, Topic>>,
     metrics: MetricsRegistry,
+    tracer: Mutex<Tracer>,
     next_consumer: AtomicU64,
     /// Optional cold tier for sealed segments (§4.3 "tiered storage").
     tier: Mutex<Option<crate::tiering::TierBackend>>,
@@ -196,6 +201,7 @@ impl PulsarCluster {
                 meta,
                 topics: Mutex::new(HashMap::new()),
                 metrics: MetricsRegistry::new(),
+                tracer: Mutex::new(Tracer::disabled()),
                 next_consumer: AtomicU64::new(0),
                 tier: Mutex::new(None),
                 quotas: Mutex::new(HashMap::new()),
@@ -216,6 +222,17 @@ impl PulsarCluster {
     /// Metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Attach a tracer; publish and dispatch paths record spans on it.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.lock() = tracer;
+    }
+
+    /// The attached tracer (disabled unless [`PulsarCluster::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.lock().clone()
     }
 
     /// Direct BookKeeper access (used by benches).
@@ -310,7 +327,10 @@ impl PulsarCluster {
             name.to_string(),
             Topic {
                 partitions: (0..partitions)
-                    .map(|_| Partition { segments: Vec::new(), writer: None })
+                    .map(|_| Partition {
+                        segments: Vec::new(),
+                        writer: None,
+                    })
                     .collect(),
                 subs: HashMap::new(),
                 rr: 0,
@@ -335,7 +355,10 @@ impl PulsarCluster {
     /// Attach a producer to a topic.
     pub fn producer(&self, topic: &str) -> Result<Producer> {
         self.partitions(topic)?;
-        Ok(Producer { cluster: self.clone(), topic: topic.to_string() })
+        Ok(Producer {
+            cluster: self.clone(),
+            topic: topic.to_string(),
+        })
     }
 
     /// Attach a consumer under a named subscription, creating the
@@ -349,16 +372,21 @@ impl PulsarCluster {
         let nparts = self.partitions(topic)? as usize;
         let mut topics = self.inner.topics.lock();
         let t = Self::topic_entry(&self.inner, &mut topics, topic)?;
-        let sub = t.subs.entry(subscription.to_string()).or_insert_with(|| SubState {
-            mode,
-            read: vec![ReadPos { seg: 0, entry: 0 }; nparts],
-            mark_delete: vec![None; nparts],
-            acked: BTreeSet::new(),
-            pending: BTreeSet::new(),
-            consumers: Vec::new(),
-        });
+        let sub = t
+            .subs
+            .entry(subscription.to_string())
+            .or_insert_with(|| SubState {
+                mode,
+                read: vec![ReadPos { seg: 0, entry: 0 }; nparts],
+                mark_delete: vec![None; nparts],
+                acked: BTreeSet::new(),
+                pending: BTreeSet::new(),
+                consumers: Vec::new(),
+            });
         if sub.mode == SubscriptionMode::Exclusive && !sub.consumers.is_empty() {
-            return Err(PulsarError::ExclusiveSubscriptionBusy(subscription.to_string()));
+            return Err(PulsarError::ExclusiveSubscriptionBusy(
+                subscription.to_string(),
+            ));
         }
         let cid = self.inner.next_consumer.fetch_add(1, Ordering::Relaxed);
         sub.consumers.push(cid);
@@ -406,7 +434,10 @@ impl PulsarCluster {
                 if let Some(&last) = segs.last() {
                     let _ = inner.bk.recover_and_close(last);
                 }
-                partitions.push(Partition { segments: segs, writer: None });
+                partitions.push(Partition {
+                    segments: segs,
+                    writer: None,
+                });
             }
             let mut subs = HashMap::new();
             for key in inner.meta.list_prefix(&format!("/topics/{name}/subs/")) {
@@ -414,9 +445,7 @@ impl PulsarCluster {
                 let mode = inner
                     .meta
                     .get(&key)
-                    .and_then(|v| {
-                        SubscriptionMode::decode(std::str::from_utf8(&v.data).ok()?)
-                    })
+                    .and_then(|v| SubscriptionMode::decode(std::str::from_utf8(&v.data).ok()?))
                     .unwrap_or(SubscriptionMode::Shared);
                 // Restore cursors from persisted mark-delete positions.
                 let mut read = Vec::with_capacity(nparts as usize);
@@ -433,7 +462,10 @@ impl PulsarCluster {
                                 .iter()
                                 .position(|&l| l == id.ledger)
                                 .unwrap_or(0);
-                            ReadPos { seg, entry: id.entry + 1 }
+                            ReadPos {
+                                seg,
+                                entry: id.entry + 1,
+                            }
                         }
                         None => ReadPos { seg: 0, entry: 0 },
                     };
@@ -452,7 +484,14 @@ impl PulsarCluster {
                     },
                 );
             }
-            topics.insert(name.to_string(), Topic { partitions, subs, rr: 0 });
+            topics.insert(
+                name.to_string(),
+                Topic {
+                    partitions,
+                    subs,
+                    rr: 0,
+                },
+            );
         }
         Ok(topics.get_mut(name).expect("just inserted"))
     }
@@ -465,12 +504,17 @@ impl PulsarCluster {
     }
 
     fn persist_segments(inner: &ClusterInner, topic: &str, p: usize, segs: &[LedgerId]) {
-        inner
-            .meta
-            .put(&format!("/topics/{topic}/{p}/segments"), encode_segments(segs));
+        inner.meta.put(
+            &format!("/topics/{topic}/{p}/segments"),
+            encode_segments(segs),
+        );
     }
 
     fn publish(&self, topic: &str, key: Option<&[u8]>, payload: &[u8]) -> Result<MessageId> {
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish");
+        span.attr("topic", topic);
+        span.attr("bytes", payload.len());
         let now = self.inner.clock.now();
         let mut topics = self.inner.topics.lock();
         let inner = &self.inner;
@@ -491,6 +535,7 @@ impl PulsarCluster {
             }
             if retained >= quota {
                 inner.metrics.counter("quota_rejections").inc();
+                span.attr("outcome", "quota_rejected");
                 return Err(PulsarError::TenantQuotaExceeded {
                     tenant: tenant.to_string(),
                     quota,
@@ -506,10 +551,11 @@ impl PulsarCluster {
                 (t.rr as usize) % nparts
             }
         };
+        span.attr("partition", p);
         let entry_bytes = encode_entry(key, now.as_nanos() as u64, payload);
         let part = &mut t.partitions[p];
         // Up to one rollover retry on quorum failure.
-        for _attempt in 0..2 {
+        for attempt in 0..2 {
             // Open a writer if needed, rolling over at the segment cap.
             let need_new = match &part.writer {
                 None => true,
@@ -525,10 +571,20 @@ impl PulsarCluster {
                 part.writer = Some(w);
             }
             let w = part.writer.as_mut().expect("writer just ensured");
-            match w.append(entry_bytes.clone()) {
+            let mut append_span = tracer.span(TRACE_SYSTEM, "pulsar.bookie_append");
+            append_span.attr("ledger", w.id().raw());
+            append_span.attr("attempt", attempt);
+            let appended = w.append(entry_bytes.clone());
+            drop(append_span);
+            match appended {
                 Ok(entry) => {
                     self.inner.metrics.counter("messages_published").inc();
-                    return Ok(MessageId { partition: p as u32, ledger: w.id(), entry });
+                    span.attr("outcome", "ok");
+                    return Ok(MessageId {
+                        partition: p as u32,
+                        ledger: w.id(),
+                        entry,
+                    });
                 }
                 Err(PulsarError::QuorumUnavailable { .. }) => {
                     // Seal the wounded ledger and roll over to a fresh
@@ -540,6 +596,7 @@ impl PulsarCluster {
                 Err(e) => return Err(e),
             }
         }
+        span.attr("outcome", "quorum_unavailable");
         Err(PulsarError::QuorumUnavailable {
             needed: inner.cfg.ledger.ack_quorum,
             got: 0,
@@ -592,6 +649,10 @@ impl PulsarCluster {
         consumer_id: u64,
         start_part: &mut usize,
     ) -> Result<Option<Message>> {
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "pulsar.dispatch");
+        span.attr("topic", topic);
+        span.attr("subscription", subscription);
         let mut topics = self.inner.topics.lock();
         let inner = &self.inner;
         let t = Self::topic_entry(inner, &mut topics, topic)?;
@@ -601,9 +662,7 @@ impl PulsarCluster {
             .get_mut(subscription)
             .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
         // Failover: only the active (first attached) consumer receives.
-        if sub.mode == SubscriptionMode::Failover
-            && sub.consumers.first() != Some(&consumer_id)
-        {
+        if sub.mode == SubscriptionMode::Failover && sub.consumers.first() != Some(&consumer_id) {
             return Ok(None);
         }
         for scan in 0..nparts {
@@ -623,14 +682,24 @@ impl PulsarCluster {
                         .as_ref()
                         .is_some_and(|w| w.id() == part.segments[pos.seg]);
                     if !is_open && pos.seg + 1 < part.segments.len() {
-                        sub.read[p] = ReadPos { seg: pos.seg + 1, entry: 0 };
+                        sub.read[p] = ReadPos {
+                            seg: pos.seg + 1,
+                            entry: 0,
+                        };
                         continue;
                     }
                     break; // caught up on this partition
                 }
                 let lid = part.segments[pos.seg];
-                let id = MessageId { partition: p as u32, ledger: lid, entry: pos.entry };
-                sub.read[p] = ReadPos { seg: pos.seg, entry: pos.entry + 1 };
+                let id = MessageId {
+                    partition: p as u32,
+                    ledger: lid,
+                    entry: pos.entry,
+                };
+                sub.read[p] = ReadPos {
+                    seg: pos.seg,
+                    entry: pos.entry + 1,
+                };
                 if sub.acked.contains(&id) {
                     continue; // individually acked earlier (redelivery path)
                 }
@@ -656,6 +725,9 @@ impl PulsarCluster {
                 sub.pending.insert(id);
                 *start_part = (p + 1) % nparts;
                 self.inner.metrics.counter("messages_delivered").inc();
+                span.attr("partition", p);
+                span.attr("ledger", lid.raw());
+                span.attr("entry", pos.entry);
                 return Ok(Some(Message {
                     id,
                     key,
@@ -685,7 +757,11 @@ impl PulsarCluster {
                 None => {
                     // First position of the partition.
                     match part.segments.first() {
-                        Some(&l) => MessageId { partition: id.partition, ledger: l, entry: 0 },
+                        Some(&l) => MessageId {
+                            partition: id.partition,
+                            ledger: l,
+                            entry: 0,
+                        },
                         None => break,
                     }
                 }
@@ -699,7 +775,11 @@ impl PulsarCluster {
                         .unwrap_or(0);
                     let seg_len = Self::segment_len(inner, part, seg_idx);
                     if md.entry + 1 < seg_len {
-                        MessageId { partition: id.partition, ledger: md.ledger, entry: md.entry + 1 }
+                        MessageId {
+                            partition: id.partition,
+                            ledger: md.ledger,
+                            entry: md.entry + 1,
+                        }
                     } else if seg_idx + 1 < part.segments.len() {
                         MessageId {
                             partition: id.partition,
@@ -746,7 +826,10 @@ impl PulsarCluster {
                         .iter()
                         .position(|&l| l == md.ledger)
                         .unwrap_or(0);
-                    ReadPos { seg, entry: md.entry + 1 }
+                    ReadPos {
+                        seg,
+                        entry: md.entry + 1,
+                    }
                 }
             };
             sub.read[p] = pos;
@@ -775,7 +858,9 @@ impl PulsarCluster {
         for p in 0..t.partitions.len() {
             loop {
                 let part = &t.partitions[p];
-                let Some(&first) = part.segments.first() else { break };
+                let Some(&first) = part.segments.first() else {
+                    break;
+                };
                 // The open segment is never trimmed.
                 if part.writer.as_ref().is_some_and(|w| w.id() == first) {
                     break;
@@ -787,7 +872,8 @@ impl PulsarCluster {
                     && t.subs.values().all(|sub| match sub.mark_delete[p] {
                         Some(md) => md.ledger != first || md.entry + 1 >= seg_len,
                         None => seg_len == 0,
-                    }) && t.subs.values().all(|sub| {
+                    })
+                    && t.subs.values().all(|sub| {
                         sub.mark_delete[p]
                             .map(|md| md.ledger != first)
                             .unwrap_or(seg_len == 0)
@@ -943,7 +1029,8 @@ impl Consumer {
 
 impl Drop for Consumer {
     fn drop(&mut self) {
-        self.cluster.detach(&self.topic, &self.subscription, self.id);
+        self.cluster
+            .detach(&self.topic, &self.subscription, self.id);
     }
 }
 
@@ -954,7 +1041,11 @@ mod tests {
     fn small_cluster() -> PulsarCluster {
         let cfg = PulsarConfig {
             bookies: 3,
-            ledger: LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 },
+            ledger: LedgerConfig {
+                ensemble: 3,
+                write_quorum: 2,
+                ack_quorum: 2,
+            },
             max_entries_per_ledger: 8,
         };
         PulsarCluster::new(cfg, WallClock::shared())
@@ -980,7 +1071,9 @@ mod tests {
         let c = small_cluster();
         c.create_topic("events", 1).unwrap();
         let producer = c.producer("events").unwrap();
-        let mut consumer = c.subscribe("events", "sub", SubscriptionMode::Exclusive).unwrap();
+        let mut consumer = c
+            .subscribe("events", "sub", SubscriptionMode::Exclusive)
+            .unwrap();
         for i in 0..20u64 {
             producer.send(&i.to_le_bytes()).unwrap();
         }
@@ -1018,7 +1111,9 @@ mod tests {
             let key = format!("user-{}", i % 5);
             p.send_keyed(key.as_bytes(), &i.to_le_bytes()).unwrap();
         }
-        let mut consumer = c.subscribe("orders", "s", SubscriptionMode::Shared).unwrap();
+        let mut consumer = c
+            .subscribe("orders", "s", SubscriptionMode::Shared)
+            .unwrap();
         let msgs = consumer.drain().unwrap();
         assert_eq!(msgs.len(), 40);
         // Per-key sequences must be increasing.
@@ -1053,8 +1148,12 @@ mod tests {
         for i in 0..30u64 {
             p.send(&i.to_le_bytes()).unwrap();
         }
-        let mut c1 = c.subscribe("work", "workers", SubscriptionMode::Shared).unwrap();
-        let mut c2 = c.subscribe("work", "workers", SubscriptionMode::Shared).unwrap();
+        let mut c1 = c
+            .subscribe("work", "workers", SubscriptionMode::Shared)
+            .unwrap();
+        let mut c2 = c
+            .subscribe("work", "workers", SubscriptionMode::Shared)
+            .unwrap();
         let mut n1 = 0;
         let mut n2 = 0;
         loop {
@@ -1104,8 +1203,12 @@ mod tests {
         for i in 0..10u64 {
             p.send(&i.to_le_bytes()).unwrap();
         }
-        let mut s1 = c.subscribe("fanout", "analytics", SubscriptionMode::Exclusive).unwrap();
-        let mut s2 = c.subscribe("fanout", "archive", SubscriptionMode::Exclusive).unwrap();
+        let mut s1 = c
+            .subscribe("fanout", "analytics", SubscriptionMode::Exclusive)
+            .unwrap();
+        let mut s2 = c
+            .subscribe("fanout", "archive", SubscriptionMode::Exclusive)
+            .unwrap();
         assert_eq!(s1.drain().unwrap().len(), 10);
         assert_eq!(s2.drain().unwrap().len(), 10);
     }
@@ -1166,7 +1269,11 @@ mod tests {
     fn bookie_crash_mid_stream_rolls_over() {
         let cfg = PulsarConfig {
             bookies: 4,
-            ledger: LedgerConfig { ensemble: 3, write_quorum: 3, ack_quorum: 2 },
+            ledger: LedgerConfig {
+                ensemble: 3,
+                write_quorum: 3,
+                ack_quorum: 2,
+            },
             max_entries_per_ledger: 1000,
         };
         let c = PulsarCluster::new(cfg, WallClock::shared());
@@ -1299,12 +1406,18 @@ mod tests {
     #[test]
     fn unknown_topic_errors() {
         let c = small_cluster();
-        assert!(matches!(c.producer("nope"), Err(PulsarError::TopicNotFound(_))));
+        assert!(matches!(
+            c.producer("nope"),
+            Err(PulsarError::TopicNotFound(_))
+        ));
         assert!(matches!(
             c.subscribe("nope", "s", SubscriptionMode::Shared),
             Err(PulsarError::TopicNotFound(_))
         ));
         c.create_topic("t", 1).unwrap();
-        assert!(matches!(c.create_topic("t", 1), Err(PulsarError::TopicExists(_))));
+        assert!(matches!(
+            c.create_topic("t", 1),
+            Err(PulsarError::TopicExists(_))
+        ));
     }
 }

@@ -62,7 +62,10 @@ impl std::fmt::Display for PulsarError {
                 write!(f, "ack quorum unavailable: needed {needed}, got {got}")
             }
             PulsarError::EntryUnavailable { ledger, entry } => {
-                write!(f, "entry {entry} of {ledger} unavailable on all live replicas")
+                write!(
+                    f,
+                    "entry {entry} of {ledger} unavailable on all live replicas"
+                )
             }
             PulsarError::InsufficientBookies { needed, alive } => {
                 write!(f, "need {needed} bookies for ensemble, {alive} alive")
@@ -72,7 +75,10 @@ impl std::fmt::Display for PulsarError {
             }
             PulsarError::MetadataConflict(k) => write!(f, "metadata CAS conflict on {k}"),
             PulsarError::TenantQuotaExceeded { tenant, quota } => {
-                write!(f, "tenant {tenant} backlog quota of {quota} entries is full")
+                write!(
+                    f,
+                    "tenant {tenant} backlog quota of {quota} entries is full"
+                )
             }
             PulsarError::FunctionExists(n) => write!(f, "function already registered: {n}"),
             PulsarError::FunctionNotFound(n) => write!(f, "function not found: {n}"),

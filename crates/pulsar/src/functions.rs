@@ -156,7 +156,14 @@ impl FunctionRuntime {
             .expect("function state object");
         fns.insert(
             cfg.name.clone(),
-            FunctionInstance { cfg, consumers, producer, state, body, processed: 0 },
+            FunctionInstance {
+                cfg,
+                consumers,
+                producer,
+                state,
+                body,
+                processed: 0,
+            },
         );
         Ok(())
     }
@@ -280,7 +287,9 @@ mod tests {
             p.send(&i.to_le_bytes()).unwrap();
         }
         assert_eq!(rt.run_available("identity").unwrap(), 10);
-        let mut out = cluster.subscribe("out", "check", SubscriptionMode::Exclusive).unwrap();
+        let mut out = cluster
+            .subscribe("out", "check", SubscriptionMode::Exclusive)
+            .unwrap();
         assert_eq!(out.drain().unwrap().len(), 10);
         assert_eq!(rt.processed("identity").unwrap(), 10);
     }
@@ -307,7 +316,9 @@ mod tests {
             p.send(&i.to_le_bytes()).unwrap();
         }
         rt.run_available("evens").unwrap();
-        let mut out = cluster.subscribe("out", "check", SubscriptionMode::Exclusive).unwrap();
+        let mut out = cluster
+            .subscribe("out", "check", SubscriptionMode::Exclusive)
+            .unwrap();
         assert_eq!(out.drain().unwrap().len(), 5);
     }
 
@@ -333,7 +344,10 @@ mod tests {
         }
         rt.run_available("wordcount").unwrap();
         // State survives in Jiffy, visible from outside the function.
-        let kv = rt.jiffy().open_kv("/pulsar-functions/wordcount/state").unwrap();
+        let kv = rt
+            .jiffy()
+            .open_kv("/pulsar-functions/wordcount/state")
+            .unwrap();
         let count = |k: &[u8]| {
             kv.get(k)
                 .unwrap()
@@ -373,7 +387,9 @@ mod tests {
         p.send(&[1, 2, 3]).unwrap();
         let total = rt.run_to_quiescence().unwrap();
         assert_eq!(total, 2, "each stage processed the message once");
-        let mut out = cluster.subscribe("final", "check", SubscriptionMode::Exclusive).unwrap();
+        let mut out = cluster
+            .subscribe("final", "check", SubscriptionMode::Exclusive)
+            .unwrap();
         let msgs = out.drain().unwrap();
         assert_eq!(&msgs[0].payload[..], &[4, 6, 8]);
     }
@@ -410,7 +426,9 @@ mod tests {
         }
         p.send(b"rare").unwrap();
         rt.run_available("count-min").unwrap();
-        let mut out = cluster.subscribe("counts", "check", SubscriptionMode::Exclusive).unwrap();
+        let mut out = cluster
+            .subscribe("counts", "check", SubscriptionMode::Exclusive)
+            .unwrap();
         let counts: Vec<u64> = out
             .drain()
             .unwrap()
@@ -425,7 +443,11 @@ mod tests {
     fn duplicate_registration_rejected() {
         let (cluster, rt) = setup();
         cluster.create_topic("t", 1).unwrap();
-        let cfg = FunctionConfig { name: "f".into(), inputs: vec!["t".into()], output: None };
+        let cfg = FunctionConfig {
+            name: "f".into(),
+            inputs: vec!["t".into()],
+            output: None,
+        };
         rt.register(cfg.clone(), Box::new(|_, _| None)).unwrap();
         assert!(matches!(
             rt.register(cfg, Box::new(|_, _| None)),
@@ -444,7 +466,11 @@ mod tests {
         cluster.create_topic("in", 1).unwrap();
         cluster.create_topic("alerts", 1).unwrap();
         rt.register(
-            FunctionConfig { name: "alerter".into(), inputs: vec!["in".into()], output: None },
+            FunctionConfig {
+                name: "alerter".into(),
+                inputs: vec!["in".into()],
+                output: None,
+            },
             Box::new(|msg, ctx| {
                 if msg.payload.len() > 3 {
                     ctx.publish_to("alerts", b"big message!").unwrap();
@@ -457,7 +483,9 @@ mod tests {
         p.send(b"ok").unwrap();
         p.send(b"way too big").unwrap();
         rt.run_available("alerter").unwrap();
-        let mut alerts = cluster.subscribe("alerts", "check", SubscriptionMode::Exclusive).unwrap();
+        let mut alerts = cluster
+            .subscribe("alerts", "check", SubscriptionMode::Exclusive)
+            .unwrap();
         assert_eq!(alerts.drain().unwrap().len(), 1);
     }
 }

@@ -26,7 +26,10 @@ struct Link {
 impl GeoReplicator {
     /// Create a replicator towards `remote_name`.
     pub fn new(remote_name: impl Into<String>) -> Self {
-        Self { remote_name: remote_name.into(), links: Vec::new() }
+        Self {
+            remote_name: remote_name.into(),
+            links: Vec::new(),
+        }
     }
 
     /// Replicate `topic` from `src` to `dst`. The topic must exist on

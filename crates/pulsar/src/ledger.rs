@@ -36,7 +36,11 @@ pub struct LedgerConfig {
 
 impl Default for LedgerConfig {
     fn default() -> Self {
-        Self { ensemble: 3, write_quorum: 2, ack_quorum: 2 }
+        Self {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl LedgerMeta {
         let mut parts = s.split(';');
         let closed = parts.next()? == "closed";
         let last = parts.next()?;
-        let last_entry = if last == "-" { None } else { Some(last.parse().ok()?) };
+        let last_entry = if last == "-" {
+            None
+        } else {
+            Some(last.parse().ok()?)
+        };
         let write_quorum = parts.next()?.parse().ok()?;
         let ensemble = parts
             .next()?
@@ -87,7 +95,12 @@ impl LedgerMeta {
             .filter(|x| !x.is_empty())
             .map(|x| x.parse().ok())
             .collect::<Option<Vec<usize>>>()?;
-        Some(Self { ensemble, write_quorum, closed, last_entry })
+        Some(Self {
+            ensemble,
+            write_quorum,
+            closed,
+            last_entry,
+        })
     }
 }
 
@@ -312,9 +325,24 @@ mod tests {
     #[test]
     fn meta_codec_roundtrip() {
         for meta in [
-            LedgerMeta { ensemble: vec![0, 2, 4], write_quorum: 2, closed: false, last_entry: None },
-            LedgerMeta { ensemble: vec![1], write_quorum: 1, closed: true, last_entry: Some(41) },
-            LedgerMeta { ensemble: vec![0, 1], write_quorum: 2, closed: true, last_entry: None },
+            LedgerMeta {
+                ensemble: vec![0, 2, 4],
+                write_quorum: 2,
+                closed: false,
+                last_entry: None,
+            },
+            LedgerMeta {
+                ensemble: vec![1],
+                write_quorum: 1,
+                closed: true,
+                last_entry: Some(41),
+            },
+            LedgerMeta {
+                ensemble: vec![0, 1],
+                write_quorum: 2,
+                closed: true,
+                last_entry: None,
+            },
         ] {
             assert_eq!(LedgerMeta::decode(&meta.encode()), Some(meta));
         }
@@ -337,7 +365,11 @@ mod tests {
     #[test]
     fn entries_are_replicated_write_quorum_times() {
         let (bk, bookies) = cluster(3);
-        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 };
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        };
         let mut w = bk.create_ledger(cfg).unwrap();
         for _ in 0..30 {
             w.append(Bytes::from_static(b"x")).unwrap();
@@ -365,21 +397,32 @@ mod tests {
     #[test]
     fn reads_survive_one_bookie_crash() {
         let (bk, bookies) = cluster(3);
-        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 };
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        };
         let mut w = bk.create_ledger(cfg).unwrap();
         for i in 0..20u64 {
             w.append(Bytes::from(vec![i as u8])).unwrap();
         }
         bookies[1].crash();
         for i in 0..20u64 {
-            assert_eq!(bk.read_entry(w.id(), i).unwrap(), Bytes::from(vec![i as u8]));
+            assert_eq!(
+                bk.read_entry(w.id(), i).unwrap(),
+                Bytes::from(vec![i as u8])
+            );
         }
     }
 
     #[test]
     fn writes_fail_when_quorum_lost() {
         let (bk, bookies) = cluster(3);
-        let cfg = LedgerConfig { ensemble: 3, write_quorum: 3, ack_quorum: 2 };
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 3,
+            ack_quorum: 2,
+        };
         let mut w = bk.create_ledger(cfg).unwrap();
         w.append(Bytes::from_static(b"ok")).unwrap();
         bookies[0].crash();
@@ -411,10 +454,17 @@ mod tests {
     fn create_fails_without_enough_bookies() {
         let (bk, bookies) = cluster(3);
         bookies[0].crash();
-        let cfg = LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 1 };
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 1,
+        };
         assert!(matches!(
             bk.create_ledger(cfg),
-            Err(PulsarError::InsufficientBookies { needed: 3, alive: 2 })
+            Err(PulsarError::InsufficientBookies {
+                needed: 3,
+                alive: 2
+            })
         ));
     }
 
@@ -428,6 +478,9 @@ mod tests {
         assert!(bookies.iter().map(|b| b.stored_bytes()).sum::<u64>() > 0);
         bk.delete_ledger(id).unwrap();
         assert_eq!(bookies.iter().map(|b| b.stored_bytes()).sum::<u64>(), 0);
-        assert!(matches!(bk.read_entry(id, 0), Err(PulsarError::LedgerNotFound(_))));
+        assert!(matches!(
+            bk.read_entry(id, 0),
+            Err(PulsarError::LedgerNotFound(_))
+        ));
     }
 }

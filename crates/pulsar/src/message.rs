@@ -44,22 +44,41 @@ mod tests {
 
     #[test]
     fn message_ids_order_within_partition() {
-        let a = MessageId { partition: 0, ledger: LedgerId(1), entry: 5 };
-        let b = MessageId { partition: 0, ledger: LedgerId(1), entry: 6 };
-        let c = MessageId { partition: 0, ledger: LedgerId(2), entry: 0 };
+        let a = MessageId {
+            partition: 0,
+            ledger: LedgerId(1),
+            entry: 5,
+        };
+        let b = MessageId {
+            partition: 0,
+            ledger: LedgerId(1),
+            entry: 6,
+        };
+        let c = MessageId {
+            partition: 0,
+            ledger: LedgerId(2),
+            entry: 0,
+        };
         assert!(a < b && b < c);
     }
 
     #[test]
     fn payload_str_roundtrip() {
         let m = Message {
-            id: MessageId { partition: 0, ledger: LedgerId(0), entry: 0 },
+            id: MessageId {
+                partition: 0,
+                ledger: LedgerId(0),
+                entry: 0,
+            },
             key: None,
             payload: Bytes::from_static(b"hello"),
             publish_time: std::time::Duration::ZERO,
         };
         assert_eq!(m.payload_str(), Some("hello"));
-        let bin = Message { payload: Bytes::from_static(&[0xff, 0xfe]), ..m };
+        let bin = Message {
+            payload: Bytes::from_static(&[0xff, 0xfe]),
+            ..m
+        };
         assert_eq!(bin.payload_str(), None);
     }
 }

@@ -51,7 +51,8 @@ impl MetadataStore {
         if st.nodes.contains_key(key) {
             return Err(PulsarError::MetadataConflict(key.to_string()));
         }
-        st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+        st.nodes
+            .insert(key.to_string(), Versioned { data, version: 0 });
         Ok(())
     }
 
@@ -61,7 +62,8 @@ impl MetadataStore {
         let mut st = self.state.lock();
         match (st.nodes.get_mut(key), expected_version) {
             (None, None) => {
-                st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+                st.nodes
+                    .insert(key.to_string(), Versioned { data, version: 0 });
                 Ok(0)
             }
             (Some(node), Some(v)) if node.version == v => {
@@ -84,7 +86,8 @@ impl MetadataStore {
                 node.version
             }
             None => {
-                st.nodes.insert(key.to_string(), Versioned { data, version: 0 });
+                st.nodes
+                    .insert(key.to_string(), Versioned { data, version: 0 });
                 0
             }
         }

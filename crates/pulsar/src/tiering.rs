@@ -71,12 +71,7 @@ impl TierBackend {
 
     /// Record an offloaded segment: blob object plus metadata (entry
     /// count), so readers can find it after the bookies forget it.
-    pub(crate) fn store_segment(
-        &self,
-        meta: &MetadataStore,
-        id: LedgerId,
-        entries: &[Bytes],
-    ) {
+    pub(crate) fn store_segment(&self, meta: &MetadataStore, id: LedgerId, entries: &[Bytes]) {
         self.blob
             .put(&self.bucket, &object_key(id), &encode_segment(entries));
         meta.put(
@@ -122,7 +117,10 @@ mod tests {
             LatencyModel::zero(),
             LatencyModel::zero(),
         ));
-        (TierBackend::new(blob, "pulsar-cold"), Arc::new(MetadataStore::new()))
+        (
+            TierBackend::new(blob, "pulsar-cold"),
+            Arc::new(MetadataStore::new()),
+        )
     }
 
     #[test]
@@ -146,7 +144,10 @@ mod tests {
         let entries: Vec<Bytes> = (0..5u8).map(|i| Bytes::from(vec![i; 10])).collect();
         tier.store_segment(&meta, id, &entries);
         assert_eq!(tier.offloaded_len(&meta, id), Some(5));
-        assert_eq!(tier.read_entry(&meta, id, 3), Some(Bytes::from(vec![3u8; 10])));
+        assert_eq!(
+            tier.read_entry(&meta, id, 3),
+            Some(Bytes::from(vec![3u8; 10]))
+        );
         assert_eq!(tier.read_entry(&meta, id, 9), None);
         assert_eq!(tier.read_entry(&meta, LedgerId(99), 0), None);
         tier.delete_segment(&meta, id);

@@ -188,9 +188,7 @@ impl<S: BucketStore> PathOram<S> {
                 .stash
                 .keys()
                 .copied()
-                .filter(|&bid| {
-                    self.node_at(self.position[bid as usize], level) == bucket_idx
-                })
+                .filter(|&bid| self.node_at(self.position[bid as usize], level) == bucket_idx)
                 .take(BUCKET_SIZE)
                 .collect();
             for bid in eligible {

@@ -206,7 +206,9 @@ mod tests {
         let adaptive = simulate_edge(
             &trace,
             &geo,
-            EdgePolicy::Adaptive { min_rate_per_hour: 100.0 },
+            EdgePolicy::Adaptive {
+                min_rate_per_hour: 100.0,
+            },
             horizon,
             &warm(),
         );
@@ -227,6 +229,9 @@ mod tests {
         let b = geo_trace(3, Duration::from_secs(600), &rates, 1);
         assert_eq!(a.len(), b.len());
         assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(a.iter().all(|r| r.region < 2), "rate-0 region produced traffic");
+        assert!(
+            a.iter().all(|r| r.region < 2),
+            "rate-0 region produced traffic"
+        );
     }
 }

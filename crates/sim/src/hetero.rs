@@ -65,7 +65,12 @@ pub struct HeteroNode {
 
 impl HeteroNode {
     fn new(kind: NodeKind) -> Self {
-        Self { kind, cpu: 0.0, mem: 0.0, gpu: 0.0 }
+        Self {
+            kind,
+            cpu: 0.0,
+            mem: 0.0,
+            gpu: 0.0,
+        }
     }
 
     fn fits(&self, d: HeteroDemand) -> bool {
@@ -107,7 +112,10 @@ pub struct HeteroPricing {
 
 impl Default for HeteroPricing {
     fn default() -> Self {
-        Self { cpu_node: 0.096, gpu_node: 3.06 }
+        Self {
+            cpu_node: 0.096,
+            gpu_node: 3.06,
+        }
     }
 }
 
@@ -124,7 +132,11 @@ pub struct HeteroOutcome {
 impl HeteroOutcome {
     /// Nodes of each flavour opened.
     pub fn node_counts(&self) -> (usize, usize) {
-        let cpu = self.nodes.iter().filter(|n| n.kind == NodeKind::Cpu).count();
+        let cpu = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Cpu)
+            .count();
         (cpu, self.nodes.len() - cpu)
     }
 
@@ -254,11 +266,7 @@ mod tests {
                         rng.gen_range(0.3..0.6),
                     )
                 } else {
-                    HeteroDemand::new(
-                        rng.gen_range(0.2..0.5),
-                        rng.gen_range(0.2..0.5),
-                        0.0,
-                    )
+                    HeteroDemand::new(rng.gen_range(0.2..0.5), rng.gen_range(0.2..0.5), 0.0)
                 }
             })
             .collect();
@@ -285,7 +293,11 @@ mod tests {
                 HeteroDemand::new(
                     rng.gen_range(0.05..0.6),
                     rng.gen_range(0.05..0.6),
-                    if rng.gen::<bool>() { rng.gen_range(0.1..0.6) } else { 0.0 },
+                    if rng.gen::<bool>() {
+                        rng.gen_range(0.1..0.6)
+                    } else {
+                        0.0
+                    },
                 )
             })
             .collect();

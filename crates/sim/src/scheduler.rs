@@ -100,7 +100,11 @@ impl PackingOutcome {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| (n.cpu - n.mem).abs()).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(|n| (n.cpu - n.mem).abs())
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 
     /// Stranded capacity: total unused resource on used nodes, as a
@@ -230,9 +234,15 @@ mod tests {
         let mut items = Vec::new();
         for _ in 0..60 {
             if rng.gen::<bool>() {
-                items.push(Demand::new(rng.gen_range(0.4..0.7), rng.gen_range(0.05..0.15)));
+                items.push(Demand::new(
+                    rng.gen_range(0.4..0.7),
+                    rng.gen_range(0.05..0.15),
+                ));
             } else {
-                items.push(Demand::new(rng.gen_range(0.05..0.15), rng.gen_range(0.4..0.7)));
+                items.push(Demand::new(
+                    rng.gen_range(0.05..0.15),
+                    rng.gen_range(0.4..0.7),
+                ));
             }
         }
         let ff = pack(&items, PackingPolicy::FirstFit);

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use taureau_core::cost::{Dollars, FaasPricing};
 use taureau_core::latency::LatencyModel;
-use taureau_core::metrics::Histogram;
+use taureau_core::metrics::{Histogram, MetricsRegistry};
 use taureau_core::rng::det_rng;
 
 use crate::workload::Workload;
@@ -75,6 +75,23 @@ impl ServerlessOutcome {
             self.cold_starts as f64 / self.requests as f64
         }
     }
+
+    /// Publish this outcome into a metrics registry: request/cold-start
+    /// counters, peak-container and container-second gauges, and the
+    /// end-to-end latency histogram.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.counter("requests").add(self.requests);
+        registry.counter("cold_starts").add(self.cold_starts);
+        registry
+            .gauge("peak_containers")
+            .set(self.peak_containers as i64);
+        registry
+            .gauge("container_seconds")
+            .set(self.container_seconds.round() as i64);
+        registry
+            .histogram("latency_us")
+            .merge_from(&self.latency_us);
+    }
 }
 
 /// A container's lifecycle record during simulation.
@@ -110,7 +127,10 @@ pub fn simulate_serverless(workload: &Workload, cfg: &ServerlessConfig) -> Serve
 
     // Provisioned containers exist from t=0 and never expire.
     for _ in 0..cfg.provisioned {
-        idle.push(IdleContainer { idle_since_ns: 0, created_ns: 0 });
+        idle.push(IdleContainer {
+            idle_since_ns: 0,
+            created_ns: 0,
+        });
     }
     let provisioned = cfg.provisioned as usize;
 
@@ -121,7 +141,10 @@ pub fn simulate_serverless(workload: &Workload, cfg: &ServerlessConfig) -> Serve
         while let Some(&std::cmp::Reverse((free_at, created))) = busy.peek() {
             if free_at <= now_ns {
                 busy.pop();
-                idle.push(IdleContainer { idle_since_ns: free_at, created_ns: created });
+                idle.push(IdleContainer {
+                    idle_since_ns: free_at,
+                    created_ns: created,
+                });
             } else {
                 break;
             }
@@ -253,8 +276,8 @@ mod tests {
     fn billing_matches_hand_computation() {
         let w = workload_at(&[0, 1000], 250);
         let o = simulate_serverless(&w, &det_cfg(Duration::from_secs(60)));
-        let per = FaasPricing::default()
-            .invocation_cost(ByteSize::mb(512), Duration::from_millis(250));
+        let per =
+            FaasPricing::default().invocation_cost(ByteSize::mb(512), Duration::from_millis(250));
         assert!((o.cost - 2.0 * per).abs() < 1e-12);
     }
 
@@ -277,6 +300,21 @@ mod tests {
         );
         // And longer keep-alive costs the provider more container-seconds.
         assert!(long.container_seconds > short.container_seconds);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_outcome() {
+        let w = workload_at(&[0, 1000, 2000], 100);
+        let o = simulate_serverless(&w, &det_cfg(Duration::from_secs(60)));
+        let reg = MetricsRegistry::new();
+        o.export_metrics(&reg);
+        assert_eq!(reg.counter("requests").get(), o.requests);
+        assert_eq!(reg.counter("cold_starts").get(), o.cold_starts);
+        assert_eq!(reg.gauge("peak_containers").get(), o.peak_containers as i64);
+        let h = reg.histogram("latency_us");
+        assert_eq!(h.count(), o.latency_us.count());
+        assert_eq!(h.max(), o.latency_us.max());
+        assert_eq!(h.p50(), o.latency_us.p50());
     }
 
     #[test]

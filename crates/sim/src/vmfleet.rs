@@ -56,7 +56,10 @@ pub struct VmFleetConfig {
 
 impl Default for VmFleetConfig {
     fn default() -> Self {
-        Self { pricing: VmPricing::default(), policy: VmScalingPolicy::FixedAtPeak }
+        Self {
+            pricing: VmPricing::default(),
+            policy: VmScalingPolicy::FixedAtPeak,
+        }
     }
 }
 
@@ -126,16 +129,21 @@ fn build_timeline(workload: &Workload, cfg: &VmFleetConfig) -> CapacityTimeline 
     match cfg.policy {
         VmScalingPolicy::FixedAtPeak => {
             let instances = cfg.pricing.instances_for(workload.peak_concurrency());
-            CapacityTimeline { steps: vec![(Duration::ZERO, instances as u64 * per)] }
+            CapacityTimeline {
+                steps: vec![(Duration::ZERO, instances as u64 * per)],
+            }
         }
-        VmScalingPolicy::Fixed(n) => {
-            CapacityTimeline { steps: vec![(Duration::ZERO, n as u64 * per)] }
-        }
-        VmScalingPolicy::Reactive { target_utilization, check_interval, min_instances } => {
+        VmScalingPolicy::Fixed(n) => CapacityTimeline {
+            steps: vec![(Duration::ZERO, n as u64 * per)],
+        },
+        VmScalingPolicy::Reactive {
+            target_utilization,
+            check_interval,
+            min_instances,
+        } => {
             // Offered in-flight demand per interval from the trace.
             let horizon = workload.horizon;
-            let n_intervals =
-                (horizon.as_nanos() / check_interval.as_nanos()).max(1) as usize + 1;
+            let n_intervals = (horizon.as_nanos() / check_interval.as_nanos()).max(1) as usize + 1;
             let mut demand = vec![0f64; n_intervals];
             let iv = check_interval.as_secs_f64();
             for r in &workload.requests {
@@ -158,14 +166,18 @@ fn build_timeline(workload: &Workload, cfg: &VmFleetConfig) -> CapacityTimeline 
             let mut current = min_instances.max(1) as u64 * per;
             steps.push((Duration::ZERO, current));
             for (i, &d) in demand.iter().enumerate() {
-                let desired_slots = ((d / target_utilization).ceil() as u64)
-                    .max(min_instances.max(1) as u64 * per);
+                let desired_slots =
+                    ((d / target_utilization).ceil() as u64).max(min_instances.max(1) as u64 * per);
                 let desired = desired_slots.div_ceil(per) * per;
                 if desired == current {
                     continue;
                 }
                 let decision_at = check_interval * (i as u32 + 1);
-                let effective_at = if desired > current { decision_at + boot } else { decision_at };
+                let effective_at = if desired > current {
+                    decision_at + boot
+                } else {
+                    decision_at
+                };
                 steps.push((effective_at, desired));
                 current = desired;
             }
@@ -240,12 +252,18 @@ mod tests {
     }
 
     fn one_slot_pricing() -> VmPricing {
-        VmPricing { capacity: 1, ..VmPricing::default() }
+        VmPricing {
+            capacity: 1,
+            ..VmPricing::default()
+        }
     }
 
     #[test]
     fn fixed_fleet_bills_full_horizon() {
-        let w = Workload { requests: vec![req(0, 100)], horizon: Duration::from_secs(3600) };
+        let w = Workload {
+            requests: vec![req(0, 100)],
+            horizon: Duration::from_secs(3600),
+        };
         let cfg = VmFleetConfig {
             pricing: VmPricing::default(),
             policy: VmScalingPolicy::Fixed(2),
@@ -272,7 +290,11 @@ mod tests {
             policy: VmScalingPolicy::Fixed(1),
         };
         let o = simulate_vm_fleet(&w, &cfg);
-        assert!(o.latency_us.max() >= 1_999_000, "max {}", o.latency_us.max());
+        assert!(
+            o.latency_us.max() >= 1_999_000,
+            "max {}",
+            o.latency_us.max()
+        );
         assert!(o.latency_us.min() <= 1_001_000);
     }
 

@@ -129,7 +129,11 @@ impl WorkloadSpec {
     fn rate_at(&self, t: f64) -> f64 {
         match self {
             WorkloadSpec::Poisson { rate } => *rate,
-            WorkloadSpec::Diurnal { mean_rate, amplitude, period } => {
+            WorkloadSpec::Diurnal {
+                mean_rate,
+                amplitude,
+                period,
+            } => {
                 let phase = std::f64::consts::TAU * t / period.as_secs_f64();
                 (mean_rate * (1.0 + amplitude * phase.sin())).max(0.0)
             }
@@ -140,7 +144,11 @@ impl WorkloadSpec {
     fn max_rate(&self) -> f64 {
         match self {
             WorkloadSpec::Poisson { rate } => *rate,
-            WorkloadSpec::Diurnal { mean_rate, amplitude, .. } => mean_rate * (1.0 + amplitude),
+            WorkloadSpec::Diurnal {
+                mean_rate,
+                amplitude,
+                ..
+            } => mean_rate * (1.0 + amplitude),
             WorkloadSpec::Bursty { on_rate, .. } => *on_rate,
         }
     }
@@ -158,7 +166,11 @@ impl WorkloadSpec {
         let h = horizon.as_secs_f64();
         let mut arrivals: Vec<f64> = Vec::new();
         match self {
-            WorkloadSpec::Bursty { on_rate, on_mean, off_mean } => {
+            WorkloadSpec::Bursty {
+                on_rate,
+                on_mean,
+                off_mean,
+            } => {
                 // Alternate ON/OFF windows with exponential lengths.
                 let mut t = 0.0;
                 let mut on = true;
@@ -211,7 +223,10 @@ impl WorkloadSpec {
 /// median and a tail to seconds, matching published Lambda duration
 /// distributions.
 pub fn typical_duration_model() -> LatencyModel {
-    LatencyModel::LogNormal { mu: 11.7, sigma: 0.8 } // exp(11.7) µs ≈ 120 ms
+    LatencyModel::LogNormal {
+        mu: 11.7,
+        sigma: 0.8,
+    } // exp(11.7) µs ≈ 120 ms
 }
 
 #[cfg(test)]
@@ -230,7 +245,11 @@ mod tests {
             ByteSize::mb(512),
             1,
         );
-        assert!((w.mean_rate() - 20.0).abs() / 20.0 < 0.05, "{}", w.mean_rate());
+        assert!(
+            (w.mean_rate() - 20.0).abs() / 20.0 < 0.05,
+            "{}",
+            w.mean_rate()
+        );
         // Sorted arrivals.
         assert!(w.requests.windows(2).all(|p| p[0].at <= p[1].at));
     }
@@ -289,9 +308,21 @@ mod tests {
     fn peak_concurrency_counts_overlap() {
         let w = Workload {
             requests: vec![
-                Request { at: Duration::ZERO, duration: Duration::from_secs(10), memory: ByteSize::mb(1) },
-                Request { at: Duration::from_secs(1), duration: Duration::from_secs(10), memory: ByteSize::mb(1) },
-                Request { at: Duration::from_secs(20), duration: Duration::from_secs(1), memory: ByteSize::mb(1) },
+                Request {
+                    at: Duration::ZERO,
+                    duration: Duration::from_secs(10),
+                    memory: ByteSize::mb(1),
+                },
+                Request {
+                    at: Duration::from_secs(1),
+                    duration: Duration::from_secs(10),
+                    memory: ByteSize::mb(1),
+                },
+                Request {
+                    at: Duration::from_secs(20),
+                    duration: Duration::from_secs(1),
+                    memory: ByteSize::mb(1),
+                },
             ],
             horizon: Duration::from_secs(30),
         };

@@ -223,7 +223,10 @@ mod tests {
             .filter(|&(i, &t)| cm.estimate(&(i as u64).to_le_bytes()) - t > bound)
             .count();
         // δ = 1% per item; allow generous slack for 10k correlated queries.
-        assert!(violations < 300, "{violations} items exceeded the eps bound");
+        assert!(
+            violations < 300,
+            "{violations} items exceeded the eps bound"
+        );
     }
 
     #[test]

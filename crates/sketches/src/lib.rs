@@ -77,6 +77,8 @@ impl std::error::Error for MergeError {}
 
 impl MergeError {
     pub(crate) fn new(reason: impl Into<String>) -> Self {
-        Self { reason: reason.into() }
+        Self {
+            reason: reason.into(),
+        }
     }
 }

@@ -97,12 +97,7 @@ impl KllSketch {
                 let parity = usize::from(self.coin());
                 let mut items = std::mem::take(&mut self.compactors[level]);
                 items.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-                let promoted: Vec<f64> = items
-                    .iter()
-                    .skip(parity)
-                    .step_by(2)
-                    .copied()
-                    .collect();
+                let promoted: Vec<f64> = items.iter().skip(parity).step_by(2).copied().collect();
                 self.stored -= items.len();
                 self.stored += promoted.len();
                 self.compactors[level + 1].extend(promoted);

@@ -78,9 +78,17 @@ impl<T: Clone> ReservoirSample<T> {
         let mut other_pool = other.items.clone();
         for _ in 0..k {
             let from_self = rng.gen::<f64>() < p_self;
-            let pool: &mut Vec<T> = if from_self { &mut self_pool } else { &mut other_pool };
+            let pool: &mut Vec<T> = if from_self {
+                &mut self_pool
+            } else {
+                &mut other_pool
+            };
             if pool.is_empty() {
-                let pool = if from_self { &mut other_pool } else { &mut self_pool };
+                let pool = if from_self {
+                    &mut other_pool
+                } else {
+                    &mut self_pool
+                };
                 if pool.is_empty() {
                     break;
                 }

@@ -26,19 +26,21 @@
 
 pub use taureau_apps as apps;
 pub use taureau_baas as baas;
-pub use taureau_secure as secure;
 pub use taureau_core as core;
 pub use taureau_faas as faas;
 pub use taureau_jiffy as jiffy;
 pub use taureau_orchestration as orchestration;
 pub use taureau_pulsar as pulsar;
+pub use taureau_secure as secure;
 pub use taureau_sim as sim;
 pub use taureau_sketches as sketches;
 
 /// The most common entry points, for `use taureau::prelude::*`.
 pub mod prelude {
-    pub use taureau_core::clock::{Clock, SharedClock, VirtualClock, WallClock};
     pub use taureau_core::bytesize::ByteSize;
+    pub use taureau_core::clock::{Clock, SharedClock, VirtualClock, WallClock};
+    pub use taureau_core::metrics::MetricsRegistry;
+    pub use taureau_core::trace::Tracer;
     pub use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
     pub use taureau_jiffy::{Jiffy, JiffyConfig};
     pub use taureau_orchestration::{Composition, Orchestrator};

@@ -37,14 +37,20 @@ fn main() {
         &platform,
         &jiffy,
         Arc::clone(&ds),
-        &TrainingConfig { redundancy: 1, ..base.clone() },
+        &TrainingConfig {
+            redundancy: 1,
+            ..base.clone()
+        },
         "demo-uncoded",
     );
     let coded = train_serverless(
         &platform,
         &jiffy,
         Arc::clone(&ds),
-        &TrainingConfig { redundancy: 3, ..base },
+        &TrainingConfig {
+            redundancy: 3,
+            ..base
+        },
         "demo-coded",
     );
 

@@ -26,7 +26,9 @@ fn main() {
         .expect("register");
 
     // First invocation pays a cold start…
-    let cold = platform.invoke("greet", &b"serverless"[..]).expect("invoke");
+    let cold = platform
+        .invoke("greet", &b"serverless"[..])
+        .expect("invoke");
     println!(
         "cold : {:>8?} startup + {:?} exec -> {}",
         cold.startup_latency,

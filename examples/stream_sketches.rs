@@ -55,8 +55,7 @@ fn main() {
                     for (rank, h) in topk.heavy_hitters().into_iter().take(3).enumerate() {
                         ctx.state_put(
                             format!("top{rank}").as_bytes(),
-                            format!("{}:{}", String::from_utf8_lossy(&h.item), h.count)
-                                .as_bytes(),
+                            format!("{}:{}", String::from_utf8_lossy(&h.item), h.count).as_bytes(),
                         );
                     }
                 }

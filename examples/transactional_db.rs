@@ -45,7 +45,11 @@ fn main() {
         .invoke_with_retries("transfer-naive", &[][..], 3)
         .unwrap();
     let (a, b) = (balance(&db, b"alice"), balance(&db, b"bob"));
-    println!("naive KV       : alice={a} bob={b} total={} <- ${} vanished!", a + b, 100 - (a + b));
+    println!(
+        "naive KV       : alice={a} bob={b} total={} <- ${} vanished!",
+        a + b,
+        100 - (a + b)
+    );
 
     // --- transactional version ---------------------------------------
     let db = ServerlessDb::new();
@@ -74,7 +78,10 @@ fn main() {
         .invoke_with_retries("transfer-txn", &[][..], 3)
         .unwrap();
     let (a, b) = (balance(&db, b"alice"), balance(&db, b"bob"));
-    println!("transactional  : alice={a} bob={b} total={} <- invariant preserved", a + b);
+    println!(
+        "transactional  : alice={a} bob={b} total={} <- invariant preserved",
+        a + b
+    );
 
     // Bonus: optimistic concurrency under contention.
     let db = ServerlessDb::new();

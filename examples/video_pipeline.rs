@@ -15,13 +15,19 @@ fn main() {
     let clock = VirtualClock::shared();
     let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
     let jiffy = Jiffy::new(
-        JiffyConfig { blocks_per_node: 8192, ..Default::default() },
+        JiffyConfig {
+            blocks_per_node: 8192,
+            ..Default::default()
+        },
         clock,
     );
 
     let (frames, w, h) = (120usize, 96usize, 64usize);
     let video = Arc::new(synthetic_video(frames, w, h, 2024));
-    println!("video: {frames} frames of {w}x{h} ({} raw)", ByteSize::b((frames * w * h) as u64));
+    println!(
+        "video: {frames} frames of {w}x{h} ({} raw)",
+        ByteSize::b((frames * w * h) as u64)
+    );
 
     let chunk = 12;
     let out = encode_serverless(
@@ -47,7 +53,11 @@ fn main() {
     let decoded = decode_all(&out, video.len(), chunk, w * h, &video).expect("decode");
     println!(
         "lossless roundtrip  : {}",
-        if decoded == *video { "verified" } else { "FAILED" }
+        if decoded == *video {
+            "verified"
+        } else {
+            "FAILED"
+        }
     );
     println!(
         "video tenant billed ${:.8} for the job",

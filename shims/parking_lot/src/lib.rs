@@ -1,0 +1,157 @@
+//! Offline shim for `parking_lot`: wraps the std primitives with
+//! parking_lot's poison-free API (a poisoned lock panics, matching
+//! parking_lot's behaviour of never poisoning).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock (std-backed).
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Get a mutable reference to the value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock (std-backed).
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde`: the workspace only uses the derive macros as
+//! forward-compatible annotations (nothing serializes through serde yet),
+//! so both derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -39,10 +39,10 @@ fn etl_billing_matches_executions() {
     run_batched(&pipeline, &synthetic_lines(100, 0, 8), 50).unwrap();
     // 2 batches x 3 stages, each billed at least one 100 ms granule.
     assert_eq!(platform.billing().invocations("etl"), 6);
-    let min_granule = platform.billing().pricing().invocation_cost(
-        ByteSize::mb(512),
-        std::time::Duration::from_millis(1),
-    );
+    let min_granule = platform
+        .billing()
+        .pricing()
+        .invocation_cost(ByteSize::mb(512), std::time::Duration::from_millis(1));
     assert!(platform.billing().total("etl") >= 6.0 * min_granule * 0.99);
 }
 

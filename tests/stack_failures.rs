@@ -16,7 +16,11 @@ use taureau_pulsar::ledger::LedgerConfig;
 fn messaging_survives_single_bookie_crash_end_to_end() {
     let cfg = PCfg {
         bookies: 4,
-        ledger: LedgerConfig { ensemble: 3, write_quorum: 2, ack_quorum: 2 },
+        ledger: LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        },
         max_entries_per_ledger: 16,
     };
     let cluster = PulsarCluster::new(cfg, WallClock::shared());
@@ -69,10 +73,7 @@ fn lease_expiry_reclaims_abandoned_job_state() {
     assert!(!jiffy.exists("/crashed-job"));
     assert_eq!(jiffy.blocks_held_by("crashed-job"), 0);
     assert!(jiffy.exists("/live-job"));
-    assert!(matches!(
-        kv.get(b"progress"),
-        Err(JiffyError::NotFound(_))
-    ));
+    assert!(matches!(kv.get(b"progress"), Err(JiffyError::NotFound(_))));
 }
 
 #[test]
@@ -121,7 +122,9 @@ fn at_least_once_reexecution_duplicates_side_effects() {
             }
         }))
         .unwrap();
-    let r = platform.invoke_with_retries("append-row", &[][..], 3).unwrap();
+    let r = platform
+        .invoke_with_retries("append-row", &[][..], 3)
+        .unwrap();
     assert_eq!(r.attempts, 2);
     // The side effect happened twice — at-least-once, not exactly-once.
     let q = jiffy.open_queue("/t/rows").unwrap();

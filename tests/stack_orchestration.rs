@@ -120,8 +120,5 @@ fn choice_routes_hot_and_cold_paths() {
         Composition::Task("batch".into()),
     );
     assert_eq!(orch.run(&comp, b"small").unwrap().output, b"express");
-    assert_eq!(
-        orch.run(&comp, &[0u8; 100]).unwrap().output,
-        b"batch"
-    );
+    assert_eq!(orch.run(&comp, &[0u8; 100]).unwrap().output, b"batch");
 }

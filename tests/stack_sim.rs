@@ -27,7 +27,10 @@ fn serverless_wins_on_spiky_low_utilization_load() {
     let sl = simulate_serverless(&w, &ServerlessConfig::default());
     let vm = simulate_vm_fleet(
         &w,
-        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..VmFleetConfig::default() },
+        &VmFleetConfig {
+            policy: VmScalingPolicy::FixedAtPeak,
+            ..VmFleetConfig::default()
+        },
     );
     assert!(
         sl.cost < vm.cost / 2.0,
@@ -51,7 +54,10 @@ fn vms_win_at_sustained_high_utilization() {
     let sl = simulate_serverless(&w, &ServerlessConfig::default());
     let vm = simulate_vm_fleet(
         &w,
-        &VmFleetConfig { policy: VmScalingPolicy::FixedAtPeak, ..VmFleetConfig::default() },
+        &VmFleetConfig {
+            policy: VmScalingPolicy::FixedAtPeak,
+            ..VmFleetConfig::default()
+        },
     );
     assert!(
         vm.cost < sl.cost,
@@ -60,7 +66,11 @@ fn vms_win_at_sustained_high_utilization() {
         sl.cost
     );
     // And the fleet is actually busy.
-    assert!(vm.mean_utilization > 0.3, "utilization {}", vm.mean_utilization);
+    assert!(
+        vm.mean_utilization > 0.3,
+        "utilization {}",
+        vm.mean_utilization
+    );
 }
 
 #[test]
@@ -112,7 +122,10 @@ fn provider_side_multiplexing_footprint() {
     let w = spec.generate(hour(), &typical_duration_model(), ByteSize::mb(512), 9);
     let sl = simulate_serverless(
         &w,
-        &ServerlessConfig { keep_alive: Duration::from_secs(60), ..Default::default() },
+        &ServerlessConfig {
+            keep_alive: Duration::from_secs(60),
+            ..Default::default()
+        },
     );
     let peak_fleet_slot_seconds = w.peak_concurrency() as f64 * 3600.0;
     assert!(
