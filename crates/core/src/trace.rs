@@ -51,6 +51,20 @@ impl fmt::Display for SpanId {
     }
 }
 
+/// Exportable identity of an open span: enough to parent new spans under
+/// it from *other* threads. Implicit parent propagation (the thread-local
+/// span stack) only links spans opened on one thread; fan-out executors
+/// that dispatch work to worker threads capture a [`SpanContext`] from the
+/// driver's span and hand it to [`Tracer::span_child_of`] so the whole
+/// parallel run still renders as one causally-linked tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The trace the parent span belongs to.
+    pub trace_id: TraceId,
+    /// The parent span itself.
+    pub span_id: SpanId,
+}
+
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -153,6 +167,45 @@ impl Tracer {
                     trace_id: TraceId(trace_id),
                     span_id: SpanId(span_id),
                     parent,
+                    name: name.to_string(),
+                    system,
+                    start: inner.clock.now(),
+                    end: Duration::ZERO,
+                    attrs: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// Open a span as an explicit child of `parent`, regardless of what is
+    /// open on the current thread. This is the cross-thread variant of
+    /// [`Tracer::span`]: a driver thread captures [`SpanGuard::context`]
+    /// and worker threads adopt it, so spans they (and their callees) open
+    /// nest under the driver's span instead of rooting new traces. With
+    /// `parent: None` this behaves exactly like [`Tracer::span`].
+    pub fn span_child_of(
+        &self,
+        system: &'static str,
+        name: &str,
+        parent: Option<SpanContext>,
+    ) -> SpanGuard {
+        let Some(ctx) = parent else {
+            return self.span(system, name);
+        };
+        let Some(inner) = &self.inner else {
+            return SpanGuard { state: None };
+        };
+        let span_id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().push((ctx.trace_id.0, span_id));
+        });
+        SpanGuard {
+            state: Some(OpenSpan {
+                tracer: Arc::clone(inner),
+                record: SpanRecord {
+                    trace_id: ctx.trace_id,
+                    span_id: SpanId(span_id),
+                    parent: Some(ctx.span_id),
                     name: name.to_string(),
                     system,
                     start: inner.clock.now(),
@@ -317,6 +370,15 @@ impl SpanGuard {
     pub fn span_id(&self) -> Option<SpanId> {
         self.state.as_ref().map(|o| o.record.span_id)
     }
+
+    /// Identity for parenting spans under this one from other threads
+    /// (`None` on a disabled tracer). See [`Tracer::span_child_of`].
+    pub fn context(&self) -> Option<SpanContext> {
+        self.state.as_ref().map(|o| SpanContext {
+            trace_id: o.record.trace_id,
+            span_id: o.record.span_id,
+        })
+    }
 }
 
 impl Drop for SpanGuard {
@@ -446,6 +508,59 @@ mod tests {
         let leaf_line = flame.lines().find(|l| l.starts_with("root;leaf ")).unwrap();
         assert_eq!(leaf_line, "root;leaf 3 30");
         assert!(flame.lines().any(|l| l.starts_with("root ")));
+    }
+
+    #[test]
+    fn explicit_context_links_spans_across_threads() {
+        let (tracer, _clock) = virtual_tracer();
+        let root = tracer.span("dag", "dag.run");
+        let ctx = root.context();
+        assert!(ctx.is_some());
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let t2 = tracer.clone();
+            handles.push(std::thread::spawn(move || {
+                let _node = t2.span_child_of("dag", &format!("dag.node.{i}"), ctx);
+                // A span opened while the adopted span is open on this
+                // thread nests under it implicitly.
+                let _inner = t2.span("faas", "faas.invoke");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(root);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 7);
+        let root = spans.iter().find(|s| s.name == "dag.run").unwrap();
+        let nodes: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("dag.node."))
+            .collect();
+        assert_eq!(nodes.len(), 3);
+        for node in &nodes {
+            assert_eq!(node.trace_id, root.trace_id);
+            assert_eq!(node.parent, Some(root.span_id));
+        }
+        for invoke in spans.iter().filter(|s| s.name == "faas.invoke") {
+            assert_eq!(invoke.trace_id, root.trace_id);
+            assert!(nodes.iter().any(|n| invoke.parent == Some(n.span_id)));
+        }
+    }
+
+    #[test]
+    fn span_child_of_without_parent_behaves_like_span() {
+        let (tracer, _clock) = virtual_tracer();
+        drop(tracer.span_child_of("a", "lone", None));
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, None);
+        // Disabled tracers hand back inert guards from both entry points.
+        let disabled = Tracer::disabled();
+        let g = disabled.span("a", "x");
+        assert!(g.context().is_none());
+        drop(disabled.span_child_of("a", "y", None));
+        assert_eq!(disabled.span_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! DAG construction and execution errors.
+
+use taureau_faas::FaasError;
+use taureau_jiffy::JiffyError;
+
+/// Errors from building or executing a workflow DAG.
+#[derive(Debug)]
+pub enum DagError {
+    /// The DAG has no nodes.
+    Empty,
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// A node depends on a name that is not in the DAG.
+    UnknownDependency {
+        /// The node declaring the dependency.
+        node: String,
+        /// The missing dependency name.
+        dep: String,
+    },
+    /// A node depends on itself.
+    SelfDependency(String),
+    /// The dependency graph contains a cycle; names are the nodes left
+    /// unorderable once every acyclic prefix was peeled off.
+    Cycle(Vec<String>),
+    /// A state machine could not be expressed as a chain-DAG (it branches,
+    /// loops, or dangles). See
+    /// [`linear_chain`](taureau_orchestration::statemachine::StateMachine::linear_chain).
+    NotAChain,
+    /// A node's invocation failed after exhausting its retry budget.
+    NodeFailed {
+        /// The failing node.
+        node: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final platform error.
+        source: FaasError,
+    },
+    /// Checkpoint or intermediate-data storage failed.
+    State(JiffyError),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "dag has no nodes"),
+            DagError::DuplicateNode(n) => write!(f, "duplicate node: {n}"),
+            DagError::UnknownDependency { node, dep } => {
+                write!(f, "node {node} depends on unknown node {dep}")
+            }
+            DagError::SelfDependency(n) => write!(f, "node {n} depends on itself"),
+            DagError::Cycle(names) => write!(f, "dependency cycle among: {}", names.join(", ")),
+            DagError::NotAChain => write!(f, "state machine is not a linear chain"),
+            DagError::NodeFailed {
+                node,
+                attempts,
+                source,
+            } => write!(f, "node {node} failed after {attempts} attempts: {source}"),
+            DagError::State(e) => write!(f, "workflow state store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DagError::NodeFailed { source, .. } => Some(source),
+            DagError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JiffyError> for DagError {
+    fn from(e: JiffyError) -> Self {
+        DagError::State(e)
+    }
+}

@@ -43,6 +43,6 @@ pub mod trigger;
 pub mod types;
 
 pub use error::FaasError;
-pub use platform::{FaasPlatform, InvocationResult, PlatformConfig};
+pub use platform::{BatchRequest, FaasPlatform, InvocationResult, PlatformConfig};
 pub use pool::StartKind;
 pub use types::{FunctionSpec, Handler, InvocationCtx};

@@ -78,6 +78,35 @@ pub struct InvocationResult {
     pub attempts: u32,
 }
 
+/// One request in an [`FaasPlatform::invoke_batch`] fan-out.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Function to invoke.
+    pub function: String,
+    /// Input payload.
+    pub payload: Bytes,
+    /// Total execution attempts (≥ 1); failures re-execute transparently.
+    pub max_attempts: u32,
+}
+
+impl BatchRequest {
+    /// A single-attempt request.
+    pub fn new(function: impl Into<String>, payload: impl Into<Bytes>) -> Self {
+        Self {
+            function: function.into(),
+            payload: payload.into(),
+            max_attempts: 1,
+        }
+    }
+
+    /// Allow up to `n` total attempts.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.max_attempts = n;
+        self
+    }
+}
+
 struct Inner {
     clock: SharedClock,
     cfg: PlatformConfig,
@@ -250,6 +279,48 @@ impl FaasPlatform {
             }
         }
         Err(last_err.expect("at least one attempt"))
+    }
+
+    /// Invoke a batch of functions across up to `parallelism` worker
+    /// threads against the shared container pool, preserving request order
+    /// in the result vector. Each request gets the at-least-once retry
+    /// semantics of [`FaasPlatform::invoke_with_retries`]. This is the
+    /// fan-out entry point DAG engines and embarrassingly-parallel
+    /// workloads (tiled matmul, map stages) use to run independent
+    /// invocations concurrently.
+    pub fn invoke_batch(
+        &self,
+        requests: Vec<BatchRequest>,
+        parallelism: usize,
+    ) -> Vec<Result<InvocationResult>> {
+        assert!(parallelism >= 1);
+        let n = requests.len();
+        let mut slots: Vec<Option<Result<InvocationResult>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(slots);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let req = &requests[i];
+                    let r = self.invoke_with_retries(
+                        &req.function,
+                        req.payload.clone(),
+                        req.max_attempts,
+                    );
+                    slots.lock()[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every batch slot is filled"))
+            .collect()
     }
 
     fn limiter_for(&self, tenant: &str) -> Option<Arc<TokenBucket>> {
@@ -683,6 +754,57 @@ mod tests {
         ));
         p.deregister("f").unwrap();
         assert!(p.functions().is_empty());
+    }
+
+    #[test]
+    fn invoke_batch_preserves_order_and_retries() {
+        let p = FaasPlatform::new(PlatformConfig::deterministic(), WallClock::shared());
+        p.register(FunctionSpec::new("echo", "t", |ctx| {
+            Ok(ctx.payload.to_vec())
+        }))
+        .unwrap();
+        let flaky_left = Arc::new(AtomicU32::new(1));
+        let fl = flaky_left.clone();
+        p.register(FunctionSpec::new("flaky", "t", move |ctx| {
+            if fl
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                Err("transient".into())
+            } else {
+                Ok(ctx.payload.to_vec())
+            }
+        }))
+        .unwrap();
+        let mut requests: Vec<BatchRequest> = (0..16u8)
+            .map(|i| BatchRequest::new("echo", vec![i]))
+            .collect();
+        requests.push(BatchRequest::new("flaky", vec![99]).with_max_attempts(3));
+        let results = p.invoke_batch(requests, 4);
+        assert_eq!(results.len(), 17);
+        for (i, r) in results[..16].iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().output, vec![i as u8]);
+        }
+        let flaky = results[16].as_ref().unwrap();
+        assert_eq!(flaky.output, vec![99]);
+        assert_eq!(flaky.attempts, 2);
+        assert_eq!(p.billing().invocations("t"), 18); // 16 + 2 flaky attempts
+    }
+
+    #[test]
+    fn invoke_batch_surfaces_per_request_errors() {
+        let p = FaasPlatform::new(PlatformConfig::deterministic(), WallClock::shared());
+        p.register(FunctionSpec::new("ok", "t", |_| Ok(vec![1])))
+            .unwrap();
+        let results = p.invoke_batch(
+            vec![
+                BatchRequest::new("ok", Vec::new()),
+                BatchRequest::new("ghost", Vec::new()),
+            ],
+            2,
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(FaasError::FunctionNotFound(_))));
     }
 
     #[test]

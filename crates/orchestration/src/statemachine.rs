@@ -56,33 +56,66 @@ pub struct State {
     pub next: Transition,
 }
 
-/// Errors from state-machine execution.
+/// Errors from state-machine execution. Every variant names the state the
+/// machine was in when it failed, so a report pinpoints the failing state
+/// rather than just the last one visited.
 #[derive(Debug)]
 pub enum StateMachineError {
     /// A named state does not exist.
-    UnknownState(String),
+    UnknownState {
+        /// The missing state.
+        state: String,
+        /// The state whose transition routed here (`None` when the start
+        /// state itself is missing).
+        from: Option<String>,
+    },
     /// The transition budget was exhausted (runaway loop guard).
     TransitionLimit {
         /// The configured budget.
         limit: u32,
+        /// The state the machine was about to enter when the budget ran
+        /// out — the head of the runaway loop, not merely the last state
+        /// that happened to run.
+        at_state: String,
     },
     /// The underlying function invocation failed.
-    Invocation(FaasError),
+    Invocation {
+        /// The state whose invocation failed.
+        state: String,
+        /// The function that state invokes.
+        function: String,
+        /// The platform error.
+        source: FaasError,
+    },
 }
 
 impl std::fmt::Display for StateMachineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StateMachineError::UnknownState(s) => write!(f, "unknown state: {s}"),
-            StateMachineError::TransitionLimit { limit } => {
-                write!(f, "exceeded {limit} transitions")
+            StateMachineError::UnknownState { state, from } => match from {
+                Some(from) => write!(f, "unknown state: {state} (routed from {from})"),
+                None => write!(f, "unknown start state: {state}"),
+            },
+            StateMachineError::TransitionLimit { limit, at_state } => {
+                write!(f, "exceeded {limit} transitions at state {at_state}")
             }
-            StateMachineError::Invocation(e) => write!(f, "invocation failed: {e}"),
+            StateMachineError::Invocation {
+                state,
+                function,
+                source,
+            } => write!(f, "state {state} (function {function}) failed: {source}"),
         }
     }
 }
 
-impl std::error::Error for StateMachineError {}
+impl std::error::Error for StateMachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StateMachineError::Invocation { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The result of running a state machine.
 #[derive(Debug)]
@@ -133,18 +166,26 @@ impl StateMachine {
         input: &[u8],
     ) -> Result<StateMachineReport, StateMachineError> {
         let mut current = self.start.clone();
+        let mut previous: Option<String> = None;
         let mut payload = input.to_vec();
         let mut path = Vec::new();
         let mut invocations = Vec::new();
         for _ in 0..self.max_transitions {
-            let state = self
-                .states
-                .get(&current)
-                .ok_or_else(|| StateMachineError::UnknownState(current.clone()))?;
+            let state =
+                self.states
+                    .get(&current)
+                    .ok_or_else(|| StateMachineError::UnknownState {
+                        state: current.clone(),
+                        from: previous.clone(),
+                    })?;
             path.push(current.clone());
             let r = platform
                 .invoke(&state.function, payload.clone())
-                .map_err(StateMachineError::Invocation)?;
+                .map_err(|source| StateMachineError::Invocation {
+                    state: current.clone(),
+                    function: state.function.clone(),
+                    source,
+                })?;
             invocations.push(InvocationRecord {
                 function: state.function.clone(),
                 cost: r.cost,
@@ -152,6 +193,7 @@ impl StateMachine {
                 attempts: r.attempts,
             });
             payload = r.output;
+            previous = Some(current.clone());
             current = match &state.next {
                 Transition::End => {
                     return Ok(StateMachineReport {
@@ -170,7 +212,32 @@ impl StateMachine {
         }
         Err(StateMachineError::TransitionLimit {
             limit: self.max_transitions,
+            at_state: current,
         })
+    }
+
+    /// View this machine as a linear chain of `(state, function)` stages:
+    /// `Some` exactly when every state reachable from the start routes via
+    /// [`Transition::Always`] (ending in [`Transition::End`]) and no state
+    /// repeats. Linear machines are degenerate DAGs — a chain — and can be
+    /// handed to a DAG executor to share one execution engine across both
+    /// workflow models.
+    pub fn linear_chain(&self) -> Option<Vec<(String, String)>> {
+        let mut chain = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut current = self.start.clone();
+        loop {
+            if !seen.insert(current.clone()) {
+                return None; // a revisit means a loop, not a chain
+            }
+            let state = self.states.get(&current)?;
+            chain.push((current.clone(), state.function.clone()));
+            match &state.next {
+                Transition::End => return Some(chain),
+                Transition::Always(next) => current = next.clone(),
+                Transition::Branch { .. } => return None,
+            }
+        }
     }
 }
 
@@ -260,7 +327,7 @@ mod tests {
             .with_max_transitions(25);
         assert!(matches!(
             m.run(&p, &[0]),
-            Err(StateMachineError::TransitionLimit { limit: 25 })
+            Err(StateMachineError::TransitionLimit { limit: 25, ref at_state }) if at_state == "spin"
         ));
         // Exactly 25 executions were billed (failed machines still pay for
         // what ran — as Step Functions does).
@@ -273,8 +340,116 @@ mod tests {
         let m = StateMachine::new("ghost");
         assert!(matches!(
             m.run(&p, &[0]),
-            Err(StateMachineError::UnknownState(_))
+            Err(StateMachineError::UnknownState { ref state, from: None }) if state == "ghost"
         ));
+        // A dangling transition names both ends of the broken edge.
+        let m = StateMachine::new("a").state(
+            "a",
+            State {
+                function: "noop".into(),
+                next: Transition::Always("nowhere".into()),
+            },
+        );
+        let err = m.run(&p, &[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            StateMachineError::UnknownState { ref state, from: Some(ref f) }
+                if state == "nowhere" && f == "a"
+        ));
+        assert_eq!(err.to_string(), "unknown state: nowhere (routed from a)");
+    }
+
+    #[test]
+    fn invocation_errors_name_the_failing_state() {
+        let p = platform();
+        p.register(FunctionSpec::new("boom", "t", |_| Err("kaput".into())))
+            .unwrap();
+        // Three states; the middle one fails. The error must name "b",
+        // not merely whatever state happened to be last.
+        let m = StateMachine::new("a")
+            .state(
+                "a",
+                State {
+                    function: "inc".into(),
+                    next: Transition::Always("b".into()),
+                },
+            )
+            .state(
+                "b",
+                State {
+                    function: "boom".into(),
+                    next: Transition::Always("c".into()),
+                },
+            )
+            .state(
+                "c",
+                State {
+                    function: "inc".into(),
+                    next: Transition::End,
+                },
+            );
+        let err = m.run(&p, &[0]).unwrap_err();
+        match &err {
+            StateMachineError::Invocation {
+                state,
+                function,
+                source,
+            } => {
+                assert_eq!(state, "b");
+                assert_eq!(function, "boom");
+                assert!(matches!(source, FaasError::ExecutionFailed { .. }));
+            }
+            other => panic!("expected Invocation, got {other:?}"),
+        }
+        assert!(err.to_string().contains("state b (function boom)"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn linear_chain_view() {
+        let m = StateMachine::new("a")
+            .state(
+                "a",
+                State {
+                    function: "inc".into(),
+                    next: Transition::Always("b".into()),
+                },
+            )
+            .state(
+                "b",
+                State {
+                    function: "double".into(),
+                    next: Transition::End,
+                },
+            );
+        assert_eq!(
+            m.linear_chain(),
+            Some(vec![
+                ("a".to_string(), "inc".to_string()),
+                ("b".to_string(), "double".to_string()),
+            ])
+        );
+        // Branching machines are not chains.
+        let branching = StateMachine::new("route").state(
+            "route",
+            State {
+                function: "noop".into(),
+                next: Transition::branch(|o| o[0] > 1, "a", "b"),
+            },
+        );
+        assert_eq!(branching.linear_chain(), None);
+        // Looping machines are not chains.
+        let looping = StateMachine::new("spin").state(
+            "spin",
+            State {
+                function: "noop".into(),
+                next: Transition::Always("spin".into()),
+            },
+        );
+        assert_eq!(looping.linear_chain(), None);
+        // Dangling machines are not chains.
+        let dangling = StateMachine::new("ghost");
+        assert_eq!(dangling.linear_chain(), None);
     }
 
     #[test]

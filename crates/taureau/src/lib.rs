@@ -14,6 +14,7 @@
 //! | [`pulsar`] | broker/bookie messaging + Pulsar Functions (Figure 1) |
 //! | [`faas`] | the Function-as-a-Service runtime |
 //! | [`orchestration`] | function composition (Lopez et al. properties) |
+//! | [`dag`] | parallel, fault-tolerant DAG workflow engine |
 //! | [`sim`] | cluster-scale cost/scaling simulator |
 //! | [`apps`] | the paper's application workloads |
 //! | [`baas`] | Backend-as-a-Service substrates (blob store, transactional DB) |
@@ -27,6 +28,7 @@
 pub use taureau_apps as apps;
 pub use taureau_baas as baas;
 pub use taureau_core as core;
+pub use taureau_dag as dag;
 pub use taureau_faas as faas;
 pub use taureau_jiffy as jiffy;
 pub use taureau_orchestration as orchestration;
@@ -41,6 +43,7 @@ pub mod prelude {
     pub use taureau_core::clock::{Clock, SharedClock, VirtualClock, WallClock};
     pub use taureau_core::metrics::MetricsRegistry;
     pub use taureau_core::trace::Tracer;
+    pub use taureau_dag::{DagBuilder, DagExecutor, ExecutorConfig, RetryPolicy};
     pub use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
     pub use taureau_jiffy::{Jiffy, JiffyConfig};
     pub use taureau_orchestration::{Composition, Orchestrator};

@@ -1,0 +1,208 @@
+//! Integration: the DAG workflow engine driving the whole stack — FaaS
+//! compute, Jiffy spill + checkpoints, Pulsar completion events, the
+//! state-machine chain-DAG bridge, and one causally-linked trace across
+//! every subsystem.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use taureau::dag::{Dag, DagBuilder, DagError};
+use taureau::orchestration::frame;
+use taureau::orchestration::statemachine::{State, StateMachine, Transition};
+use taureau::prelude::*;
+use taureau_faas::FunctionSpec as Spec;
+
+fn stack() -> (FaasPlatform, Jiffy, PulsarCluster) {
+    let clock = VirtualClock::shared();
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock.clone());
+    let pulsar = PulsarCluster::new(PulsarConfig::default(), clock);
+    (platform, jiffy, pulsar)
+}
+
+#[test]
+fn map_reduce_wordcount_over_the_full_stack() {
+    let (platform, jiffy, pulsar) = stack();
+    platform
+        .register(Spec::new("split", "wc", |ctx| {
+            let text = String::from_utf8(ctx.payload.to_vec()).map_err(|e| e.to_string())?;
+            let words: Vec<&str> = text.split_whitespace().collect();
+            let chunks: Vec<Vec<u8>> = words
+                .chunks(words.len().div_ceil(4).max(1))
+                .map(|c| c.join(" ").into_bytes())
+                .collect();
+            Ok(frame::pack(&chunks))
+        }))
+        .unwrap();
+    for i in 0..4usize {
+        platform
+            .register(Spec::new(format!("count-{i}"), "wc", move |ctx| {
+                let chunks = frame::unpack(&ctx.payload).ok_or("malformed frame")?;
+                let chunk = chunks.get(i).cloned().unwrap_or_default();
+                let n = String::from_utf8(chunk)
+                    .map_err(|e| e.to_string())?
+                    .split_whitespace()
+                    .count() as u32;
+                Ok(n.to_le_bytes().to_vec())
+            }))
+            .unwrap();
+    }
+    platform
+        .register(Spec::new("sum", "wc", |ctx| {
+            let parts = frame::unpack(&ctx.payload).ok_or("malformed frame")?;
+            let total: u32 = parts
+                .iter()
+                .map(|p| u32::from_le_bytes(p[..4].try_into().unwrap()))
+                .sum();
+            Ok(total.to_le_bytes().to_vec())
+        }))
+        .unwrap();
+
+    pulsar.create_topic("wf-events", 2).unwrap();
+    let mut consumer = pulsar
+        .subscribe("wf-events", "audit", SubscriptionMode::Exclusive)
+        .unwrap();
+
+    let mut b = DagBuilder::new().node("split", "split", &[]);
+    let mappers: Vec<String> = (0..4).map(|i| format!("map-{i}")).collect();
+    for (i, m) in mappers.iter().enumerate() {
+        b = b.node(m.as_str(), format!("count-{i}"), &["split"]);
+    }
+    let dep_refs: Vec<&str> = mappers.iter().map(String::as_str).collect();
+    let dag = b.node("reduce", "sum", &dep_refs).build().unwrap();
+
+    let exec = DagExecutor::new(&platform)
+        .with_state(&jiffy)
+        .with_events(pulsar.producer("wf-events").unwrap());
+    let text = b"the quick brown fox jumps over the lazy dog again and again";
+    let report = exec.run(&dag, "wc", text).unwrap();
+    assert_eq!(report.output, 12u32.to_le_bytes().to_vec());
+    assert_eq!(report.frontiers, 3);
+    assert_eq!(report.invocations, 6);
+    // Every node announced completion on the bus.
+    assert_eq!(consumer.drain().unwrap().len(), 6);
+    // Workflow state was ephemeral: the job's namespace is gone.
+    assert!(!jiffy.exists("/dag-wc"));
+}
+
+#[test]
+fn injected_failure_recovers_across_runs_with_identical_output() {
+    let (platform, jiffy, _) = stack();
+    let fail_once = Arc::new(AtomicU32::new(1));
+    let f = fail_once.clone();
+    platform
+        .register(Spec::new("stamp", "app", |ctx| {
+            let mut out = ctx.payload.to_vec();
+            out.push(b'#');
+            Ok(out)
+        }))
+        .unwrap();
+    platform
+        .register(Spec::new("unstable", "app", move |ctx| {
+            if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                Err("injected".into())
+            } else {
+                let mut out = ctx.payload.to_vec();
+                out.push(b'%');
+                Ok(out)
+            }
+        }))
+        .unwrap();
+    let dag = Dag::chain(&[("a", "stamp"), ("b", "unstable"), ("c", "stamp")]).unwrap();
+    let exec = DagExecutor::new(&platform).with_state(&jiffy);
+    let with_failure = exec.run(&dag, "rec", b"x").unwrap();
+    assert_eq!(with_failure.retries, 1);
+    let clean = exec.run(&dag, "rec2", b"x").unwrap();
+    assert_eq!(clean.retries, 0);
+    assert_eq!(with_failure.output, clean.output);
+    assert_eq!(with_failure.output, b"x#%#");
+}
+
+#[test]
+fn linear_state_machines_run_unchanged_on_the_dag_executor() {
+    let (platform, _, _) = stack();
+    platform
+        .register(Spec::new("add1", "sm", |ctx| Ok(vec![ctx.payload[0] + 1])))
+        .unwrap();
+    platform
+        .register(Spec::new("times3", "sm", |ctx| {
+            Ok(vec![ctx.payload[0] * 3])
+        }))
+        .unwrap();
+    let machine = StateMachine::new("first")
+        .state(
+            "first",
+            State {
+                function: "add1".into(),
+                next: Transition::Always("second".into()),
+            },
+        )
+        .state(
+            "second",
+            State {
+                function: "times3".into(),
+                next: Transition::End,
+            },
+        );
+    // Same workload, two engines, one answer.
+    let sm_report = machine.run(&platform, &[4]).unwrap();
+    let dag = Dag::from_state_machine(&machine).unwrap();
+    let dag_report = DagExecutor::new(&platform).run(&dag, "sm", &[4]).unwrap();
+    assert_eq!(sm_report.output, dag_report.output);
+    assert_eq!(dag_report.output, vec![15]); // (4+1)*3
+    assert_eq!(dag_report.frontiers, 2);
+
+    // Machines with runtime routing stay on the state-machine engine.
+    let branching = StateMachine::new("route").state(
+        "route",
+        State {
+            function: "add1".into(),
+            next: Transition::branch(|o| o[0] > 1, "first", "second"),
+        },
+    );
+    assert!(matches!(
+        Dag::from_state_machine(&branching),
+        Err(DagError::NotAChain)
+    ));
+}
+
+#[test]
+fn one_trace_spans_compute_state_and_workflow_layers() {
+    let (platform, jiffy, _) = stack();
+    let tracer = Tracer::new(platform.clock().clone());
+    platform.set_tracer(tracer.clone());
+    jiffy.set_tracer(tracer.clone());
+    platform
+        .register(Spec::new("blow-up", "tr", |ctx| {
+            Ok(ctx.payload.repeat(40_000))
+        }))
+        .unwrap();
+    platform
+        .register(Spec::new("shrink", "tr", |ctx| {
+            Ok(ctx.payload.len().to_le_bytes().to_vec())
+        }))
+        .unwrap();
+    let dag = Dag::chain(&[("grow", "blow-up"), ("fit", "shrink")]).unwrap();
+    DagExecutor::new(&platform)
+        .with_state(&jiffy)
+        .run(&dag, "trace", b"a")
+        .unwrap();
+    let spans = tracer.spans();
+    let root = spans.iter().find(|s| s.name == "dag.run").unwrap();
+    // Jiffy's file-append span (the spill) joins the same trace as the
+    // workflow and compute spans — one tree across three subsystems.
+    for name in [
+        "dag.node",
+        "dag.checkpoint",
+        "faas.invoke",
+        "jiffy.file_append",
+    ] {
+        let span = spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing span {name}"));
+        assert_eq!(span.trace_id, root.trace_id, "span {name} left the trace");
+    }
+}
