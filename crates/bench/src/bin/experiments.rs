@@ -17,7 +17,7 @@
 //! deterministic except where wall-clock throughput is explicitly
 //! reported.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,11 +29,12 @@ use taureau_core::cost::VmPricing;
 use taureau_core::latency::LatencyModel;
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::rng::{det_rng, Zipf};
-use taureau_core::trace::Tracer;
+use taureau_core::trace::{TelemetrySink, Tracer};
 use taureau_dag::{Dag, DagBuilder, DagError, DagExecutor, ExecutorConfig, RetryPolicy};
 use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
 use taureau_jiffy::baseline::{GlobalStore, PersistentStore};
 use taureau_jiffy::{Jiffy, JiffyConfig};
+use taureau_monitor::{Monitor, MonitorConfig, SloPolicy, TelemetryPump};
 use taureau_orchestration::statemachine::{State, StateMachine, Transition};
 use taureau_orchestration::{frame, Composition, Orchestrator};
 use taureau_pulsar::{
@@ -47,7 +48,7 @@ use taureau_sketches::CountMinSketch;
 
 const KNOWN: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
-    "e18", "e19", "e20", "e21", "e22", "e23",
+    "e18", "e19", "e20", "e21", "e22", "e23", "e24",
 ];
 
 fn main() {
@@ -156,6 +157,9 @@ fn main() {
     }
     if want("e23") {
         e23_dag_engine();
+    }
+    if want("e24") {
+        e24_self_monitoring();
     }
 }
 
@@ -1763,4 +1767,253 @@ fn e12_binpacking() {
         ]);
     }
     t.print();
+}
+
+/// E24 — the stack monitoring itself: telemetry from a mixed FaaS
+/// workload is pumped over Pulsar into a monitor that folds it into KLL
+/// latency sketches, evaluates an SLO through an injected latency fault
+/// (the alert must fire exactly once and resolve exactly once), and
+/// flight-records a failed invocation into the Jiffy blackbox. A wall
+/// clock coda measures the per-invoke cost of the telemetry sink.
+fn e24_self_monitoring() {
+    banner(
+        "E24",
+        "self-monitoring: SLO alert fires+resolves around an injected fault; sketch quantiles match exact within rank-error bound; failures leave a blackbox dump",
+    );
+
+    // -- (a) mixed workload with a mid-run latency fault -----------------
+    let clock = VirtualClock::shared();
+    let tracer = Tracer::new(clock.clone());
+    let sink = TelemetrySink::new(65_536);
+    tracer.set_telemetry(sink.clone());
+    let platform = FaasPlatform::new(PlatformConfig::deterministic(), clock.clone());
+    platform.set_tracer(tracer.clone());
+    let jiffy = Jiffy::new(JiffyConfig::default(), clock.clone());
+    jiffy.set_tracer(tracer.clone());
+    let cluster = PulsarCluster::new(PulsarConfig::default(), clock.clone());
+    let mut pump = TelemetryPump::new(sink, &cluster).expect("pump");
+    let mut monitor = Monitor::with_config(
+        &cluster,
+        clock.clone(),
+        MonitorConfig {
+            fast_window: Duration::from_millis(200),
+            slow_window: Duration::from_millis(800),
+            min_samples: 5,
+            ..MonitorConfig::default()
+        },
+    )
+    .expect("monitor")
+    .with_policy(SloPolicy::parse("p99 faas.invoke < 12ms").expect("policy"))
+    .with_policy(SloPolicy::parse("error_rate faas.invoke < 25%").expect("policy"))
+    .with_flight_recorder(&tracer)
+    .with_blackbox(&jiffy);
+
+    let fault = Arc::new(AtomicBool::new(false));
+    let api_fault = fault.clone();
+    let api_clock = clock.clone();
+    platform
+        .register(FunctionSpec::new("api", "tenant", move |_ctx| {
+            api_clock.advance(if api_fault.load(Ordering::Relaxed) {
+                Duration::from_millis(25)
+            } else {
+                Duration::from_millis(1)
+            });
+            Ok(Vec::new())
+        }))
+        .expect("register");
+    let batch_clock = clock.clone();
+    platform
+        .register(FunctionSpec::new("batch", "tenant", move |_ctx| {
+            batch_clock.advance(Duration::from_millis(8));
+            Ok(Vec::new())
+        }))
+        .expect("register");
+    platform
+        .register(FunctionSpec::new("flaky", "tenant", |_ctx| {
+            Err("injected handler failure".to_string())
+        }))
+        .expect("register");
+    for f in ["api", "batch", "flaky"] {
+        platform.provision(f, 1).expect("provision");
+    }
+
+    const ROUNDS: u32 = 240;
+    const FAULT: std::ops::Range<u32> = 100..140;
+    for round in 0..ROUNDS {
+        fault.store(FAULT.contains(&round), Ordering::Relaxed);
+        platform.invoke("api", Vec::new()).expect("api");
+        if round % 4 == 0 {
+            platform.invoke("batch", Vec::new()).expect("batch");
+        }
+        if round == 150 {
+            assert!(platform.invoke("flaky", Vec::new()).is_err());
+        }
+        clock.advance(Duration::from_millis(2));
+        pump.pump();
+        monitor.poll().expect("poll");
+    }
+
+    println!(
+        "workload: {ROUNDS} rounds ({} invocations), latency fault in rounds {}..{}, 1 injected handler failure",
+        monitor.op_count("faas.invoke"),
+        FAULT.start,
+        FAULT.end
+    );
+    println!("\nalert timeline:");
+    for event in monitor.alerts() {
+        println!("  {event}");
+    }
+    let fired = monitor
+        .alerts()
+        .iter()
+        .filter(|a| matches!(a.state, taureau_monitor::AlertState::Firing))
+        .count();
+    let resolved = monitor.alerts().len() - fired;
+    assert_eq!(fired, 1, "latency alert must fire exactly once");
+    assert_eq!(resolved, 1, "latency alert must resolve exactly once");
+    assert!(monitor.active_alerts().is_empty(), "run ends healthy");
+
+    // -- (b) sketch quantiles vs exact, from the flight recorder ---------
+    // The tracer ring holds every span of the run (no drops below the
+    // retention cap), so exact per-op latency distributions are in hand
+    // to grade the monitor's KLL estimates.
+    assert_eq!(tracer.dropped_spans(), 0, "retention cap not hit");
+    let spans = tracer.spans();
+    let mut t = Table::new([
+        "op",
+        "events",
+        "p50 sketch",
+        "p50 exact",
+        "p99 sketch",
+        "p99 exact",
+        "max rank err",
+    ]);
+    // Rank error with tie awareness: the workload's latencies are heavily
+    // discretized (most invokes take exactly warm + handler time), so an
+    // estimate equal to a mass point spans a whole rank interval. Error is
+    // the distance from q·n to the interval [#exact < est, #exact ≤ est].
+    let rank_err = |exact: &[f64], est: f64, q: f64| -> f64 {
+        let n = exact.len() as f64;
+        let lo = exact.iter().filter(|&&v| v < est).count() as f64;
+        let hi = exact.iter().filter(|&&v| v <= est).count() as f64;
+        let target = q * n;
+        ((lo - target).max(target - hi).max(0.0)) / n
+    };
+    for op in ["faas.invoke", "faas.execute", "faas.startup"] {
+        let mut exact: Vec<f64> = spans
+            .iter()
+            .filter(|s| s.name == op)
+            .map(|s| s.duration().as_micros() as f64)
+            .collect();
+        exact.sort_by(f64::total_cmp);
+        assert_eq!(
+            monitor.op_count(op),
+            exact.len() as u64,
+            "monitor saw every {op} span"
+        );
+        let p50 = monitor.quantile_us(op, 0.50).expect("p50");
+        let p99 = monitor.quantile_us(op, 0.99).expect("p99");
+        let worst = rank_err(&exact, p50, 0.50).max(rank_err(&exact, p99, 0.99));
+        // KLL with k=200 has rank error well under 1%; 4% is generous.
+        assert!(worst <= 0.04, "{op}: rank error {worst:.4} out of bound");
+        t.row([
+            op.to_string(),
+            exact.len().to_string(),
+            fmt_dur(Duration::from_micros(p50 as u64)),
+            fmt_dur(Duration::from_micros(exact[exact.len() / 2] as u64)),
+            fmt_dur(Duration::from_micros(p99 as u64)),
+            fmt_dur(Duration::from_micros(
+                exact[(exact.len() - 1).min((0.99 * exact.len() as f64) as usize)] as u64,
+            )),
+            format!("{:.4}", worst),
+        ]);
+    }
+    t.print();
+
+    // -- (c) the blackbox --------------------------------------------------
+    println!("\nblackbox dumps under /blackbox:");
+    for id in monitor.dump_ids() {
+        let summary = jiffy
+            .open_file(format!("/blackbox/{id}/summary.txt").as_str())
+            .expect("dump summary")
+            .contents()
+            .expect("dump contents");
+        println!("  /blackbox/{id}  (summary.txt {} bytes)", summary.len());
+    }
+    assert!(
+        monitor.dump_ids().iter().any(|d| d.starts_with("alert-")),
+        "firing alert dumped recent history"
+    );
+    assert!(
+        monitor
+            .dump_ids()
+            .iter()
+            .any(|d| d.starts_with("invoke-failure-")),
+        "failed invocation dumped its trace"
+    );
+
+    println!("\nhealth report:");
+    for line in monitor.health_report().render_text().lines() {
+        println!("  {line}");
+    }
+
+    // -- (d) per-invoke overhead of the telemetry sink, wall clock --------
+    // Zero-latency platform, trivial handler: the loop is almost pure
+    // platform overhead, the worst case for the sink's relative cost.
+    let overhead_run = |telemetry: bool| -> Duration {
+        let clock = Arc::new(WallClock::new());
+        let tracer = Tracer::new(clock.clone());
+        let cluster = PulsarCluster::new(PulsarConfig::default(), clock.clone());
+        let mut pump = None;
+        if telemetry {
+            let sink = TelemetrySink::new(1 << 20);
+            tracer.set_telemetry(sink.clone());
+            pump = Some(TelemetryPump::new(sink, &cluster).expect("pump"));
+        }
+        let platform = FaasPlatform::new(
+            PlatformConfig {
+                cold_start: LatencyModel::Constant(Duration::ZERO),
+                warm_start: LatencyModel::Constant(Duration::ZERO),
+                ..PlatformConfig::default()
+            },
+            clock,
+        );
+        platform.set_tracer(tracer);
+        platform
+            .register(FunctionSpec::new("noop", "tenant", |_ctx| Ok(Vec::new())))
+            .expect("register");
+        const N: u32 = 10_000;
+        let t0 = Instant::now();
+        for i in 0..N {
+            platform.invoke("noop", Vec::new()).expect("invoke");
+            if telemetry && i % 1_000 == 999 {
+                if let Some(p) = pump.as_mut() {
+                    p.pump();
+                }
+            }
+        }
+        t0.elapsed() / N
+    };
+    // Two disabled runs bracket the measurement noise: the disabled path
+    // (one `Option<TelemetrySink>` check, the PR-2 tracing baseline) must
+    // sit inside that bracket, while the enabled path pays for real work.
+    let off1 = overhead_run(false);
+    let off2 = overhead_run(false);
+    let on = overhead_run(true);
+    let delta = |d: Duration| {
+        format!(
+            "{:+.1}%",
+            100.0 * (d.as_secs_f64() - off1.as_secs_f64()) / off1.as_secs_f64().max(1e-12)
+        )
+    };
+    let mut t = Table::new(["telemetry", "per-invoke", "delta"]);
+    t.row([
+        "disabled (run 1)".to_string(),
+        fmt_dur(off1),
+        "baseline".to_string(),
+    ]);
+    t.row(["disabled (run 2)".to_string(), fmt_dur(off2), delta(off2)]);
+    t.row(["sink + pump".to_string(), fmt_dur(on), delta(on)]);
+    t.print();
+    println!("(disabled run 2 vs run 1 is the noise floor; the disabled path adds one None check over the tracing-only baseline)");
 }

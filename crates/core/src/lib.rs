@@ -44,4 +44,6 @@ pub use bytesize::ByteSize;
 pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
 pub use id::{BlockId, ContainerId, FunctionId, InvocationId, LedgerId, NodeId, TenantId};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
-pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};
+pub use trace::{
+    SpanGuard, SpanId, SpanRecord, TelemetryEvent, TelemetrySink, TraceId, Tracer, TracerConfig,
+};

@@ -244,6 +244,25 @@ impl Histogram {
     pub fn quantile_duration(&self, q: f64) -> Duration {
         Duration::from_micros(self.value_at_quantile(q))
     }
+
+    /// Quantile estimate from the bucket bounds — the monitoring-facing
+    /// alias for [`Histogram::value_at_quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.value_at_quantile(q)
+    }
+
+    /// One-line health summary (`count/p50/p90/p99/max`), the form used
+    /// by health-report renderers.
+    pub fn summary(&self) -> String {
+        format!(
+            "count={} p50={} p90={} p99={} max={}",
+            self.count(),
+            self.value_at_quantile(0.50),
+            self.value_at_quantile(0.90),
+            self.value_at_quantile(0.99),
+            self.max(),
+        )
+    }
 }
 
 /// Point-in-time snapshot of a histogram for reporting.
@@ -351,6 +370,17 @@ impl MetricsRegistry {
             .histograms
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Names and one-line [`Histogram::summary`] strings of all
+    /// histograms, sorted by name — the form health reports embed.
+    pub fn histogram_summaries(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
             .collect()
     }
 
@@ -478,6 +508,23 @@ mod tests {
             let ub = Histogram::bucket_upper_bound(idx);
             assert!(ub >= v, "value {v} above bucket upper bound {ub}");
         }
+    }
+
+    #[test]
+    fn histogram_summary_line_and_quantile_alias() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), h.value_at_quantile(0.5));
+        let s = h.summary();
+        assert!(s.starts_with("count=100 "));
+        assert!(s.contains("p50="));
+        assert!(s.contains("p90="));
+        assert!(s.contains("p99="));
+        assert!(s.contains("max="));
+        let empty = Histogram::new();
+        assert_eq!(empty.summary(), "count=0 p50=0 p90=0 p99=0 max=0");
     }
 
     #[test]

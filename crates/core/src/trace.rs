@@ -20,8 +20,18 @@
 //! JSON loadable in Perfetto / `chrome://tracing`, and
 //! [`Tracer::flame_summary`] emits semicolon-folded stack lines (the
 //! format flamegraph tools consume) aggregated by call path.
+//!
+//! Retention is bounded: the tracer is an always-on **flight recorder**
+//! holding the most recent [`TracerConfig::retention`] spans in a ring
+//! buffer (oldest evicted first, counted in [`Tracer::dropped_spans`]),
+//! with optional head-based sampling for high-volume deployments. A
+//! [`TelemetrySink`] can be attached to stream every finished span (and
+//! metric deltas from instrumented subsystems) into a bounded queue that a
+//! monitoring plane drains — queue overflow drops events and counts them,
+//! so monitoring can never stall the hot path.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -93,10 +103,174 @@ impl SpanRecord {
     }
 }
 
+/// Retention and sampling policy for a [`Tracer`].
+#[derive(Debug, Clone)]
+pub struct TracerConfig {
+    /// Maximum spans retained in the flight-recorder ring buffer. When
+    /// full, the oldest span is evicted (and counted in
+    /// [`Tracer::dropped_spans`]). Must be at least 1.
+    pub retention: usize,
+    /// Head-based sampling: keep roughly one in this many traces
+    /// (decided by hashing the trace id, so sequential ids still sample
+    /// uniformly). `1` (the default) keeps everything. Sampling is per
+    /// *trace*, so a kept trace is always causally complete.
+    pub sample_one_in: u64,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        Self {
+            retention: 65_536,
+            sample_one_in: 1,
+        }
+    }
+}
+
+/// One event on the telemetry stream: a finished span or a metric delta.
+#[derive(Debug, Clone)]
+pub enum TelemetryEvent {
+    /// A finished span, exactly as recorded by the tracer.
+    Span(SpanRecord),
+    /// A named counter/sample increment from an instrumented subsystem.
+    Metric {
+        /// Metric name, e.g. `faas.cold_starts`.
+        name: String,
+        /// Increment (for counters) or sample value (for latency metrics).
+        delta: u64,
+    },
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    capacity: usize,
+    queue: Mutex<VecDeque<TelemetryEvent>>,
+    dropped: AtomicU64,
+}
+
+/// Bounded, non-blocking hand-off queue between the traced hot path and a
+/// monitoring plane. Producers ([`SpanGuard`] drops, subsystem metric
+/// hooks) push without ever blocking: when the queue is full the event is
+/// dropped and counted instead. A pump on the monitoring side calls
+/// [`TelemetrySink::drain`] and ships events onward (e.g. onto Pulsar
+/// telemetry topics). Cheap to clone; clones share the queue.
+#[derive(Debug, Clone)]
+pub struct TelemetrySink {
+    inner: Arc<SinkInner>,
+}
+
+impl TelemetrySink {
+    /// A sink queueing at most `capacity` undrained events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "telemetry sink capacity must be >= 1");
+        Self {
+            inner: Arc::new(SinkInner {
+                capacity,
+                queue: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Maximum undrained events held before new ones are dropped.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Enqueue an event. Returns `false` (and counts the drop) when the
+    /// queue is full; never blocks beyond the queue lock.
+    pub fn push(&self, event: TelemetryEvent) -> bool {
+        let mut queue = self.inner.queue.lock();
+        if queue.len() >= self.inner.capacity {
+            drop(queue);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        queue.push_back(event);
+        true
+    }
+
+    /// Enqueue a finished span.
+    pub fn span(&self, record: SpanRecord) -> bool {
+        self.push(TelemetryEvent::Span(record))
+    }
+
+    /// Enqueue a metric delta.
+    pub fn metric(&self, name: &str, delta: u64) -> bool {
+        self.push(TelemetryEvent::Metric {
+            name: name.to_string(),
+            delta,
+        })
+    }
+
+    /// Dequeue up to `max` events in arrival order.
+    pub fn drain(&self, max: usize) -> Vec<TelemetryEvent> {
+        let mut queue = self.inner.queue.lock();
+        let n = max.min(queue.len());
+        queue.drain(..n).collect()
+    }
+
+    /// Undrained events currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// When set, finished spans are not forwarded to the telemetry sink.
+    /// Used by the telemetry pump itself so that shipping telemetry over
+    /// an instrumented transport does not generate telemetry about the
+    /// shipping (an unbounded feedback loop).
+    static TELEMETRY_SUPPRESSED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with telemetry-sink forwarding suppressed on this thread.
+/// Spans opened inside are still recorded in the tracer's ring buffer;
+/// they just do not re-enter the telemetry stream. Reentrant-safe.
+pub fn suppress_telemetry<R>(f: impl FnOnce() -> R) -> R {
+    let prev = TELEMETRY_SUPPRESSED.with(|s| s.replace(true));
+    let out = f();
+    TELEMETRY_SUPPRESSED.with(|s| s.set(prev));
+    out
+}
+
+fn telemetry_suppressed() -> bool {
+    TELEMETRY_SUPPRESSED.with(|s| s.get())
+}
+
 struct TracerInner {
     clock: SharedClock,
+    config: TracerConfig,
     next_id: AtomicU64,
-    spans: Mutex<Vec<SpanRecord>>,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+    sink: Mutex<Option<TelemetrySink>>,
+}
+
+impl TracerInner {
+    /// Head-based sampling decision: a pure function of the trace id, so
+    /// every span of a trace agrees without coordination.
+    fn sampled(&self, trace_id: u64) -> bool {
+        self.config.sample_one_in <= 1 || mix64(trace_id).is_multiple_of(self.config.sample_one_in)
+    }
+}
+
+/// splitmix64 finalizer: decorrelates sequential trace ids so modulo
+/// sampling approximates a uniform one-in-N draw.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl fmt::Debug for TracerInner {
@@ -122,13 +296,23 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// An enabled tracer stamping spans from `clock`.
+    /// An enabled tracer stamping spans from `clock`, with default
+    /// retention and no sampling (see [`TracerConfig`]).
     pub fn new(clock: SharedClock) -> Self {
+        Self::with_config(clock, TracerConfig::default())
+    }
+
+    /// An enabled tracer with an explicit retention/sampling policy.
+    pub fn with_config(clock: SharedClock, config: TracerConfig) -> Self {
+        assert!(config.retention >= 1, "tracer retention must be >= 1");
         Self {
             inner: Some(Arc::new(TracerInner {
                 clock,
+                config,
                 next_id: AtomicU64::new(1),
-                spans: Mutex::new(Vec::new()),
+                spans: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+                sink: Mutex::new(None),
             })),
         }
     }
@@ -141,6 +325,42 @@ impl Tracer {
     /// Whether spans are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The retention/sampling policy, `None` for a disabled tracer.
+    pub fn config(&self) -> Option<TracerConfig> {
+        self.inner.as_ref().map(|i| i.config.clone())
+    }
+
+    /// Spans evicted from the flight-recorder ring buffer because it was
+    /// full. Unsampled spans are not counted (they were never recorded).
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Attach a telemetry sink: every sampled finished span is also
+    /// pushed onto it (non-blocking, drop-counted). Replaces any
+    /// previously attached sink. No-op on a disabled tracer.
+    pub fn set_telemetry(&self, sink: TelemetrySink) {
+        if let Some(inner) = &self.inner {
+            *inner.sink.lock() = Some(sink);
+        }
+    }
+
+    /// Detach the telemetry sink, if any.
+    pub fn clear_telemetry(&self) {
+        if let Some(inner) = &self.inner {
+            *inner.sink.lock() = None;
+        }
+    }
+
+    /// The attached telemetry sink, if any. Instrumented subsystems use
+    /// this to push metric deltas alongside their spans.
+    pub fn telemetry(&self) -> Option<TelemetrySink> {
+        self.inner.as_ref().and_then(|i| i.sink.lock().clone())
     }
 
     /// Open a span. It closes (and is recorded) when the guard drops.
@@ -216,15 +436,17 @@ impl Tracer {
         }
     }
 
-    /// Snapshot of every recorded span, in completion order.
+    /// Snapshot of every retained span, in completion order (oldest
+    /// retained first). When the ring buffer has overflowed this is the
+    /// most recent [`TracerConfig::retention`] spans.
     pub fn spans(&self) -> Vec<SpanRecord> {
         match &self.inner {
-            Some(inner) => inner.spans.lock().clone(),
+            Some(inner) => inner.spans.lock().iter().cloned().collect(),
             None => Vec::new(),
         }
     }
 
-    /// Number of recorded spans.
+    /// Number of retained spans.
     pub fn span_count(&self) -> usize {
         match &self.inner {
             Some(inner) => inner.spans.lock().len(),
@@ -397,8 +619,24 @@ impl Drop for SpanGuard {
                 stack.remove(pos);
             }
         });
-        open.record.end = open.tracer.clock.now();
-        open.tracer.spans.lock().push(open.record);
+        let inner = &open.tracer;
+        // Head-based sampling: unsampled traces still participate in the
+        // span stack above (so ids stay consistent) but record nothing.
+        if !inner.sampled(open.record.trace_id.0) {
+            return;
+        }
+        open.record.end = inner.clock.now();
+        if !telemetry_suppressed() {
+            if let Some(sink) = inner.sink.lock().clone() {
+                sink.span(open.record.clone());
+            }
+        }
+        let mut spans = inner.spans.lock();
+        if spans.len() >= inner.config.retention {
+            spans.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        spans.push_back(open.record);
     }
 }
 
@@ -561,6 +799,122 @@ mod tests {
         assert!(g.context().is_none());
         drop(disabled.span_child_of("a", "y", None));
         assert_eq!(disabled.span_count(), 0);
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_and_counts_drops() {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let tracer = Tracer::with_config(
+            clock.clone(),
+            TracerConfig {
+                retention: 4,
+                sample_one_in: 1,
+            },
+        );
+        for i in 0..10 {
+            drop(tracer.span("a", &format!("op{i}")));
+        }
+        assert_eq!(tracer.span_count(), 4);
+        assert_eq!(tracer.dropped_spans(), 6);
+        let names: Vec<_> = tracer.spans().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["op6", "op7", "op8", "op9"]);
+        // Exporters keep working on the retained window.
+        assert!(tracer.chrome_trace_json().contains("op9"));
+        assert!(tracer.flame_summary().contains("op9 1"));
+    }
+
+    #[test]
+    fn head_sampling_keeps_whole_traces_or_none() {
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let tracer = Tracer::with_config(
+            clock.clone(),
+            TracerConfig {
+                retention: 1024,
+                sample_one_in: 3,
+            },
+        );
+        for _ in 0..30 {
+            let root = tracer.span("a", "root");
+            drop(tracer.span("a", "child"));
+            drop(root);
+        }
+        let spans = tracer.spans();
+        assert!(!spans.is_empty() && spans.len() < 60);
+        // Every retained trace is causally complete: a root and a child.
+        use std::collections::BTreeMap;
+        let mut by_trace: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for s in &spans {
+            by_trace.entry(s.trace_id.0).or_default().push(&s.name);
+        }
+        for (_, names) in by_trace {
+            assert_eq!(names.len(), 2);
+        }
+        // Unsampled spans are not "dropped" — they were never recorded.
+        assert_eq!(tracer.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn telemetry_sink_receives_finished_spans_and_metrics() {
+        let (tracer, clock) = virtual_tracer();
+        let sink = TelemetrySink::new(16);
+        tracer.set_telemetry(sink.clone());
+        assert!(tracer.telemetry().is_some());
+        {
+            let _g = tracer.span("sys", "op");
+            clock.advance(Duration::from_micros(5));
+        }
+        sink.metric("faas.cold_starts", 1);
+        let events = sink.drain(16);
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            TelemetryEvent::Span(s) => {
+                assert_eq!(s.name, "op");
+                assert_eq!(s.duration(), Duration::from_micros(5));
+            }
+            other => panic!("expected span event, got {other:?}"),
+        }
+        match &events[1] {
+            TelemetryEvent::Metric { name, delta } => {
+                assert_eq!(name, "faas.cold_starts");
+                assert_eq!(*delta, 1);
+            }
+            other => panic!("expected metric event, got {other:?}"),
+        }
+        tracer.clear_telemetry();
+        drop(tracer.span("sys", "untracked"));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn full_sink_drops_and_counts_without_blocking() {
+        let sink = TelemetrySink::new(2);
+        assert!(sink.metric("a", 1));
+        assert!(sink.metric("b", 1));
+        assert!(!sink.metric("c", 1));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let drained = sink.drain(10);
+        assert_eq!(drained.len(), 2);
+        assert!(sink.metric("d", 1));
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn suppression_keeps_spans_out_of_the_sink_but_in_the_recorder() {
+        let (tracer, _clock) = virtual_tracer();
+        let sink = TelemetrySink::new(16);
+        tracer.set_telemetry(sink.clone());
+        suppress_telemetry(|| {
+            drop(tracer.span("sys", "pump.publish"));
+        });
+        drop(tracer.span("sys", "visible"));
+        assert_eq!(tracer.span_count(), 2);
+        let events = sink.drain(16);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            TelemetryEvent::Span(s) => assert_eq!(s.name, "visible"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -429,6 +429,9 @@ impl DagExecutor {
         }
 
         self.metrics.counter("nodes_completed").inc();
+        if let Some(sink) = tracer.telemetry() {
+            sink.metric("dag.nodes_completed", 1);
+        }
         Ok((
             stored,
             NodeOutcome {
@@ -466,6 +469,9 @@ impl DagExecutor {
                 {
                     retries.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counter("retries").inc();
+                    if let Some(sink) = tracer.telemetry() {
+                        sink.metric("dag.retries", 1);
+                    }
                     let backoff = retry.backoff(attempt);
                     let mut retry_span =
                         tracer.span_child_of(TRACE_SYSTEM, "dag.retry", node_span.context());

@@ -402,6 +402,10 @@ impl FaasPlatform {
         attempt: u32,
     ) -> Result<InvocationResult> {
         let clock = &self.inner.clock;
+        // Fetched once per invocation: metric deltas ride the telemetry
+        // stream alongside spans whenever a sink-bearing tracer is
+        // attached; `None` (the default) costs nothing on the hot path.
+        let sink = tracer.telemetry();
         let now = clock.now();
         let (start, startup_latency) = {
             let mut startup = tracer.span(TRACE_SYSTEM, "faas.startup");
@@ -409,10 +413,16 @@ impl FaasPlatform {
             match start {
                 StartKind::Cold => {
                     self.inner.metrics.counter("cold_starts").inc();
+                    if let Some(sink) = &sink {
+                        sink.metric("faas.cold_starts", 1);
+                    }
                     startup.attr("kind", "cold");
                 }
                 StartKind::Warm => {
                     self.inner.metrics.counter("warm_starts").inc();
+                    if let Some(sink) = &sink {
+                        sink.metric("faas.warm_starts", 1);
+                    }
                     startup.attr("kind", "warm");
                 }
             }
@@ -436,6 +446,9 @@ impl FaasPlatform {
         // as providers cap billing at the configured timeout).
         if exec_duration > spec.timeout {
             self.inner.metrics.counter("timeouts").inc();
+            if let Some(sink) = &sink {
+                sink.metric("faas.timeouts", 1);
+            }
             let mut billing = tracer.span(TRACE_SYSTEM, "faas.billing");
             billing.attr("billed", "timeout_cap");
             self.inner
@@ -467,6 +480,17 @@ impl FaasPlatform {
             .metrics
             .histogram("invoke_latency_us")
             .record(total_duration.as_micros() as u64);
+        if let Some(sink) = &sink {
+            sink.metric("faas.invoke_latency_us", total_duration.as_micros() as u64);
+            sink.metric(
+                if output.is_ok() {
+                    "faas.invocations_ok"
+                } else {
+                    "faas.invocations_failed"
+                },
+                1,
+            );
+        }
 
         match output {
             Ok(bytes) => {

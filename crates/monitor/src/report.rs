@@ -1,0 +1,277 @@
+//! Renderers for the monitor's folded state.
+//!
+//! [`HealthReport`] is a plain-data snapshot (taken by
+//! [`Monitor::health_report`](crate::Monitor::health_report)) with two
+//! renderings: a human-readable text block for terminals and dumps, and
+//! Prometheus text exposition format for scrape endpoints.
+
+use std::time::Duration;
+
+use crate::slo::{AlertEvent, AlertState};
+
+/// Folded health of one traced operation.
+#[derive(Debug, Clone)]
+pub struct OpHealth {
+    /// Operation (span name), e.g. `faas.invoke`.
+    pub op: String,
+    /// All-time event count.
+    pub count: u64,
+    /// All-time p50 latency, microseconds.
+    pub p50_us: f64,
+    /// All-time p90 latency, microseconds.
+    pub p90_us: f64,
+    /// All-time p99 latency, microseconds.
+    pub p99_us: f64,
+    /// All-time maximum latency, microseconds.
+    pub max_us: f64,
+    /// Error fraction over the fast window ending at the snapshot.
+    pub error_rate: f64,
+}
+
+/// Point-in-time snapshot of everything the monitor knows.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Clock time of the snapshot.
+    pub at: Duration,
+    /// Per-operation health, sorted by operation name.
+    pub ops: Vec<OpHealth>,
+    /// Hot functions by estimated invocation count, heaviest first.
+    pub top_functions: Vec<(String, u64)>,
+    /// Folded counter metrics from the telemetry stream.
+    pub counters: Vec<(String, u64)>,
+    /// Policies currently in breach.
+    pub active_alerts: Vec<String>,
+    /// Full alert transition history.
+    pub alerts: Vec<AlertEvent>,
+    /// `(name, summary)` lines from attached metrics registries (see
+    /// [`Histogram::summary`](taureau_core::metrics::Histogram::summary)).
+    pub histogram_summaries: Vec<(String, String)>,
+    /// Fraction of container starts that were cold over the fast window.
+    pub cold_start_rate: f64,
+    /// Telemetry frames that failed to decode, all-time.
+    pub decode_errors: u64,
+}
+
+impl HealthReport {
+    /// Render as a human-readable text block.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "health @ {:.3}s", self.at.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "status: {}",
+            if self.active_alerts.is_empty() {
+                "HEALTHY".to_string()
+            } else {
+                format!("{} ALERT(S) FIRING", self.active_alerts.len())
+            }
+        );
+        for name in &self.active_alerts {
+            let _ = writeln!(out, "  firing: {name}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "operation", "count", "p50(us)", "p90(us)", "p99(us)", "max(us)", "err%"
+        );
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>6.2}%",
+                op.op,
+                op.count,
+                op.p50_us,
+                op.p90_us,
+                op.p99_us,
+                op.max_us,
+                op.error_rate * 100.0
+            );
+        }
+        if !self.top_functions.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "hot functions:");
+            for (function, count) in &self.top_functions {
+                let _ = writeln!(out, "  {function:<20} ~{count} invocations");
+            }
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "cold start rate (fast window): {:.1}%",
+            self.cold_start_rate * 100.0
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "telemetry counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<28} {value}");
+            }
+        }
+        if !self.histogram_summaries.is_empty() {
+            let _ = writeln!(out, "subsystem histograms:");
+            for (name, summary) in &self.histogram_summaries {
+                let _ = writeln!(out, "  {name:<28} {summary}");
+            }
+        }
+        if !self.alerts.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "alert timeline:");
+            for alert in &self.alerts {
+                let _ = writeln!(out, "  {alert}");
+            }
+        }
+        if self.decode_errors > 0 {
+            let _ = writeln!(out, "decode errors: {}", self.decode_errors);
+        }
+        out
+    }
+
+    /// Render in Prometheus text exposition format, all metric names
+    /// prefixed `taureau_monitor_`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE taureau_monitor_op_latency_us summary");
+        for op in &self.ops {
+            for (q, v) in [(0.5, op.p50_us), (0.9, op.p90_us), (0.99, op.p99_us)] {
+                let _ = writeln!(
+                    out,
+                    "taureau_monitor_op_latency_us{{op=\"{}\",quantile=\"{q}\"}} {v:.0}",
+                    op.op
+                );
+            }
+            let _ = writeln!(
+                out,
+                "taureau_monitor_op_latency_us_count{{op=\"{}\"}} {}",
+                op.op, op.count
+            );
+        }
+        let _ = writeln!(out, "# TYPE taureau_monitor_op_error_rate gauge");
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "taureau_monitor_op_error_rate{{op=\"{}\"}} {:.6}",
+                op.op, op.error_rate
+            );
+        }
+        let _ = writeln!(out, "# TYPE taureau_monitor_alert_active gauge");
+        for name in &self.active_alerts {
+            let _ = writeln!(out, "taureau_monitor_alert_active{{policy=\"{name}\"}} 1");
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE taureau_monitor_alert_transitions_total counter"
+        );
+        let fired = self
+            .alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .count();
+        let _ = writeln!(
+            out,
+            "taureau_monitor_alert_transitions_total{{state=\"firing\"}} {fired}"
+        );
+        let _ = writeln!(
+            out,
+            "taureau_monitor_alert_transitions_total{{state=\"resolved\"}} {}",
+            self.alerts.len() - fired
+        );
+        let _ = writeln!(out, "# TYPE taureau_monitor_hot_function gauge");
+        for (function, count) in &self.top_functions {
+            let _ = writeln!(
+                out,
+                "taureau_monitor_hot_function{{function=\"{function}\"}} {count}"
+            );
+        }
+        let _ = writeln!(out, "# TYPE taureau_monitor_cold_start_rate gauge");
+        let _ = writeln!(
+            out,
+            "taureau_monitor_cold_start_rate {:.6}",
+            self.cold_start_rate
+        );
+        let _ = writeln!(out, "# TYPE taureau_monitor_telemetry_counter gauge");
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "taureau_monitor_telemetry_counter{{name=\"{name}\"}} {value}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> HealthReport {
+        HealthReport {
+            at: Duration::from_secs(12),
+            ops: vec![OpHealth {
+                op: "faas.invoke".to_string(),
+                count: 1000,
+                p50_us: 2_100.0,
+                p90_us: 4_000.0,
+                p99_us: 9_500.0,
+                max_us: 52_000.0,
+                error_rate: 0.015,
+            }],
+            top_functions: vec![("thumbnail".to_string(), 640)],
+            counters: vec![("faas.invocations_ok".to_string(), 985)],
+            active_alerts: vec!["p99-faas.invoke-lt-60000us".to_string()],
+            alerts: vec![AlertEvent {
+                at: Duration::from_secs(8),
+                policy: "p99-faas.invoke-lt-60000us".to_string(),
+                state: AlertState::Firing,
+                value: 150_000.0,
+                threshold: 60_000.0,
+            }],
+            histogram_summaries: vec![(
+                "faas_exec_duration_us".to_string(),
+                "count=1000 p50=2000 p90=4000 p99=9000 max=50000".to_string(),
+            )],
+            cold_start_rate: 0.05,
+            decode_errors: 0,
+        }
+    }
+
+    #[test]
+    fn text_rendering_covers_all_sections() {
+        let text = sample_report().render_text();
+        assert!(text.contains("1 ALERT(S) FIRING"));
+        assert!(text.contains("faas.invoke"));
+        assert!(text.contains("thumbnail"));
+        assert!(text.contains("faas.invocations_ok"));
+        assert!(text.contains("faas_exec_duration_us"));
+        assert!(text.contains("count=1000 p50=2000"));
+        assert!(text.contains("alert timeline:"));
+        assert!(text.contains("FIRING"));
+        assert!(text.contains("cold start rate"));
+    }
+
+    #[test]
+    fn healthy_report_says_so() {
+        let mut report = sample_report();
+        report.active_alerts.clear();
+        assert!(report.render_text().contains("status: HEALTHY"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let prom = sample_report().render_prometheus();
+        assert!(prom
+            .contains("taureau_monitor_op_latency_us{op=\"faas.invoke\",quantile=\"0.99\"} 9500"));
+        assert!(prom.contains("taureau_monitor_op_latency_us_count{op=\"faas.invoke\"} 1000"));
+        assert!(
+            prom.contains("taureau_monitor_alert_active{policy=\"p99-faas.invoke-lt-60000us\"} 1")
+        );
+        assert!(prom.contains("taureau_monitor_alert_transitions_total{state=\"firing\"} 1"));
+        assert!(prom.contains("taureau_monitor_hot_function{function=\"thumbnail\"} 640"));
+        assert!(prom.contains("taureau_monitor_cold_start_rate 0.050000"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "line: {line}");
+        }
+    }
+}

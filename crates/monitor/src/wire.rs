@@ -1,0 +1,285 @@
+//! Framed binary encoding of telemetry events for the Pulsar transport.
+//!
+//! The workspace's serde shim derives are inert (see `shims/README.md`),
+//! so the wire format is hand-rolled: a two-byte header (`b'T'` magic +
+//! record tag) followed by little-endian fixed-width integers and
+//! `u16`-length-prefixed UTF-8 strings. Decoders are total — malformed
+//! frames decode to `None` and are counted by the consumer, never panicked
+//! on; the telemetry plane must survive garbage on its own topics.
+
+use taureau_core::trace::SpanRecord;
+
+/// Frame magic: first byte of every telemetry record.
+const MAGIC: u8 = b'T';
+/// Record tag for span frames.
+const TAG_SPAN: u8 = b'S';
+/// Record tag for metric frames.
+const TAG_METRIC: u8 = b'M';
+
+/// A decoded span event, the monitor-side view of a
+/// [`SpanRecord`]. Owned strings throughout (`SpanRecord::system` is a
+/// `&'static str` on the producer side, which cannot survive a wire hop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Trace the span belongs to.
+    pub trace_id: u64,
+    /// The span's own id.
+    pub span_id: u64,
+    /// Causal parent span id, `None` for trace roots.
+    pub parent: Option<u64>,
+    /// Owning subsystem, e.g. `taureau-faas`.
+    pub system: String,
+    /// Operation name, e.g. `faas.invoke`.
+    pub name: String,
+    /// Span open timestamp, microseconds of clock time.
+    pub start_us: u64,
+    /// Span close timestamp, microseconds of clock time.
+    pub end_us: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanEvent {
+    /// Build from a producer-side record.
+    pub fn from_record(r: &SpanRecord) -> Self {
+        Self {
+            trace_id: r.trace_id.0,
+            span_id: r.span_id.0,
+            parent: r.parent.map(|p| p.0),
+            system: r.system.to_string(),
+            name: r.name.clone(),
+            start_us: r.start.as_micros() as u64,
+            end_us: r.end.as_micros() as u64,
+            attrs: r
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Span duration in microseconds (saturating).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        let bytes = self.buf.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes: [u8; 8] = self.buf.get(self.pos..self.pos + 8)?.try_into().ok()?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.buf.get(self.pos..self.pos + len)?;
+        self.pos += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Encode a span event as one telemetry frame.
+pub fn encode_span(ev: &SpanEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + ev.name.len() + ev.system.len());
+    out.push(MAGIC);
+    out.push(TAG_SPAN);
+    put_u64(&mut out, ev.trace_id);
+    put_u64(&mut out, ev.span_id);
+    match ev.parent {
+        Some(p) => {
+            out.push(1);
+            put_u64(&mut out, p);
+        }
+        None => out.push(0),
+    }
+    put_u64(&mut out, ev.start_us);
+    put_u64(&mut out, ev.end_us);
+    put_str(&mut out, &ev.system);
+    put_str(&mut out, &ev.name);
+    let n_attrs = ev.attrs.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(n_attrs as u16).to_le_bytes());
+    for (k, v) in ev.attrs.iter().take(n_attrs) {
+        put_str(&mut out, k);
+        put_str(&mut out, v);
+    }
+    out
+}
+
+/// Decode a span frame; `None` on any malformed input.
+pub fn decode_span(bytes: &[u8]) -> Option<SpanEvent> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u8()? != MAGIC || r.u8()? != TAG_SPAN {
+        return None;
+    }
+    let trace_id = r.u64()?;
+    let span_id = r.u64()?;
+    let parent = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        _ => return None,
+    };
+    let start_us = r.u64()?;
+    let end_us = r.u64()?;
+    let system = r.str()?;
+    let name = r.str()?;
+    let n_attrs = r.u16()? as usize;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        let k = r.str()?;
+        let v = r.str()?;
+        attrs.push((k, v));
+    }
+    Some(SpanEvent {
+        trace_id,
+        span_id,
+        parent,
+        system,
+        name,
+        start_us,
+        end_us,
+        attrs,
+    })
+}
+
+/// Encode a metric delta as one telemetry frame.
+pub fn encode_metric(name: &str, delta: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + name.len());
+    out.push(MAGIC);
+    out.push(TAG_METRIC);
+    put_u64(&mut out, delta);
+    put_str(&mut out, name);
+    out
+}
+
+/// Decode a metric frame; `None` on any malformed input.
+pub fn decode_metric(bytes: &[u8]) -> Option<(String, u64)> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u8()? != MAGIC || r.u8()? != TAG_METRIC {
+        return None;
+    }
+    let delta = r.u64()?;
+    let name = r.str()?;
+    Some((name, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> SpanEvent {
+        SpanEvent {
+            trace_id: 0xdead_beef,
+            span_id: 42,
+            parent: Some(41),
+            system: "taureau-faas".to_string(),
+            name: "faas.invoke".to_string(),
+            start_us: 1_000,
+            end_us: 3_500,
+            attrs: vec![
+                ("function".to_string(), "thumbnail".to_string()),
+                ("outcome".to_string(), "ok".to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn span_roundtrip() {
+        let ev = sample_event();
+        let decoded = decode_span(&encode_span(&ev)).unwrap();
+        assert_eq!(decoded, ev);
+        assert_eq!(decoded.duration_us(), 2_500);
+        assert_eq!(decoded.attr("outcome"), Some("ok"));
+        assert_eq!(decoded.attr("missing"), None);
+    }
+
+    #[test]
+    fn rootless_span_roundtrip() {
+        let mut ev = sample_event();
+        ev.parent = None;
+        ev.attrs.clear();
+        assert_eq!(decode_span(&encode_span(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn metric_roundtrip() {
+        let frame = encode_metric("faas.cold_starts", 7);
+        assert_eq!(
+            decode_metric(&frame),
+            Some(("faas.cold_starts".to_string(), 7))
+        );
+    }
+
+    #[test]
+    fn malformed_frames_decode_to_none() {
+        assert_eq!(decode_span(&[]), None);
+        assert_eq!(decode_metric(&[]), None);
+        assert_eq!(decode_span(b"garbage frame"), None);
+        // Wrong tag for the decoder in use.
+        let ev = sample_event();
+        assert_eq!(decode_metric(&encode_span(&ev)), None);
+        assert_eq!(decode_span(&encode_metric("x", 1)), None);
+        // Truncated at every prefix length still returns None, not panic.
+        let frame = encode_span(&ev);
+        for cut in 0..frame.len() {
+            assert_eq!(decode_span(&frame[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn from_record_converts_static_fields() {
+        use std::sync::Arc;
+        use taureau_core::clock::VirtualClock;
+        use taureau_core::trace::Tracer;
+
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::new(clock.clone());
+        {
+            let mut g = tracer.span("taureau-test", "op");
+            g.attr("k", "v");
+            clock.advance(std::time::Duration::from_micros(9));
+        }
+        let record = &tracer.spans()[0];
+        let ev = SpanEvent::from_record(record);
+        assert_eq!(ev.system, "taureau-test");
+        assert_eq!(ev.name, "op");
+        assert_eq!(ev.duration_us(), 9);
+        assert_eq!(ev.attr("k"), Some("v"));
+    }
+}

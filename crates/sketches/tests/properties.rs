@@ -115,6 +115,44 @@ proptest! {
         prop_assert!(qs[0] >= min && qs[10] <= max);
     }
 
+    /// KLL under merge keeps its rank-error bound: shard a random stream,
+    /// sketch each shard, merge, and every merged quantile estimate must
+    /// sit within an additive rank error of the exact quantile over the
+    /// whole stream. This guards the monitor's shard-merge path (rolling
+    /// windows merge one sub-sketch per time slice on every query).
+    #[test]
+    fn kll_merge_rank_error_within_bound(
+        left in vec(-1e6f64..1e6, 1..800),
+        right in vec(-1e6f64..1e6, 1..800),
+    ) {
+        let k = 64;
+        let mut a = KllSketch::new(k);
+        let mut b = KllSketch::new(k);
+        for &v in &left { a.update(v); }
+        for &v in &right { b.update(v); }
+        a.merge(&b).unwrap();
+
+        let mut exact: Vec<f64> = left.iter().chain(&right).cloned().collect();
+        exact.sort_by(f64::total_cmp);
+        let n = exact.len() as f64;
+        prop_assert_eq!(a.total(), exact.len() as u64);
+        // Coarse additive bound: merged depth adds compaction rounds, so
+        // allow a generous constant factor over the single-sketch ~1/k.
+        let eps = 10.0 / k as f64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = a.quantile(q).unwrap();
+            // Rank of the estimate in the exact stream.
+            let rank = exact.iter().filter(|&&v| v <= est).count() as f64;
+            let target = q * n;
+            prop_assert!(
+                (rank - target).abs() <= eps * n + 1.0,
+                "q={} est={} rank={} target={} n={}",
+                q, est, rank, target, n
+            );
+        }
+    }
+
     /// AMS F2 is exactly linear: sketch(a) + sketch(b) = sketch(a ++ b).
     #[test]
     fn ams_linearity(

@@ -15,6 +15,7 @@
 //! | [`faas`] | the Function-as-a-Service runtime |
 //! | [`orchestration`] | function composition (Lopez et al. properties) |
 //! | [`dag`] | parallel, fault-tolerant DAG workflow engine |
+//! | [`monitor`] | self-hosted SLO monitoring, alerts, flight recorder |
 //! | [`sim`] | cluster-scale cost/scaling simulator |
 //! | [`apps`] | the paper's application workloads |
 //! | [`baas`] | Backend-as-a-Service substrates (blob store, transactional DB) |
@@ -31,6 +32,7 @@ pub use taureau_core as core;
 pub use taureau_dag as dag;
 pub use taureau_faas as faas;
 pub use taureau_jiffy as jiffy;
+pub use taureau_monitor as monitor;
 pub use taureau_orchestration as orchestration;
 pub use taureau_pulsar as pulsar;
 pub use taureau_secure as secure;
@@ -42,10 +44,11 @@ pub mod prelude {
     pub use taureau_core::bytesize::ByteSize;
     pub use taureau_core::clock::{Clock, SharedClock, VirtualClock, WallClock};
     pub use taureau_core::metrics::MetricsRegistry;
-    pub use taureau_core::trace::Tracer;
+    pub use taureau_core::trace::{TelemetrySink, Tracer, TracerConfig};
     pub use taureau_dag::{DagBuilder, DagExecutor, ExecutorConfig, RetryPolicy};
     pub use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
     pub use taureau_jiffy::{Jiffy, JiffyConfig};
+    pub use taureau_monitor::{HealthReport, Monitor, MonitorConfig, SloPolicy, TelemetryPump};
     pub use taureau_orchestration::{Composition, Orchestrator};
     pub use taureau_pulsar::{
         FunctionConfig, FunctionRuntime, PulsarCluster, PulsarConfig, SubscriptionMode,
