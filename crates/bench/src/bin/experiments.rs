@@ -48,12 +48,17 @@ use taureau_sketches::CountMinSketch;
 
 const KNOWN: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
-    "e18", "e19", "e20", "e21", "e22", "e23", "e24",
+    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
 ];
+
+/// Default path for the machine-readable benchmark numbers E25 (and E24's
+/// overhead coda) emit; overridden by `--bench-json PATH`.
+const BENCH_JSON_DEFAULT: &str = "BENCH_e25.json";
 
 fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut bench_json: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -69,6 +74,13 @@ fn main() {
         } else if a == "--metrics-out" {
             metrics_out = Some(raw.next().unwrap_or_else(|| {
                 eprintln!("--metrics-out needs a path");
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = a.strip_prefix("--bench-json=") {
+            bench_json = Some(v.to_string());
+        } else if a == "--bench-json" {
+            bench_json = Some(raw.next().unwrap_or_else(|| {
+                eprintln!("--bench-json needs a path");
                 std::process::exit(2);
             }));
         } else {
@@ -93,6 +105,8 @@ fn main() {
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
+    // (key, JSON value) fragments assembled into the bench-JSON file.
+    let mut bench_parts: Vec<(String, String)> = Vec::new();
 
     if want("e1") {
         e1_cost_vs_load_shape();
@@ -159,7 +173,27 @@ fn main() {
         e23_dag_engine();
     }
     if want("e24") {
-        e24_self_monitoring();
+        e24_self_monitoring(&mut bench_parts);
+    }
+    if want("e25") {
+        e25_contention_scaling(&mut bench_parts);
+    }
+    // E25 always persists its numbers (the CI scaling gate reads them);
+    // other fragments (E24's overhead coda) ride along, or are written on
+    // their own when `--bench-json` is given explicitly.
+    if want("e25") || (bench_json.is_some() && !bench_parts.is_empty()) {
+        let path = bench_json.as_deref().unwrap_or(BENCH_JSON_DEFAULT);
+        let body = bench_parts
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!("{{\n{body}\n}}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nbench JSON written to {path}");
     }
 }
 
@@ -1775,7 +1809,7 @@ fn e12_binpacking() {
 /// (the alert must fire exactly once and resolve exactly once), and
 /// flight-records a failed invocation into the Jiffy blackbox. A wall
 /// clock coda measures the per-invoke cost of the telemetry sink.
-fn e24_self_monitoring() {
+fn e24_self_monitoring(bench: &mut Vec<(String, String)>) {
     banner(
         "E24",
         "self-monitoring: SLO alert fires+resolves around an injected fault; sketch quantiles match exact within rank-error bound; failures leave a blackbox dump",
@@ -2000,6 +2034,15 @@ fn e24_self_monitoring() {
     let off1 = overhead_run(false);
     let off2 = overhead_run(false);
     let on = overhead_run(true);
+    bench.push((
+        "e24_overhead".to_string(),
+        format!(
+            "{{\"per_invoke_ns\": {{\"disabled_run1\": {}, \"disabled_run2\": {}, \"sink_and_pump\": {}}}}}",
+            off1.as_nanos(),
+            off2.as_nanos(),
+            on.as_nanos()
+        ),
+    ));
     let delta = |d: Duration| {
         format!(
             "{:+.1}%",
@@ -2016,4 +2059,258 @@ fn e24_self_monitoring() {
     t.row(["sink + pump".to_string(), fmt_dur(on), delta(on)]);
     t.print();
     println!("(disabled run 2 vs run 1 is the noise floor; the disabled path adds one None check over the tracing-only baseline)");
+}
+
+/// E25 — the sharded concurrency core: 1/2/4/8 threads drive each
+/// subsystem's hot path, sharded implementation vs the retained
+/// coarse-lock path. With striped locks, disjoint keys (different apps,
+/// topics, functions, counter stripes) proceed in parallel; the coarse
+/// baseline serializes every operation on one mutex. On a multi-core
+/// machine the sharded column scales toward the core count while the
+/// coarse column stays flat; on a single core both are flat (thread
+/// parallelism cannot exceed the hardware), so the CI gate runs on
+/// multi-core runners.
+fn e25_contention_scaling(bench: &mut Vec<(String, String)>) {
+    banner(
+        "E25",
+        "contention scaling: sharded locks scale with threads on disjoint keys; the coarse-lock baseline serializes",
+    );
+    const THREADS: &[usize] = &[1, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("(hardware threads available: {cores})");
+
+    /// Run `threads` workers, each performing `ops_per_thread` calls of
+    /// `op(worker_index, iteration)`; aggregate wall-clock ops/sec.
+    fn drive(threads: usize, ops_per_thread: u64, op: impl Fn(usize, u64) + Sync) -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let op = &op;
+                s.spawn(move || {
+                    for i in 0..ops_per_thread {
+                        op(t, i);
+                    }
+                });
+            }
+        });
+        (threads as u64 * ops_per_thread) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    fn fmt_ops(v: f64) -> String {
+        if v >= 1e6 {
+            format!("{:.2}M/s", v / 1e6)
+        } else {
+            format!("{:.1}k/s", v / 1e3)
+        }
+    }
+
+    let max_threads = *THREADS.last().expect("thread counts");
+    let value = vec![0u8; 64];
+
+    // -- Jiffy KV: per-app namespaces (sharded) vs baseline::GlobalStore --
+    let jiffy = Jiffy::new(
+        JiffyConfig {
+            blocks_per_node: 4096,
+            ..Default::default()
+        },
+        Arc::new(WallClock::new()),
+    );
+    let kvs: Vec<_> = (0..max_threads)
+        .map(|t| {
+            jiffy
+                .create_kv(format!("/e25-app{t}/kv").as_str(), 4)
+                .expect("create kv")
+        })
+        .collect();
+    let jiffy_run = |threads: usize| {
+        drive(threads, 20_000, |t, i| {
+            let key = (i % 256).to_le_bytes();
+            kvs[t].put(&key, &value).expect("put");
+            let _ = kvs[t].get(&key).expect("get");
+        })
+    };
+    let global = GlobalStore::new(4);
+    let tenants: Vec<String> = (0..max_threads).map(|t| format!("e25-app{t}")).collect();
+    let jiffy_coarse_run = |threads: usize| {
+        drive(threads, 20_000, |t, i| {
+            let key = (i % 256).to_le_bytes();
+            global.put(&tenants[t], &key, &value);
+            let _ = global.get(&tenants[t], &key);
+        })
+    };
+
+    // -- Pulsar publish: sharded topic/ledger maps vs one global mutex ----
+    let cluster = PulsarCluster::new(
+        PulsarConfig {
+            max_entries_per_ledger: 1 << 20,
+            ..PulsarConfig::default()
+        },
+        WallClock::shared(),
+    );
+    let producers: Vec<_> = (0..max_threads)
+        .map(|t| {
+            let topic = format!("e25/t{t}");
+            cluster.create_topic(&topic, 1).expect("topic");
+            cluster.producer(&topic).expect("producer")
+        })
+        .collect();
+    let pulsar_run = |threads: usize| {
+        drive(threads, 10_000, |t, i| {
+            producers[t].send(&i.to_le_bytes()).expect("publish");
+        })
+    };
+    let coarse_cluster = PulsarCluster::new(
+        PulsarConfig {
+            max_entries_per_ledger: 1 << 20,
+            ..PulsarConfig::default()
+        },
+        WallClock::shared(),
+    );
+    let coarse_producers: Vec<_> = (0..max_threads)
+        .map(|t| {
+            let topic = format!("e25c/t{t}");
+            coarse_cluster.create_topic(&topic, 1).expect("topic");
+            coarse_cluster.producer(&topic).expect("producer")
+        })
+        .collect();
+    let publish_gate = std::sync::Mutex::new(());
+    let pulsar_coarse_run = |threads: usize| {
+        drive(threads, 10_000, |t, i| {
+            let _g = publish_gate.lock().expect("gate");
+            coarse_producers[t].send(&i.to_le_bytes()).expect("publish");
+        })
+    };
+
+    // -- FaaS invoke: sharded warm pool vs one global mutex ---------------
+    let platform = FaasPlatform::new(
+        PlatformConfig {
+            cold_start: LatencyModel::Constant(Duration::ZERO),
+            warm_start: LatencyModel::Constant(Duration::ZERO),
+            ..PlatformConfig::default()
+        },
+        Arc::new(WallClock::new()),
+    );
+    for t in 0..max_threads {
+        platform
+            .register(FunctionSpec::new(
+                format!("f{t}"),
+                "e25",
+                |_| Ok(Vec::new()),
+            ))
+            .expect("register");
+    }
+    let fnames: Vec<String> = (0..max_threads).map(|t| format!("f{t}")).collect();
+    let faas_run = |threads: usize| {
+        drive(threads, 5_000, |t, _| {
+            platform.invoke(&fnames[t], Vec::new()).expect("invoke");
+        })
+    };
+    let invoke_gate = std::sync::Mutex::new(());
+    let faas_coarse_run = |threads: usize| {
+        drive(threads, 5_000, |t, _| {
+            let _g = invoke_gate.lock().expect("gate");
+            platform.invoke(&fnames[t], Vec::new()).expect("invoke");
+        })
+    };
+
+    // -- Metrics counters: striped cells vs a mutex-guarded u64 -----------
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("e25_ops");
+    let metrics_run = |threads: usize| drive(threads, 500_000, |_, _| counter.inc());
+    let coarse_count = std::sync::Mutex::new(0u64);
+    let metrics_coarse_run = |threads: usize| {
+        drive(threads, 500_000, |_, _| {
+            *coarse_count.lock().expect("count") += 1;
+        })
+    };
+
+    // -- drive everything and report --------------------------------------
+    let subsystems: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
+        (
+            "jiffy kv",
+            THREADS.iter().map(|&n| jiffy_run(n)).collect(),
+            THREADS.iter().map(|&n| jiffy_coarse_run(n)).collect(),
+        ),
+        (
+            "pulsar publish",
+            THREADS.iter().map(|&n| pulsar_run(n)).collect(),
+            THREADS.iter().map(|&n| pulsar_coarse_run(n)).collect(),
+        ),
+        (
+            "faas invoke",
+            THREADS.iter().map(|&n| faas_run(n)).collect(),
+            THREADS.iter().map(|&n| faas_coarse_run(n)).collect(),
+        ),
+        (
+            "metrics counter",
+            THREADS.iter().map(|&n| metrics_run(n)).collect(),
+            THREADS.iter().map(|&n| metrics_coarse_run(n)).collect(),
+        ),
+    ];
+
+    let scaling = |rates: &[f64]| rates[2] / rates[0].max(1e-9); // 1 → 4 threads
+    let mut t = Table::new([
+        "subsystem",
+        "variant",
+        "1 thr",
+        "2 thr",
+        "4 thr",
+        "8 thr",
+        "1→4 scaling",
+    ]);
+    for (name, sharded, coarse) in &subsystems {
+        t.row([
+            name.to_string(),
+            "sharded".to_string(),
+            fmt_ops(sharded[0]),
+            fmt_ops(sharded[1]),
+            fmt_ops(sharded[2]),
+            fmt_ops(sharded[3]),
+            format!("{:.2}x", scaling(sharded)),
+        ]);
+        t.row([
+            name.to_string(),
+            "coarse lock".to_string(),
+            fmt_ops(coarse[0]),
+            fmt_ops(coarse[1]),
+            fmt_ops(coarse[2]),
+            fmt_ops(coarse[3]),
+            format!("{:.2}x", scaling(coarse)),
+        ]);
+    }
+    t.print();
+    println!(
+        "(jiffy coarse baseline is baseline::GlobalStore — the retained single-mutex path; \
+         other coarse rows drive the same code through one global mutex)"
+    );
+
+    let json_rates = |rates: &[f64]| {
+        rates
+            .iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let subsystem_json = subsystems
+        .iter()
+        .map(|(name, sharded, coarse)| {
+            let key = name.replace(' ', "_");
+            format!(
+                "    \"{key}\": {{\"sharded_ops_per_sec\": [{}], \"coarse_ops_per_sec\": [{}], \
+                 \"sharded_scaling_1_to_4\": {:.3}, \"coarse_scaling_1_to_4\": {:.3}}}",
+                json_rates(sharded),
+                json_rates(coarse),
+                scaling(sharded),
+                scaling(coarse)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    bench.push((
+        "e25".to_string(),
+        format!(
+            "{{\n    \"cores\": {cores},\n    \"threads\": [1, 2, 4, 8],\n    \
+             \"subsystems\": {{\n{subsystem_json}\n    }}\n  }}"
+        ),
+    ));
 }

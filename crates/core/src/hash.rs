@@ -38,6 +38,26 @@ fn mix(a: u64, b: u64) -> u64 {
     (r >> 64) as u64 ^ r as u64
 }
 
+/// FNV-1a over a byte slice.
+///
+/// Used for shard selection in [`crate::sync`]: cheaper than [`hash64`] on
+/// the short keys (topic names, namespace paths, function names) that pick a
+/// lock stripe, and its low bits are well distributed for power-of-two
+/// shard counts after the final xor-fold.
+#[inline]
+pub fn fnv(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET_BASIS;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Fold the high bits down: FNV's low bits alone are weak for
+    // power-of-two masking.
+    h ^ (h >> 32)
+}
+
 /// A pair of independent hashes of the same input, from which a whole family
 /// `g_i = h1 + i * h2` can be derived (Kirsch–Mitzenmacher).
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +133,20 @@ mod tests {
         let p = HashPair::new(9, b"item");
         let derived: HashSet<u64> = (0..16).map(|i| p.derive(i)).collect();
         assert_eq!(derived.len(), 16);
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv(b"topic-a"), fnv(b"topic-a"));
+        assert_ne!(fnv(b"topic-a"), fnv(b"topic-b"));
+        // Short sequential keys (the shard-selection workload) must not
+        // collapse onto a few stripes under a power-of-two mask.
+        let mask = 15u64;
+        let mut hit = HashSet::new();
+        for i in 0..64u64 {
+            hit.insert(fnv(format!("fn-{i}").as_bytes()) & mask);
+        }
+        assert!(hit.len() >= 12, "only {} of 16 stripes hit", hit.len());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   workload generators (Zipf, Poisson processes, log-normal).
 //! - [`bytesize`]: human-friendly byte quantities.
 //! - [`ratelimit`]: a token bucket used for throttling and admission control.
+//! - [`sync`]: sharded concurrency primitives — a striped-lock map and a
+//!   lock-free striped counter — that every multi-reader hot path (Jiffy
+//!   pool, Pulsar topic map, FaaS container pool, metrics registry) builds
+//!   on instead of one coarse `Mutex`.
 //! - [`trace`]: structured request tracing — causally-linked spans that
 //!   follow one invocation across FaaS, Pulsar and Jiffy, with Chrome
 //!   trace-event and flamegraph exporters.
@@ -38,12 +42,14 @@ pub mod latency;
 pub mod metrics;
 pub mod ratelimit;
 pub mod rng;
+pub mod sync;
 pub mod trace;
 
 pub use bytesize::ByteSize;
 pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
 pub use id::{BlockId, ContainerId, FunctionId, InvocationId, LedgerId, NodeId, TenantId};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use sync::{ShardedMap, StripedCounter};
 pub use trace::{
     SpanGuard, SpanId, SpanRecord, TelemetryEvent, TelemetrySink, TraceId, Tracer, TracerConfig,
 };

@@ -6,12 +6,11 @@
 //! magnitude, linear sub-buckets), giving bounded relative error on quantile
 //! queries without storing raw samples.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::sync::{ShardedMap, StripedCounter};
 
 /// Number of linear sub-buckets per power-of-two magnitude. 16 sub-buckets
 /// gives a worst-case relative error of 1/16 ≈ 6% on quantiles, ample for
@@ -22,9 +21,15 @@ const SUB_BUCKET_BITS: u32 = 4; // log2(SUB_BUCKETS)
 const MAGNITUDES: usize = 64;
 
 /// A monotonically increasing counter.
+///
+/// Internally striped across per-thread cells
+/// ([`StripedCounter`]): increments are a single uncontended
+/// `fetch_add` on a cache line the incrementing thread effectively owns,
+/// and [`Counter::get`] folds the cells into the total. Hot paths on many
+/// threads never serialize on a shared line.
 #[derive(Debug, Default)]
 pub struct Counter {
-    value: AtomicU64,
+    value: StripedCounter,
 }
 
 impl Counter {
@@ -40,12 +45,12 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        self.value.add(n);
     }
 
-    /// Current value.
+    /// Current value (folds the per-thread cells).
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.get()
     }
 }
 
@@ -302,16 +307,31 @@ impl Histogram {
 /// A named registry of metrics, shared across a subsystem.
 ///
 /// Lookups create on first use, so call sites never have to pre-register.
+/// The name→metric maps are sharded ([`ShardedMap`]): concurrent lookups
+/// of different metric names lock different stripes, so the registry no
+/// longer serializes every hot path that touches any metric. Report-time
+/// accessors still return name-sorted vectors.
 #[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
-    inner: Arc<Mutex<RegistryInner>>,
+    inner: Arc<RegistryShards>,
 }
 
 #[derive(Debug, Default)]
-struct RegistryInner {
-    counters: BTreeMap<String, Arc<Counter>>,
-    gauges: BTreeMap<String, Arc<Gauge>>,
-    histograms: BTreeMap<String, Arc<Histogram>>,
+struct RegistryShards {
+    counters: ShardedMap<String, Arc<Counter>>,
+    gauges: ShardedMap<String, Arc<Gauge>>,
+    histograms: ShardedMap<String, Arc<Histogram>>,
+}
+
+/// Collect a sharded name→metric map into a name-sorted projection.
+fn sorted_view<M, T>(
+    map: &ShardedMap<String, Arc<M>>,
+    project: impl Fn(&Arc<M>) -> T,
+) -> Vec<(String, T)> {
+    let mut out = Vec::new();
+    map.for_each(|k, v| out.push((k.clone(), project(v))));
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 impl MetricsRegistry {
@@ -322,76 +342,56 @@ impl MetricsRegistry {
 
     /// Get or create a counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock();
-        Arc::clone(
-            inner
-                .counters
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Counter::new())),
-        )
+        self.inner.counters.with(name, |shard| {
+            Arc::clone(
+                shard
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Counter::new())),
+            )
+        })
     }
 
     /// Get or create a gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock();
-        Arc::clone(
-            inner
-                .gauges
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Gauge::new())),
-        )
+        self.inner.gauges.with(name, |shard| {
+            Arc::clone(
+                shard
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Gauge::new())),
+            )
+        })
     }
 
     /// Get or create a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut inner = self.inner.lock();
-        Arc::clone(
-            inner
-                .histograms
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Histogram::new())),
-        )
+        self.inner.histograms.with(name, |shard| {
+            Arc::clone(
+                shard
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Histogram::new())),
+            )
+        })
     }
 
     /// Names and values of all counters, sorted by name.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
-        let inner = self.inner.lock();
-        inner
-            .counters
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect()
+        sorted_view(&self.inner.counters, |c| c.get())
     }
 
     /// Names and snapshots of all histograms, sorted by name.
     pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
-        let inner = self.inner.lock();
-        inner
-            .histograms
-            .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
-            .collect()
+        sorted_view(&self.inner.histograms, |h| h.snapshot())
     }
 
     /// Names and one-line [`Histogram::summary`] strings of all
     /// histograms, sorted by name — the form health reports embed.
     pub fn histogram_summaries(&self) -> Vec<(String, String)> {
-        let inner = self.inner.lock();
-        inner
-            .histograms
-            .iter()
-            .map(|(k, v)| (k.clone(), v.summary()))
-            .collect()
+        sorted_view(&self.inner.histograms, |h| h.summary())
     }
 
     /// Names and values of all gauges, sorted by name.
     pub fn gauge_values(&self) -> Vec<(String, i64)> {
-        let inner = self.inner.lock();
-        inner
-            .gauges
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect()
+        sorted_view(&self.inner.gauges, |g| g.get())
     }
 
     /// Render every metric in the Prometheus text exposition format.
@@ -419,20 +419,19 @@ impl MetricsRegistry {
         }
 
         use std::fmt::Write as _;
-        let inner = self.inner.lock();
         let mut out = String::new();
-        for (name, c) in &inner.counters {
-            let name = sanitize(prefix, name);
+        for (name, value) in self.counter_values() {
+            let name = sanitize(prefix, &name);
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+            let _ = writeln!(out, "{name} {value}");
         }
-        for (name, g) in &inner.gauges {
-            let name = sanitize(prefix, name);
+        for (name, value) in self.gauge_values() {
+            let name = sanitize(prefix, &name);
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", g.get());
+            let _ = writeln!(out, "{name} {value}");
         }
-        for (name, h) in &inner.histograms {
-            let name = sanitize(prefix, name);
+        for (name, h) in sorted_view(&self.inner.histograms, Arc::clone) {
+            let name = sanitize(prefix, &name);
             let _ = writeln!(out, "# TYPE {name} summary");
             for q in [0.5, 0.9, 0.99] {
                 let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.value_at_quantile(q));

@@ -1,0 +1,435 @@
+//! Sharded concurrency primitives — the stack-wide answer to coarse locks.
+//!
+//! Le Taureau's forward-looking sections argue serverless data planes live
+//! or die on contention at shared state: brokers, memory pools, metadata.
+//! Before this module every hot path in the reproduction serialized behind
+//! one `Mutex` per subsystem; a publish to topic A waited on a publish to
+//! topic Z, and a KV put in one application's namespace waited on every
+//! other tenant.
+//!
+//! Two primitives fix that:
+//!
+//! - [`ShardedMap`]: a striped-lock hash map. Keys pick one of N
+//!   power-of-two shards by [`fnv`](crate::hash::fnv) of their bytes;
+//!   operations lock only that shard, so disjoint keys proceed in
+//!   parallel. Whole-map reads (`for_each`, `len`) lock shards one at a
+//!   time — they see a consistent per-shard view, which is all the
+//!   registry/report paths need.
+//! - [`StripedCounter`]: a lock-free counter split across cache-padded
+//!   cells. Each thread increments a cell picked by a thread-local stripe
+//!   id (no CAS contention, no false sharing); reads fold all cells. This
+//!   backs [`Counter`](crate::metrics::Counter), so hot-path
+//!   `metrics.counter("x").inc()` never bounces a shared cache line.
+//!
+//! Shard count defaults to [`DEFAULT_SHARDS`] (16): enough stripes that 8
+//! threads on disjoint keys collide with probability < ½ per op, small
+//! enough that whole-map sweeps stay cheap. Callers with a known hot width
+//! can override via [`ShardedMap::with_shards`].
+
+use std::borrow::Borrow;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::hash::fnv;
+use crate::id::LedgerId;
+
+/// Default shard count for [`ShardedMap`] (must be a power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Number of cells in a [`StripedCounter`] (must be a power of two).
+pub const COUNTER_STRIPES: usize = 16;
+
+/// Types usable as sharding keys: anything that can hash itself to a
+/// stable 64-bit stripe selector via [`fnv`].
+pub trait ShardKey {
+    /// Stable hash used to pick a shard. Must agree between a key and any
+    /// borrowed form of it (`String` vs `str`), or lookups would search
+    /// the wrong shard.
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for str {
+    fn shard_hash(&self) -> u64 {
+        fnv(self.as_bytes())
+    }
+}
+
+impl ShardKey for String {
+    fn shard_hash(&self) -> u64 {
+        fnv(self.as_bytes())
+    }
+}
+
+impl ShardKey for [u8] {
+    fn shard_hash(&self) -> u64 {
+        fnv(self)
+    }
+}
+
+impl ShardKey for Vec<u8> {
+    fn shard_hash(&self) -> u64 {
+        fnv(self)
+    }
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        fnv(&self.to_le_bytes())
+    }
+}
+
+impl ShardKey for LedgerId {
+    fn shard_hash(&self) -> u64 {
+        fnv(&self.raw().to_le_bytes())
+    }
+}
+
+/// A striped-lock hash map: N independent `Mutex<HashMap>` shards, keyed
+/// by [`ShardKey::shard_hash`]. Operations on keys in different shards
+/// never contend.
+pub struct ShardedMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+    mask: u64,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<K, V> ShardedMap<K, V> {
+    /// New map with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// New map with at least `n` shards (rounded up to a power of two).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            shards,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(hash & self.mask) as usize]
+    }
+}
+
+impl<K: Eq + Hash, V> ShardedMap<K, V> {
+    /// Run `f` with exclusive access to the shard owning `key`. The
+    /// closure receives the shard's whole map (so it can use the entry
+    /// API for get-or-create); only that one shard is locked.
+    pub fn with<Q, R>(&self, key: &Q, f: impl FnOnce(&mut HashMap<K, V>) -> R) -> R
+    where
+        K: Borrow<Q>,
+        Q: ShardKey + ?Sized,
+    {
+        let mut shard = self.shard_for(key.shard_hash()).lock();
+        f(&mut shard)
+    }
+
+    /// Insert, returning the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V>
+    where
+        K: ShardKey,
+    {
+        let mut shard = self.shard_for(key.shard_hash()).lock();
+        shard.insert(key, value)
+    }
+
+    /// Remove, returning the value if present.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ShardKey + Hash + Eq + ?Sized,
+    {
+        let mut shard = self.shard_for(key.shard_hash()).lock();
+        shard.remove(key)
+    }
+
+    /// Clone out the value for `key`, if present.
+    pub fn get_cloned<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ShardKey + Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        let shard = self.shard_for(key.shard_hash()).lock();
+        shard.get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: ShardKey + Hash + Eq + ?Sized,
+    {
+        let shard = self.shard_for(key.shard_hash()).lock();
+        shard.contains_key(key)
+    }
+
+    /// Total entries across all shards (locks shards one at a time).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Remove every entry.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+
+    /// Visit every entry, one shard locked at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            let shard = s.lock();
+            for (k, v) in shard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Visit every entry mutably, one shard locked at a time.
+    pub fn for_each_mut(&self, mut f: impl FnMut(&K, &mut V)) {
+        for s in self.shards.iter() {
+            let mut shard = s.lock();
+            for (k, v) in shard.iter_mut() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Keep only entries for which `f` returns true.
+    pub fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        for s in self.shards.iter() {
+            s.lock().retain(|k, v| f(k, v));
+        }
+    }
+
+    /// Snapshot of all keys (unsorted — shard order, then map order).
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            out.extend(s.lock().keys().cloned());
+        }
+        out
+    }
+}
+
+/// One cache line per counter cell, so two threads on adjacent stripes
+/// never write the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// Monotonic stripe ids handed to threads on first use.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's stripe index (assigned round-robin on first use).
+#[inline]
+fn stripe_index() -> usize {
+    STRIPE.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+            s.set(v);
+        }
+        v
+    })
+}
+
+/// A lock-free counter striped across [`COUNTER_STRIPES`] cache-padded
+/// cells. Each thread adds to its own cell; [`StripedCounter::get`] folds
+/// all cells into one total. Increments scale with cores; reads pay a
+/// 16-load sweep, which is fine for report-time consumers.
+#[derive(Default)]
+pub struct StripedCounter {
+    cells: [PaddedCell; COUNTER_STRIPES],
+}
+
+impl fmt::Debug for StripedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StripedCounter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl StripedCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to this thread's cell.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[stripe_index() & (COUNTER_STRIPES - 1)]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Fold every cell into the current total.
+    pub fn get(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn sharded_map_basics() {
+        let m: ShardedMap<String, u32> = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a".to_string(), 1), None);
+        assert_eq!(m.insert("a".to_string(), 2), Some(1));
+        assert_eq!(m.get_cloned("a"), Some(2));
+        assert!(m.contains_key("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove("a"), Some(2));
+        assert_eq!(m.get_cloned("a"), None);
+    }
+
+    #[test]
+    fn borrowed_and_owned_keys_agree_on_shard() {
+        // String and &str must hash identically or get() after insert()
+        // would look in the wrong shard.
+        let m: ShardedMap<String, u32> = ShardedMap::with_shards(64);
+        for i in 0..256 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..256 {
+            assert_eq!(m.get_cloned(format!("key-{i}").as_str()), Some(i));
+        }
+    }
+
+    #[test]
+    fn with_gives_entry_api_access() {
+        let m: ShardedMap<String, Vec<u32>> = ShardedMap::new();
+        for i in 0..10 {
+            m.with("bucket", |shard| {
+                shard.entry("bucket".to_string()).or_default().push(i)
+            });
+        }
+        assert_eq!(m.get_cloned("bucket").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn for_each_and_retain_cover_all_shards() {
+        let m: ShardedMap<u64, u64> = ShardedMap::with_shards(8);
+        for i in 0..100u64 {
+            m.insert(i, i * 2);
+        }
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += *v);
+        assert_eq!(sum, (0..100u64).map(|i| i * 2).sum());
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 50);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedMap<u64, ()> = ShardedMap::with_shards(10);
+        assert_eq!(m.shard_count(), 16);
+        let m: ShardedMap<u64, ()> = ShardedMap::with_shards(0);
+        assert_eq!(m.shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_conserve_entries() {
+        let m: Arc<ShardedMap<String, u64>> = Arc::new(ShardedMap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.insert(format!("t{t}-k{i}"), i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 8 * 500);
+        let mut model = BTreeMap::new();
+        m.for_each(|k, v| {
+            model.insert(k.clone(), *v);
+        });
+        assert_eq!(model.len(), 8 * 500);
+    }
+
+    #[test]
+    fn striped_counter_folds_on_read() {
+        let c = StripedCounter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn striped_counter_concurrent_total_is_exact() {
+        let c = Arc::new(StripedCounter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -626,10 +626,19 @@ impl Drop for SpanGuard {
             return;
         }
         open.record.end = inner.clock.now();
-        if !telemetry_suppressed() {
-            if let Some(sink) = inner.sink.lock().clone() {
-                sink.span(open.record.clone());
-            }
+        // Snapshot the sink handle in its own statement so the sink-slot
+        // lock drops immediately; the enqueue below then runs with no
+        // tracer lock held. (The old `if let Some(sink) =
+        // inner.sink.lock().clone()` kept the guard alive across the
+        // enqueue, so a stalled telemetry consumer could block every
+        // traced subsystem the moment monitoring attached.)
+        let sink = if telemetry_suppressed() {
+            None
+        } else {
+            inner.sink.lock().clone()
+        };
+        if let Some(sink) = sink {
+            sink.span(open.record.clone());
         }
         let mut spans = inner.spans.lock();
         if spans.len() >= inner.config.retention {

@@ -12,6 +12,7 @@ use taureau_core::id::{IdGen, InvocationId};
 use taureau_core::latency::{profiles, LatencyModel};
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::ratelimit::TokenBucket;
+use taureau_core::sync::ShardedMap;
 use taureau_core::trace::Tracer;
 
 use crate::billing::BillingMeter;
@@ -32,6 +33,11 @@ pub struct PlatformConfig {
     pub warm_start: LatencyModel,
     /// Optional per-tenant admission limit: (requests/sec, burst).
     pub tenant_rate_limit: Option<(f64, u64)>,
+    /// Hard cap on worker threads a single [`FaasPlatform::invoke_batch`]
+    /// call may spawn, whatever parallelism the caller requests. Bounds
+    /// thread fan-out the way real platforms bound per-account burst
+    /// concurrency.
+    pub max_parallelism: usize,
 }
 
 impl Default for PlatformConfig {
@@ -42,6 +48,7 @@ impl Default for PlatformConfig {
             cold_start: profiles::cold_start(),
             warm_start: profiles::warm_start(),
             tenant_rate_limit: None,
+            max_parallelism: 64,
         }
     }
 }
@@ -111,9 +118,12 @@ struct Inner {
     clock: SharedClock,
     cfg: PlatformConfig,
     registry: RwLock<HashMap<String, FunctionSpec>>,
-    pool: Mutex<ContainerPool>,
-    inflight: Mutex<HashMap<String, u32>>,
-    limiters: Mutex<HashMap<String, Arc<TokenBucket>>>,
+    /// Warm-container pool; internally sharded, no outer lock needed.
+    pool: ContainerPool,
+    /// Per-function in-flight counts, sharded by function name.
+    inflight: ShardedMap<String, u32>,
+    /// Per-tenant admission limiters, sharded by tenant name.
+    limiters: ShardedMap<String, Arc<TokenBucket>>,
     billing: BillingMeter,
     metrics: MetricsRegistry,
     tracer: Mutex<Tracer>,
@@ -143,9 +153,9 @@ impl FaasPlatform {
                 clock,
                 cfg,
                 registry: RwLock::new(HashMap::new()),
-                pool: Mutex::new(pool),
-                inflight: Mutex::new(HashMap::new()),
-                limiters: Mutex::new(HashMap::new()),
+                pool,
+                inflight: ShardedMap::new(),
+                limiters: ShardedMap::new(),
                 billing: BillingMeter::new(pricing),
                 metrics: MetricsRegistry::new(),
                 tracer: Mutex::new(Tracer::disabled()),
@@ -222,19 +232,19 @@ impl FaasPlatform {
             spec.sandbox_key().to_string()
         };
         let now = self.inner.clock.now();
-        self.inner.pool.lock().provision(&key, n, now);
+        self.inner.pool.provision(&key, n, now);
         Ok(())
     }
 
     /// Reap idle containers past keep-alive.
     pub fn reap_idle(&self) {
         let now = self.inner.clock.now();
-        self.inner.pool.lock().reap_all(now);
+        self.inner.pool.reap_all(now);
     }
 
     /// (cold, warm) start counts so far.
     pub fn start_counts(&self) -> (u64, u64) {
-        self.inner.pool.lock().start_counts()
+        self.inner.pool.start_counts()
     }
 
     /// Idle warm containers for a function's sandbox (shared across the
@@ -247,7 +257,7 @@ impl FaasPlatform {
             .get(function)
             .map(|s| s.sandbox_key().to_string())
             .unwrap_or_else(|| function.to_string());
-        self.inner.pool.lock().warm_count(&key)
+        self.inner.pool.warm_count(&key)
     }
 
     /// Invoke a function synchronously.
@@ -295,12 +305,18 @@ impl FaasPlatform {
     ) -> Vec<Result<InvocationResult>> {
         assert!(parallelism >= 1);
         let n = requests.len();
+        // The worker set is bounded by the platform's own fan-out cap, not
+        // just the caller's request — an arbitrarily large `parallelism`
+        // no longer maps to unbounded thread creation.
+        let workers = parallelism
+            .min(self.inner.cfg.max_parallelism.max(1))
+            .min(n.max(1));
         let mut slots: Vec<Option<Result<InvocationResult>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let slots = Mutex::new(slots);
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..parallelism.min(n.max(1)) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
@@ -325,12 +341,11 @@ impl FaasPlatform {
 
     fn limiter_for(&self, tenant: &str) -> Option<Arc<TokenBucket>> {
         let (rate, burst) = self.inner.cfg.tenant_rate_limit?;
-        let mut limiters = self.inner.limiters.lock();
-        Some(Arc::clone(
-            limiters.entry(tenant.to_string()).or_insert_with(|| {
+        Some(self.inner.limiters.with(tenant, |shard| {
+            Arc::clone(shard.entry(tenant.to_string()).or_insert_with(|| {
                 Arc::new(TokenBucket::new(self.inner.clock.clone(), rate, burst))
-            }),
-        ))
+            }))
+        }))
     }
 
     fn invoke_inner(
@@ -367,9 +382,16 @@ impl FaasPlatform {
                     });
                 }
             }
-            let mut inflight = self.inner.inflight.lock();
-            let n = inflight.entry(spec.name.clone()).or_insert(0);
-            if *n >= spec.max_concurrency {
+            let admitted = self.inner.inflight.with(&spec.name, |shard| {
+                let n = shard.entry(spec.name.clone()).or_insert(0);
+                if *n >= spec.max_concurrency {
+                    false
+                } else {
+                    *n += 1;
+                    true
+                }
+            });
+            if !admitted {
                 self.inner.metrics.counter("concurrency_rejections").inc();
                 admission.attr("outcome", "concurrency_limit");
                 return Err(FaasError::ConcurrencyLimit {
@@ -377,7 +399,6 @@ impl FaasPlatform {
                     limit: spec.max_concurrency,
                 });
             }
-            *n += 1;
             admission.attr("outcome", "admitted");
         }
 
@@ -385,12 +406,11 @@ impl FaasPlatform {
         span.attr("outcome", if result.is_ok() { "ok" } else { "error" });
 
         // Always decrement in-flight.
-        {
-            let mut inflight = self.inner.inflight.lock();
-            if let Some(n) = inflight.get_mut(&spec.name) {
+        self.inner.inflight.with(&spec.name, |shard| {
+            if let Some(n) = shard.get_mut(&spec.name) {
                 *n = n.saturating_sub(1);
             }
-        }
+        });
         result
     }
 
@@ -409,7 +429,7 @@ impl FaasPlatform {
         let now = clock.now();
         let (start, startup_latency) = {
             let mut startup = tracer.span(TRACE_SYSTEM, "faas.startup");
-            let (start, startup_latency) = self.inner.pool.lock().acquire(spec.sandbox_key(), now);
+            let (start, startup_latency) = self.inner.pool.acquire(spec.sandbox_key(), now);
             match start {
                 StartKind::Cold => {
                     self.inner.metrics.counter("cold_starts").inc();
@@ -495,10 +515,7 @@ impl FaasPlatform {
         match output {
             Ok(bytes) => {
                 // Healthy container returns to the warm pool.
-                self.inner
-                    .pool
-                    .lock()
-                    .release(spec.sandbox_key(), clock.now());
+                self.inner.pool.release(spec.sandbox_key(), clock.now());
                 self.inner.metrics.counter("invocations_ok").inc();
                 Ok(InvocationResult {
                     id: InvocationId(self.inner.invocation_ids.next()),
@@ -514,10 +531,7 @@ impl FaasPlatform {
             Err(reason) => {
                 // Handler errors keep the container warm (the process
                 // survived), as Lambda does.
-                self.inner
-                    .pool
-                    .lock()
-                    .release(spec.sandbox_key(), clock.now());
+                self.inner.pool.release(spec.sandbox_key(), clock.now());
                 self.inner.metrics.counter("invocations_failed").inc();
                 Err(FaasError::ExecutionFailed {
                     function: spec.name.clone(),

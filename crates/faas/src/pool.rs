@@ -9,13 +9,22 @@
 //! serverless executions are within an acceptable latency range, while cold
 //! starts add significant overhead" — experiment E2 reproduces that gap and
 //! ablates the keep-alive window.
+//!
+//! The pool is internally sharded by function (sandbox) name, so
+//! invocations of different functions acquire and release containers
+//! without contending on one pool-wide lock. The latency-sampling RNG is a
+//! single mutex: samples are cheap, and a shared stream keeps the
+//! single-threaded draw order — and with it every experiment table —
+//! exactly reproducible.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use rand_chacha::ChaCha8Rng;
 use taureau_core::latency::LatencyModel;
 use taureau_core::rng::det_rng;
+use taureau_core::sync::ShardedMap;
 
 /// Whether an invocation found a warm container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,21 +40,27 @@ struct WarmContainer {
     idle_since: Duration,
 }
 
-/// Per-function warm pool state. Not thread-safe on its own; the platform
-/// guards it.
+/// Per-function pool state; lives inside one shard of the sharded map.
+#[derive(Debug, Default)]
+struct FnPool {
+    /// Idle warm containers.
+    warm: Vec<WarmContainer>,
+    /// Containers pinned warm regardless of keep-alive (provisioned
+    /// concurrency).
+    provisioned: u32,
+}
+
+/// The warm-container pool, shared by all invocation threads.
 #[derive(Debug)]
 pub struct ContainerPool {
     keep_alive: Duration,
     cold_model: LatencyModel,
     warm_model: LatencyModel,
-    rng: ChaCha8Rng,
-    /// function name -> idle warm containers.
-    warm: HashMap<String, Vec<WarmContainer>>,
-    /// function name -> containers pinned warm regardless of keep-alive
-    /// (provisioned concurrency).
-    provisioned: HashMap<String, u32>,
-    cold_starts: u64,
-    warm_starts: u64,
+    rng: Mutex<ChaCha8Rng>,
+    /// function (sandbox) name -> per-function pool, sharded by name hash.
+    pools: ShardedMap<String, FnPool>,
+    cold_starts: AtomicU64,
+    warm_starts: AtomicU64,
 }
 
 impl ContainerPool {
@@ -55,11 +70,10 @@ impl ContainerPool {
             keep_alive,
             cold_model,
             warm_model,
-            rng: det_rng(0xC01D),
-            warm: HashMap::new(),
-            provisioned: HashMap::new(),
-            cold_starts: 0,
-            warm_starts: 0,
+            rng: Mutex::new(det_rng(0xC01D)),
+            pools: ShardedMap::new(),
+            cold_starts: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
         }
     }
 
@@ -71,70 +85,85 @@ impl ContainerPool {
     /// Pin `n` containers warm for a function (provisioned concurrency).
     /// Takes effect from the next release/reap cycle; pre-warms immediately
     /// by inserting idle containers.
-    pub fn provision(&mut self, function: &str, n: u32, now: Duration) {
-        self.provisioned.insert(function.to_string(), n);
-        let pool = self.warm.entry(function.to_string()).or_default();
-        while (pool.len() as u32) < n {
-            pool.push(WarmContainer { idle_since: now });
-        }
+    pub fn provision(&self, function: &str, n: u32, now: Duration) {
+        self.pools.with(function, |shard| {
+            let pool = shard.entry(function.to_string()).or_default();
+            pool.provisioned = n;
+            while (pool.warm.len() as u32) < n {
+                pool.warm.push(WarmContainer { idle_since: now });
+            }
+        });
     }
 
     /// Acquire a container for an invocation at time `now`. Returns the
     /// start kind and the startup latency to inject.
-    pub fn acquire(&mut self, function: &str, now: Duration) -> (StartKind, Duration) {
-        self.reap_function(function, now);
-        let pool = self.warm.entry(function.to_string()).or_default();
-        if pool.pop().is_some() {
-            self.warm_starts += 1;
-            (StartKind::Warm, self.warm_model.sample(&mut self.rng))
+    pub fn acquire(&self, function: &str, now: Duration) -> (StartKind, Duration) {
+        let warm_hit = self.pools.with(function, |shard| {
+            let pool = shard.entry(function.to_string()).or_default();
+            Self::reap_pool(pool, self.keep_alive, now);
+            pool.warm.pop().is_some()
+        });
+        if warm_hit {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            (
+                StartKind::Warm,
+                self.warm_model.sample(&mut *self.rng.lock()),
+            )
         } else {
-            self.cold_starts += 1;
-            (StartKind::Cold, self.cold_model.sample(&mut self.rng))
+            self.cold_starts.fetch_add(1, Ordering::Relaxed);
+            (
+                StartKind::Cold,
+                self.cold_model.sample(&mut *self.rng.lock()),
+            )
         }
     }
 
     /// Return a container to the warm pool after an execution finished at
     /// `now`.
-    pub fn release(&mut self, function: &str, now: Duration) {
-        self.warm
-            .entry(function.to_string())
-            .or_default()
-            .push(WarmContainer { idle_since: now });
+    pub fn release(&self, function: &str, now: Duration) {
+        self.pools.with(function, |shard| {
+            shard
+                .entry(function.to_string())
+                .or_default()
+                .warm
+                .push(WarmContainer { idle_since: now });
+        });
     }
 
-    fn reap_function(&mut self, function: &str, now: Duration) {
-        let keep = self.keep_alive;
-        let floor = self.provisioned.get(function).copied().unwrap_or(0) as usize;
-        if let Some(pool) = self.warm.get_mut(function) {
-            // Oldest first; keep at least the provisioned floor.
-            pool.sort_by_key(|c| c.idle_since);
-            while pool.len() > floor {
-                let oldest = pool[0];
-                if now.saturating_sub(oldest.idle_since) > keep {
-                    pool.remove(0);
-                } else {
-                    break;
-                }
+    fn reap_pool(pool: &mut FnPool, keep: Duration, now: Duration) {
+        let floor = pool.provisioned as usize;
+        // Oldest first; keep at least the provisioned floor.
+        pool.warm.sort_by_key(|c| c.idle_since);
+        while pool.warm.len() > floor {
+            let oldest = pool.warm[0];
+            if now.saturating_sub(oldest.idle_since) > keep {
+                pool.warm.remove(0);
+            } else {
+                break;
             }
         }
     }
 
     /// Reap idle containers across all functions.
-    pub fn reap_all(&mut self, now: Duration) {
-        let names: Vec<String> = self.warm.keys().cloned().collect();
-        for f in names {
-            self.reap_function(&f, now);
-        }
+    pub fn reap_all(&self, now: Duration) {
+        let keep = self.keep_alive;
+        self.pools
+            .for_each_mut(|_, pool| Self::reap_pool(pool, keep, now));
     }
 
     /// Idle warm containers for a function.
     pub fn warm_count(&self, function: &str) -> usize {
-        self.warm.get(function).map_or(0, Vec::len)
+        self.pools.with(function, |shard| {
+            shard.get(function).map_or(0, |p| p.warm.len())
+        })
     }
 
     /// (cold, warm) start counts.
     pub fn start_counts(&self) -> (u64, u64) {
-        (self.cold_starts, self.warm_starts)
+        (
+            self.cold_starts.load(Ordering::Relaxed),
+            self.warm_starts.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -156,7 +185,7 @@ mod tests {
 
     #[test]
     fn first_start_is_cold_second_is_warm() {
-        let mut p = pool(60);
+        let p = pool(60);
         let (kind, delay) = p.acquire("f", secs(0));
         assert_eq!(kind, StartKind::Cold);
         assert_eq!(delay, Duration::from_millis(200));
@@ -169,7 +198,7 @@ mod tests {
 
     #[test]
     fn keep_alive_expiry_forces_cold() {
-        let mut p = pool(10);
+        let p = pool(10);
         p.acquire("f", secs(0));
         p.release("f", secs(1));
         // Within keep-alive: warm.
@@ -183,7 +212,7 @@ mod tests {
 
     #[test]
     fn concurrent_bursts_create_multiple_containers() {
-        let mut p = pool(60);
+        let p = pool(60);
         // Three invocations before any release: three cold starts.
         for _ in 0..3 {
             let (kind, _) = p.acquire("f", secs(0));
@@ -202,7 +231,7 @@ mod tests {
 
     #[test]
     fn provisioned_concurrency_never_reaps_below_floor() {
-        let mut p = pool(5);
+        let p = pool(5);
         p.provision("f", 2, secs(0));
         assert_eq!(p.warm_count("f"), 2);
         // Far past keep-alive, the floor remains.
@@ -214,7 +243,7 @@ mod tests {
 
     #[test]
     fn pools_are_per_function() {
-        let mut p = pool(60);
+        let p = pool(60);
         p.acquire("f", secs(0));
         p.release("f", secs(1));
         // A different function cannot reuse f's container.
@@ -225,7 +254,7 @@ mod tests {
 
     #[test]
     fn reap_all_cleans_every_function() {
-        let mut p = pool(1);
+        let p = pool(1);
         for f in ["a", "b", "c"] {
             p.acquire(f, secs(0));
             p.release(f, secs(0));
@@ -234,5 +263,35 @@ mod tests {
         for f in ["a", "b", "c"] {
             assert_eq!(p.warm_count(f), 0);
         }
+    }
+
+    #[test]
+    fn concurrent_acquire_release_across_functions() {
+        let p = std::sync::Arc::new(pool(60));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    let f = format!("fn-{}", t % 4);
+                    for i in 0..100u64 {
+                        p.acquire(&f, secs(i));
+                        p.release(&f, secs(i));
+                    }
+                });
+            }
+        });
+        let (cold, warm) = p.start_counts();
+        assert_eq!(cold + warm, 800, "every acquire is counted exactly once");
+        // Each of the 4 sandboxes ends with its containers back in the pool.
+        let total_warm: usize = (0..4).map(|t| p.warm_count(&format!("fn-{t}"))).sum();
+        let max_live = 2 * 4; // at most 2 threads share each sandbox
+        assert!(
+            total_warm <= max_live,
+            "released {total_warm} > live {max_live}"
+        );
+        assert!(
+            total_warm >= 4,
+            "each sandbox retains at least one container"
+        );
     }
 }

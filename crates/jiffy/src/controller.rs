@@ -6,6 +6,14 @@
 //! functions use to read and write ephemeral state. Every access renews the
 //! covering lease (state stays alive while in use); [`Jiffy::reap_expired`]
 //! reclaims lapsed namespaces and returns their blocks to the pool.
+//!
+//! Concurrency: controller state is sharded by application (the first path
+//! segment). Each application's namespace sub-tree and lease live together
+//! in one [`ShardedMap`] stripe, so two applications' data paths never
+//! contend; the block pool is internally sharded
+//! (see [`MemoryPool`]) and the notification bus sits behind its own small
+//! lock. Lock order is always app shard → pool stripe → bus, so the
+//! controller cannot deadlock against itself.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,6 +22,7 @@ use parking_lot::Mutex;
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, WallClock};
 use taureau_core::metrics::MetricsRegistry;
+use taureau_core::sync::ShardedMap;
 use taureau_core::trace::Tracer;
 
 use crate::data::{FileObject, KvObject, ObjectState, QueueObject};
@@ -54,17 +63,32 @@ impl Default for JiffyConfig {
     }
 }
 
-struct State {
+/// One application's slice of controller state: its namespace sub-tree
+/// (rooted at `/`, containing only this app's paths) and its lease. Lives
+/// under the app's shard in [`Inner::apps`].
+struct AppState {
     tree: NamespaceTree,
-    pool: MemoryPool,
     leases: LeaseManager,
-    bus: NotificationBus,
+}
+
+impl Default for AppState {
+    fn default() -> Self {
+        Self {
+            tree: NamespaceTree::new(),
+            leases: LeaseManager::new(),
+        }
+    }
 }
 
 struct Inner {
     clock: SharedClock,
     cfg: JiffyConfig,
-    state: Mutex<State>,
+    /// Per-application state, sharded by app name: the data-path lock.
+    apps: ShardedMap<String, AppState>,
+    /// The block pool is internally sharded; no controller lock guards it.
+    pool: MemoryPool,
+    /// Notification fan-out, decoupled from the data-path shards.
+    bus: Mutex<NotificationBus>,
     metrics: MetricsRegistry,
     tracer: Mutex<Tracer>,
 }
@@ -88,12 +112,9 @@ impl Jiffy {
             inner: Arc::new(Inner {
                 clock,
                 cfg,
-                state: Mutex::new(State {
-                    tree: NamespaceTree::new(),
-                    pool,
-                    leases: LeaseManager::new(),
-                    bus: NotificationBus::new(),
-                }),
+                apps: ShardedMap::new(),
+                pool,
+                bus: Mutex::new(NotificationBus::new()),
                 metrics: MetricsRegistry::new(),
                 tracer: Mutex::new(Tracer::disabled()),
             }),
@@ -129,21 +150,20 @@ impl Jiffy {
 
     /// Pool statistics snapshot.
     pub fn pool_stats(&self) -> PoolStats {
-        self.inner.state.lock().pool.stats()
+        self.inner.pool.stats()
     }
 
     /// Blocks currently held by an application namespace.
     pub fn blocks_held_by(&self, app: &str) -> u64 {
-        self.inner.state.lock().pool.held_by(app)
+        self.inner.pool.held_by(app)
     }
 
     /// Peak blocks held by an application, and the sum of all app peaks
     /// (for the E5 multiplexing report).
     pub fn multiplexing_report(&self) -> (u64, u64) {
-        let st = self.inner.state.lock();
         (
-            st.pool.stats().peak_allocated_blocks,
-            st.pool.sum_of_app_peaks(),
+            self.inner.pool.stats().peak_allocated_blocks,
+            self.inner.pool.sum_of_app_peaks(),
         )
     }
 
@@ -155,58 +175,93 @@ impl Jiffy {
     /// if this is the first namespace for the app.
     pub fn create_namespace(&self, path: impl Into<JPath>) -> Result<()> {
         let path = path.into();
-        let now = self.inner.clock.now();
-        let mut st = self.inner.state.lock();
-        st.tree.create(&path)?;
-        if let Some(app_path) = Self::app_lease_path(&path) {
-            if st.leases.get(&app_path).is_none() {
-                st.leases
-                    .grant(app_path, self.inner.cfg.default_lease_ttl, now);
-            } else {
-                st.leases.renew(&path, now);
-            }
+        if path.is_root() {
+            return Err(JiffyError::AlreadyExists(path));
         }
-        st.bus.publish(Event {
-            path,
-            kind: EventKind::Created,
-        });
+        let now = self.inner.clock.now();
+        let app = path.app().expect("non-root path has an app").to_string();
+        self.inner.apps.with(&app, |shard| -> Result<()> {
+            let st = shard.entry(app.clone()).or_default();
+            st.tree.create(&path)?;
+            if let Some(app_path) = Self::app_lease_path(&path) {
+                if st.leases.get(&app_path).is_none() {
+                    st.leases
+                        .grant(app_path, self.inner.cfg.default_lease_ttl, now);
+                } else {
+                    st.leases.renew(&path, now);
+                }
+            }
+            Ok(())
+        })?;
+        self.publish(&path, EventKind::Created);
         Ok(())
     }
 
     /// Whether a namespace exists.
     pub fn exists(&self, path: impl Into<JPath>) -> bool {
-        self.inner.state.lock().tree.exists(&path.into())
+        let path = path.into();
+        if path.is_root() {
+            return true;
+        }
+        let app = path.app().expect("non-root path has an app");
+        self.inner.apps.with(app, |shard| match shard.get(app) {
+            Some(st) => st.tree.exists(&path),
+            None => false,
+        })
     }
 
     /// List immediate children of a namespace.
     pub fn list(&self, path: impl Into<JPath>) -> Result<Vec<String>> {
-        self.inner.state.lock().tree.list(&path.into())
+        let path = path.into();
+        if path.is_root() {
+            let mut apps = self.inner.apps.keys();
+            apps.sort();
+            return Ok(apps);
+        }
+        let app = path.app().expect("non-root path has an app");
+        self.inner.apps.with(app, |shard| match shard.get(app) {
+            Some(st) => st.tree.list(&path),
+            None => Err(JiffyError::NotFound(path.clone())),
+        })
     }
 
     /// Remove a namespace sub-tree, returning its blocks to the pool.
     pub fn remove_namespace(&self, path: impl Into<JPath>) -> Result<()> {
         let path = path.into();
-        let mut st = self.inner.state.lock();
-        let objs = st.tree.remove(&path)?;
-        let app = path.app().unwrap_or_default().to_string();
-        for obj in objs {
-            let blocks = obj.blocks();
-            st.pool.free(&app, &blocks);
+        if path.is_root() {
+            return Err(JiffyError::NotFound(path));
         }
-        if path.depth() == 1 {
-            st.leases.release(&path);
-        }
-        st.bus.publish(Event {
-            path,
-            kind: EventKind::Removed,
-        });
+        let app = path.app().expect("non-root path has an app").to_string();
+        self.inner.apps.with(&app, |shard| -> Result<()> {
+            let st = shard
+                .get_mut(&app)
+                .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+            let objs = st.tree.remove(&path)?;
+            for obj in objs {
+                let blocks = obj.blocks();
+                self.inner.pool.free(&app, &blocks);
+            }
+            if path.depth() == 1 {
+                st.leases.release(&path);
+                shard.remove(&app);
+            }
+            Ok(())
+        })?;
+        self.publish(&path, EventKind::Removed);
         Ok(())
     }
 
     /// Renew the lease covering `path` explicitly.
     pub fn renew_lease(&self, path: impl Into<JPath>) -> bool {
+        let path = path.into();
+        let Some(app) = path.app() else {
+            return false;
+        };
         let now = self.inner.clock.now();
-        self.inner.state.lock().leases.renew(&path.into(), now)
+        self.inner.apps.with(app, |shard| match shard.get_mut(app) {
+            Some(st) => st.leases.renew(&path, now),
+            None => false,
+        })
     }
 
     /// Reclaim all application namespaces whose leases lapsed. Returns the
@@ -214,34 +269,42 @@ impl Jiffy {
     /// clock in tests).
     pub fn reap_expired(&self) -> Vec<JPath> {
         let now = self.inner.clock.now();
-        let mut st = self.inner.state.lock();
-        let expired = st.leases.reap(now);
         let reclaimed = self.inner.metrics.counter("namespaces_reclaimed");
-        for path in &expired {
-            if let Ok(objs) = st.tree.remove(path) {
-                let app = path.app().unwrap_or_default().to_string();
-                for obj in objs {
-                    let blocks = obj.blocks();
-                    st.pool.free(&app, &blocks);
+        let mut expired_all = Vec::new();
+        // Sweep shards one at a time; an expired app lease removes the
+        // whole app entry (leases are granted at app granularity).
+        self.inner.apps.retain(|app, st| {
+            let expired = st.leases.reap(now);
+            let mut keep = true;
+            for path in expired {
+                if let Ok(objs) = st.tree.remove(&path) {
+                    for obj in objs {
+                        let blocks = obj.blocks();
+                        self.inner.pool.free(app, &blocks);
+                    }
                 }
+                reclaimed.inc();
+                if path.depth() == 1 {
+                    keep = false;
+                }
+                expired_all.push(path);
             }
-            reclaimed.inc();
-            st.bus.publish(Event {
-                path: path.clone(),
-                kind: EventKind::LeaseExpired,
-            });
+            keep
+        });
+        for path in &expired_all {
+            self.publish(path, EventKind::LeaseExpired);
         }
-        expired
+        expired_all
     }
 
     /// Subscribe to events at or under `prefix`.
     pub fn subscribe(&self, prefix: impl Into<JPath>) -> Subscription {
-        self.inner.state.lock().bus.subscribe(prefix.into())
+        self.inner.bus.lock().subscribe(prefix.into())
     }
 
     // -- object creation ----------------------------------------------------
 
-    fn ensure_namespace(st: &mut State, path: &JPath, ttl: Duration, now: Duration) {
+    fn ensure_namespace(st: &mut AppState, path: &JPath, ttl: Duration, now: Duration) {
         if !st.tree.exists(path) {
             let _ = st.tree.create(path);
             if let Some(app_path) = Self::app_lease_path(path) {
@@ -250,6 +313,14 @@ impl Jiffy {
                 }
             }
         }
+    }
+
+    /// Run `f` against the app's state, creating the [`AppState`] on first
+    /// use. Only the app's shard is locked.
+    fn with_app<T>(&self, app: &str, f: impl FnOnce(&mut AppState) -> T) -> T {
+        self.inner
+            .apps
+            .with(app, |shard| f(shard.entry(app.to_string()).or_default()))
     }
 
     /// Create a KV object at `path` with `partitions` initial partitions.
@@ -265,18 +336,19 @@ impl Jiffy {
             .app()
             .ok_or(JiffyError::NotADirectory(path.clone()))?
             .to_string();
-        let mut st = self.inner.state.lock();
-        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
-        let node = st.tree.get(&path)?;
-        if node.object.is_some() {
-            return Err(JiffyError::AlreadyExists(path));
-        }
-        let mut alloc_span = tracer.span(TRACE_SYSTEM, "jiffy.block_alloc");
-        alloc_span.attr("blocks", partitions);
-        let kv = KvObject::create(&mut st.pool, &app, partitions)?;
-        drop(alloc_span);
-        st.tree.get_mut(&path)?.object = Some(ObjectState::Kv(kv));
-        drop(st);
+        self.with_app(&app, |st| -> Result<()> {
+            Self::ensure_namespace(st, &path, self.inner.cfg.default_lease_ttl, now);
+            let node = st.tree.get(&path)?;
+            if node.object.is_some() {
+                return Err(JiffyError::AlreadyExists(path.clone()));
+            }
+            let mut alloc_span = tracer.span(TRACE_SYSTEM, "jiffy.block_alloc");
+            alloc_span.attr("blocks", partitions);
+            let kv = KvObject::create(&self.inner.pool, &app, partitions)?;
+            drop(alloc_span);
+            st.tree.get_mut(&path)?.object = Some(ObjectState::Kv(kv));
+            Ok(())
+        })?;
         Ok(KvHandle {
             jiffy: self.clone(),
             path,
@@ -286,19 +358,11 @@ impl Jiffy {
     /// Open an existing KV object.
     pub fn open_kv(&self, path: impl Into<JPath>) -> Result<KvHandle> {
         let path = path.into();
-        let st = self.inner.state.lock();
-        match &st.tree.get(&path)?.object {
-            Some(ObjectState::Kv(_)) => Ok(KvHandle {
-                jiffy: self.clone(),
-                path: path.clone(),
-            }),
-            Some(other) => Err(JiffyError::WrongKind {
-                path,
-                actual: other.kind(),
-                requested: "kv",
-            }),
-            None => Err(JiffyError::NotFound(path)),
-        }
+        self.open_check(&path, "kv", |obj| matches!(obj, ObjectState::Kv(_)))?;
+        Ok(KvHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     /// Create a queue object at `path` (namespace created if missing).
@@ -311,14 +375,15 @@ impl Jiffy {
             .app()
             .ok_or(JiffyError::NotADirectory(path.clone()))?
             .to_string();
-        let mut st = self.inner.state.lock();
-        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
-        let node = st.tree.get(&path)?;
-        if node.object.is_some() {
-            return Err(JiffyError::AlreadyExists(path));
-        }
-        st.tree.get_mut(&path)?.object = Some(ObjectState::Queue(QueueObject::create(&app)));
-        drop(st);
+        self.with_app(&app, |st| -> Result<()> {
+            Self::ensure_namespace(st, &path, self.inner.cfg.default_lease_ttl, now);
+            let node = st.tree.get(&path)?;
+            if node.object.is_some() {
+                return Err(JiffyError::AlreadyExists(path.clone()));
+            }
+            st.tree.get_mut(&path)?.object = Some(ObjectState::Queue(QueueObject::create(&app)));
+            Ok(())
+        })?;
         Ok(QueueHandle {
             jiffy: self.clone(),
             path,
@@ -328,19 +393,11 @@ impl Jiffy {
     /// Open an existing queue object.
     pub fn open_queue(&self, path: impl Into<JPath>) -> Result<QueueHandle> {
         let path = path.into();
-        let st = self.inner.state.lock();
-        match &st.tree.get(&path)?.object {
-            Some(ObjectState::Queue(_)) => Ok(QueueHandle {
-                jiffy: self.clone(),
-                path: path.clone(),
-            }),
-            Some(other) => Err(JiffyError::WrongKind {
-                path,
-                actual: other.kind(),
-                requested: "queue",
-            }),
-            None => Err(JiffyError::NotFound(path)),
-        }
+        self.open_check(&path, "queue", |obj| matches!(obj, ObjectState::Queue(_)))?;
+        Ok(QueueHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     /// Create a file object at `path` (namespace created if missing).
@@ -353,14 +410,15 @@ impl Jiffy {
             .app()
             .ok_or(JiffyError::NotADirectory(path.clone()))?
             .to_string();
-        let mut st = self.inner.state.lock();
-        Self::ensure_namespace(&mut st, &path, self.inner.cfg.default_lease_ttl, now);
-        let node = st.tree.get(&path)?;
-        if node.object.is_some() {
-            return Err(JiffyError::AlreadyExists(path));
-        }
-        st.tree.get_mut(&path)?.object = Some(ObjectState::File(FileObject::create(&app)));
-        drop(st);
+        self.with_app(&app, |st| -> Result<()> {
+            Self::ensure_namespace(st, &path, self.inner.cfg.default_lease_ttl, now);
+            let node = st.tree.get(&path)?;
+            if node.object.is_some() {
+                return Err(JiffyError::AlreadyExists(path.clone()));
+            }
+            st.tree.get_mut(&path)?.object = Some(ObjectState::File(FileObject::create(&app)));
+            Ok(())
+        })?;
         Ok(FileHandle {
             jiffy: self.clone(),
             path,
@@ -370,85 +428,111 @@ impl Jiffy {
     /// Open an existing file object.
     pub fn open_file(&self, path: impl Into<JPath>) -> Result<FileHandle> {
         let path = path.into();
-        let st = self.inner.state.lock();
-        match &st.tree.get(&path)?.object {
-            Some(ObjectState::File(_)) => Ok(FileHandle {
-                jiffy: self.clone(),
-                path: path.clone(),
-            }),
-            Some(other) => Err(JiffyError::WrongKind {
-                path,
-                actual: other.kind(),
-                requested: "file",
-            }),
-            None => Err(JiffyError::NotFound(path)),
-        }
+        self.open_check(&path, "file", |obj| matches!(obj, ObjectState::File(_)))?;
+        Ok(FileHandle {
+            jiffy: self.clone(),
+            path,
+        })
     }
 
     // -- object access plumbing ---------------------------------------------
 
+    /// Validate that `path` holds an object of the requested kind.
+    fn open_check(
+        &self,
+        path: &JPath,
+        requested: &'static str,
+        matches_kind: impl FnOnce(&ObjectState) -> bool,
+    ) -> Result<()> {
+        let Some(app) = path.app() else {
+            return Err(JiffyError::NotFound(path.clone()));
+        };
+        self.inner.apps.with(app, |shard| {
+            let st = shard
+                .get(app)
+                .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+            match &st.tree.get(path)?.object {
+                Some(obj) if matches_kind(obj) => Ok(()),
+                Some(other) => Err(JiffyError::WrongKind {
+                    path: path.clone(),
+                    actual: other.kind(),
+                    requested,
+                }),
+                None => Err(JiffyError::NotFound(path.clone())),
+            }
+        })
+    }
+
+    /// Lock `path`'s app shard, renew its lease, and hand `f` the object
+    /// plus the (shared, internally sharded) pool.
+    fn with_object<T>(
+        &self,
+        path: &JPath,
+        f: impl FnOnce(&mut ObjectState, &MemoryPool) -> Result<T>,
+    ) -> Result<T> {
+        let Some(app) = path.app() else {
+            return Err(JiffyError::NotFound(path.clone()));
+        };
+        let now = self.inner.clock.now();
+        self.inner.apps.with(app, |shard| {
+            let st = shard
+                .get_mut(app)
+                .ok_or_else(|| JiffyError::NotFound(path.clone()))?;
+            st.leases.renew(path, now);
+            match &mut st.tree.get_mut(path)?.object {
+                Some(obj) => f(obj, &self.inner.pool),
+                None => Err(JiffyError::NotFound(path.clone())),
+            }
+        })
+    }
+
     fn with_kv<T>(
         &self,
         path: &JPath,
-        f: impl FnOnce(&mut KvObject, &mut MemoryPool) -> Result<T>,
+        f: impl FnOnce(&mut KvObject, &MemoryPool) -> Result<T>,
     ) -> Result<T> {
-        let now = self.inner.clock.now();
-        let mut st = self.inner.state.lock();
-        st.leases.renew(path, now);
-        let State { tree, pool, .. } = &mut *st;
-        match &mut tree.get_mut(path)?.object {
-            Some(ObjectState::Kv(kv)) => f(kv, pool),
-            Some(other) => Err(JiffyError::WrongKind {
+        self.with_object(path, |obj, pool| match obj {
+            ObjectState::Kv(kv) => f(kv, pool),
+            other => Err(JiffyError::WrongKind {
                 path: path.clone(),
                 actual: other.kind(),
                 requested: "kv",
             }),
-            None => Err(JiffyError::NotFound(path.clone())),
-        }
+        })
     }
 
     fn with_queue<T>(
         &self,
         path: &JPath,
-        f: impl FnOnce(&mut QueueObject, &mut MemoryPool) -> Result<T>,
+        f: impl FnOnce(&mut QueueObject, &MemoryPool) -> Result<T>,
     ) -> Result<T> {
-        let now = self.inner.clock.now();
-        let mut st = self.inner.state.lock();
-        st.leases.renew(path, now);
-        let State { tree, pool, .. } = &mut *st;
-        match &mut tree.get_mut(path)?.object {
-            Some(ObjectState::Queue(q)) => f(q, pool),
-            Some(other) => Err(JiffyError::WrongKind {
+        self.with_object(path, |obj, pool| match obj {
+            ObjectState::Queue(q) => f(q, pool),
+            other => Err(JiffyError::WrongKind {
                 path: path.clone(),
                 actual: other.kind(),
                 requested: "queue",
             }),
-            None => Err(JiffyError::NotFound(path.clone())),
-        }
+        })
     }
 
     fn with_file<T>(
         &self,
         path: &JPath,
-        f: impl FnOnce(&mut FileObject, &mut MemoryPool) -> Result<T>,
+        f: impl FnOnce(&mut FileObject, &MemoryPool) -> Result<T>,
     ) -> Result<T> {
-        let now = self.inner.clock.now();
-        let mut st = self.inner.state.lock();
-        st.leases.renew(path, now);
-        let State { tree, pool, .. } = &mut *st;
-        match &mut tree.get_mut(path)?.object {
-            Some(ObjectState::File(fl)) => f(fl, pool),
-            Some(other) => Err(JiffyError::WrongKind {
+        self.with_object(path, |obj, pool| match obj {
+            ObjectState::File(fl) => f(fl, pool),
+            other => Err(JiffyError::WrongKind {
                 path: path.clone(),
                 actual: other.kind(),
                 requested: "file",
             }),
-            None => Err(JiffyError::NotFound(path.clone())),
-        }
+        })
     }
 
     fn publish(&self, path: &JPath, kind: EventKind) {
-        self.inner.state.lock().bus.publish(Event {
+        self.inner.bus.lock().publish(Event {
             path: path.clone(),
             kind,
         });

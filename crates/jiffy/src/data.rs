@@ -82,7 +82,7 @@ pub struct KvObject {
 
 impl KvObject {
     /// Create with `initial_partitions` blocks allocated for `app`.
-    pub fn create(pool: &mut MemoryPool, app: &str, initial_partitions: usize) -> Result<Self> {
+    pub fn create(pool: &MemoryPool, app: &str, initial_partitions: usize) -> Result<Self> {
         assert!(initial_partitions > 0, "need at least one partition");
         let blocks = pool.allocate(app, initial_partitions as u64)?;
         Ok(Self {
@@ -126,7 +126,7 @@ impl KvObject {
     /// object auto-scales by adding one partition (re-partitioning only
     /// itself) and retries; returns the number of bytes moved by any
     /// re-partitioning this call triggered.
-    pub fn put(&mut self, pool: &mut MemoryPool, key: &[u8], value: &[u8]) -> Result<u64> {
+    pub fn put(&mut self, pool: &MemoryPool, key: &[u8], value: &[u8]) -> Result<u64> {
         let block_size = pool.block_size().as_u64();
         let size = entry_size(key, value);
         if size > block_size {
@@ -180,7 +180,7 @@ impl KvObject {
     /// Returns the number of bytes that moved between partitions — the
     /// quantity experiment E4 compares against the global-address-space
     /// baseline. Only *this object's* data moves.
-    pub fn scale_to(&mut self, pool: &mut MemoryPool, target: usize) -> Result<u64> {
+    pub fn scale_to(&mut self, pool: &MemoryPool, target: usize) -> Result<u64> {
         assert!(target > 0, "cannot scale to zero partitions");
         let n = self.partitions.len();
         if target == n {
@@ -287,7 +287,7 @@ impl QueueObject {
     }
 
     /// Append a payload, growing the block set if needed.
-    pub fn push(&mut self, pool: &mut MemoryPool, payload: &[u8]) -> Result<()> {
+    pub fn push(&mut self, pool: &MemoryPool, payload: &[u8]) -> Result<()> {
         let block_size = pool.block_size().as_u64();
         let size = payload.len() as u64 + ENTRY_OVERHEAD;
         if size > block_size {
@@ -308,7 +308,7 @@ impl QueueObject {
 
     /// Pop the oldest payload, shrinking the block set when usage allows
     /// (with one block of hysteresis to avoid thrashing).
-    pub fn pop(&mut self, pool: &mut MemoryPool) -> Option<Vec<u8>> {
+    pub fn pop(&mut self, pool: &MemoryPool) -> Option<Vec<u8>> {
         let payload = self.deque.pop_front()?;
         let block_size = pool.block_size().as_u64();
         self.used -= payload.len() as u64 + ENTRY_OVERHEAD;
@@ -361,7 +361,7 @@ impl FileObject {
 
     /// Append bytes, growing the block set as needed. Returns the new
     /// length.
-    pub fn append(&mut self, pool: &mut MemoryPool, bytes: &[u8]) -> Result<u64> {
+    pub fn append(&mut self, pool: &MemoryPool, bytes: &[u8]) -> Result<u64> {
         let block_size = pool.block_size().as_u64();
         let needed = (self.data.len() as u64 + bytes.len() as u64).div_ceil(block_size);
         if needed > self.blocks.len() as u64 {
@@ -402,10 +402,10 @@ mod tests {
 
     #[test]
     fn kv_put_get_remove() {
-        let mut p = pool();
-        let mut kv = KvObject::create(&mut p, "app", 2).unwrap();
-        assert_eq!(kv.put(&mut p, b"k1", b"v1").unwrap(), 0);
-        kv.put(&mut p, b"k2", b"v2").unwrap();
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 2).unwrap();
+        assert_eq!(kv.put(&p, b"k1", b"v1").unwrap(), 0);
+        kv.put(&p, b"k2", b"v2").unwrap();
         assert_eq!(kv.get(b"k1"), Some(&b"v1"[..]));
         assert_eq!(kv.get(b"missing"), None);
         assert_eq!(kv.remove(b"k1"), Some(b"v1".to_vec()));
@@ -415,25 +415,25 @@ mod tests {
 
     #[test]
     fn kv_update_replaces_and_accounts() {
-        let mut p = pool();
-        let mut kv = KvObject::create(&mut p, "app", 1).unwrap();
-        kv.put(&mut p, b"k", b"short").unwrap();
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 1).unwrap();
+        kv.put(&p, b"k", b"short").unwrap();
         let used1 = kv.used_bytes();
-        kv.put(&mut p, b"k", b"a-rather-longer-value").unwrap();
+        kv.put(&p, b"k", b"a-rather-longer-value").unwrap();
         assert!(kv.used_bytes() > used1);
-        kv.put(&mut p, b"k", b"s").unwrap();
+        kv.put(&p, b"k", b"s").unwrap();
         assert!(kv.used_bytes() < used1);
         assert_eq!(kv.len(), 1);
     }
 
     #[test]
     fn kv_auto_scales_when_partition_fills() {
-        let mut p = pool();
-        let mut kv = KvObject::create(&mut p, "app", 1).unwrap();
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 1).unwrap();
         // Block is 256 B, entries ~36 B: after ~7 entries the single
         // partition fills and the object must scale itself out.
         for i in 0..40u64 {
-            kv.put(&mut p, &i.to_le_bytes(), &[0u8; 12]).unwrap();
+            kv.put(&p, &i.to_le_bytes(), &[0u8; 12]).unwrap();
         }
         assert!(kv.partitions() > 1, "object never scaled");
         for i in 0..40u64 {
@@ -443,71 +443,71 @@ mod tests {
 
     #[test]
     fn kv_rejects_oversized_values() {
-        let mut p = pool();
-        let mut kv = KvObject::create(&mut p, "app", 1).unwrap();
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 1).unwrap();
         let big = vec![0u8; 512];
         assert!(matches!(
-            kv.put(&mut p, b"k", &big),
+            kv.put(&p, b"k", &big),
             Err(JiffyError::ValueTooLarge { .. })
         ));
     }
 
     #[test]
     fn kv_scale_preserves_data_and_reports_moved_bytes() {
-        let mut p = pool();
-        let mut kv = KvObject::create(&mut p, "app", 2).unwrap();
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 2).unwrap();
         for i in 0..10u64 {
-            kv.put(&mut p, &i.to_le_bytes(), b"v").unwrap();
+            kv.put(&p, &i.to_le_bytes(), b"v").unwrap();
         }
-        let moved = kv.scale_to(&mut p, 4).unwrap();
+        let moved = kv.scale_to(&p, 4).unwrap();
         assert!(moved > 0, "growing 2->4 should move some entries");
         assert_eq!(kv.partitions(), 4);
         for i in 0..10u64 {
             assert_eq!(kv.get(&i.to_le_bytes()), Some(&b"v"[..]));
         }
         // Shrink back.
-        kv.scale_to(&mut p, 2).unwrap();
+        kv.scale_to(&p, 2).unwrap();
         assert_eq!(kv.partitions(), 2);
         assert_eq!(kv.len(), 10);
     }
 
     #[test]
     fn kv_scale_frees_old_blocks() {
-        let mut p = pool();
+        let p = pool();
         let free0 = p.free_blocks();
-        let mut kv = KvObject::create(&mut p, "app", 2).unwrap();
-        kv.scale_to(&mut p, 6).unwrap();
+        let mut kv = KvObject::create(&p, "app", 2).unwrap();
+        kv.scale_to(&p, 6).unwrap();
         assert_eq!(p.free_blocks(), free0 - 6);
-        kv.scale_to(&mut p, 1).unwrap();
+        kv.scale_to(&p, 1).unwrap();
         assert_eq!(p.free_blocks(), free0 - 1);
     }
 
     #[test]
     fn queue_fifo_order_and_block_growth() {
-        let mut p = pool();
+        let p = pool();
         let mut q = QueueObject::create("app");
         assert_eq!(q.block_count(), 0);
         for i in 0..20u64 {
-            q.push(&mut p, &i.to_le_bytes()).unwrap();
+            q.push(&p, &i.to_le_bytes()).unwrap();
         }
         assert!(q.block_count() >= 2, "queue should have grown blocks");
         for i in 0..20u64 {
-            assert_eq!(q.pop(&mut p), Some(i.to_le_bytes().to_vec()));
+            assert_eq!(q.pop(&p), Some(i.to_le_bytes().to_vec()));
         }
-        assert_eq!(q.pop(&mut p), None);
+        assert_eq!(q.pop(&p), None);
         assert_eq!(q.block_count(), 0, "drained queue returns all blocks");
     }
 
     #[test]
     fn queue_shrinks_with_hysteresis() {
-        let mut p = pool();
+        let p = pool();
         let mut q = QueueObject::create("app");
         for i in 0..30u64 {
-            q.push(&mut p, &i.to_le_bytes()).unwrap();
+            q.push(&p, &i.to_le_bytes()).unwrap();
         }
         let peak = q.block_count();
         for _ in 0..20 {
-            q.pop(&mut p).unwrap();
+            q.pop(&p).unwrap();
         }
         assert!(q.block_count() < peak, "queue should shrink after pops");
         assert!(q.block_count() >= 1);
@@ -515,20 +515,20 @@ mod tests {
 
     #[test]
     fn queue_rejects_oversized_payloads() {
-        let mut p = pool();
+        let p = pool();
         let mut q = QueueObject::create("app");
         assert!(matches!(
-            q.push(&mut p, &vec![0u8; 300]),
+            q.push(&p, &vec![0u8; 300]),
             Err(JiffyError::ValueTooLarge { .. })
         ));
     }
 
     #[test]
     fn file_append_and_read() {
-        let mut p = pool();
+        let p = pool();
         let mut f = FileObject::create("app");
-        assert_eq!(f.append(&mut p, b"hello ").unwrap(), 6);
-        assert_eq!(f.append(&mut p, b"world").unwrap(), 11);
+        assert_eq!(f.append(&p, b"hello ").unwrap(), 6);
+        assert_eq!(f.append(&p, b"world").unwrap(), 11);
         assert_eq!(f.read(0, 11), b"hello world");
         assert_eq!(f.read(6, 5), b"world");
         assert_eq!(f.read(6, 100), b"world"); // clamped
@@ -537,27 +537,27 @@ mod tests {
 
     #[test]
     fn file_grows_blocks_with_length() {
-        let mut p = pool();
+        let p = pool();
         let mut f = FileObject::create("app");
-        f.append(&mut p, &vec![1u8; 1000]).unwrap();
+        f.append(&p, &vec![1u8; 1000]).unwrap();
         assert_eq!(f.block_count(), 4); // 1000 / 256 -> 4 blocks
         assert_eq!(f.len(), 1000);
     }
 
     #[test]
     fn pool_exhaustion_propagates() {
-        let mut p = MemoryPool::new(1, 2, ByteSize::b(256));
+        let p = MemoryPool::new(1, 2, ByteSize::b(256));
         let mut f = FileObject::create("app");
         assert!(matches!(
-            f.append(&mut p, &vec![0u8; 1024]),
+            f.append(&p, &vec![0u8; 1024]),
             Err(JiffyError::PoolExhausted { .. })
         ));
     }
 
     #[test]
     fn objectstate_reports_blocks() {
-        let mut p = pool();
-        let kv = KvObject::create(&mut p, "app", 3).unwrap();
+        let p = pool();
+        let kv = KvObject::create(&p, "app", 3).unwrap();
         let st = ObjectState::Kv(kv);
         assert_eq!(st.blocks().len(), 3);
         assert_eq!(st.kind(), "kv");

@@ -7,14 +7,23 @@
 //! its peak occupancy sits far below the sum of per-application peaks
 //! (experiment E5 measures exactly this ratio).
 //!
-//! Allocation spreads blocks across memory nodes (least-loaded first) so no
-//! single node becomes a hotspot; per-application quotas provide the
-//! admission-control half of isolation.
+//! Concurrency: the pool is internally sharded, so allocation takes no
+//! pool-wide lock. Each memory node keeps its own free-block stack behind
+//! its own mutex; a rotating cursor spreads consecutive allocations across
+//! nodes (so no node becomes a hotspot) while threads allocating
+//! concurrently pop from different nodes without contending. Global
+//! occupancy is a set of atomics — exhaustion is decided by a CAS
+//! reservation against the free count, keeping allocation all-or-nothing
+//! without a global critical section. Per-application holdings (the
+//! quota/E5 accounting) live in a [`ShardedMap`] keyed by app name, so
+//! different applications never serialize on each other.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use taureau_core::bytesize::ByteSize;
 use taureau_core::id::{BlockId, NodeId};
+use taureau_core::sync::ShardedMap;
 
 use crate::error::{JiffyError, Result};
 
@@ -27,10 +36,17 @@ pub struct BlockRef {
     pub id: BlockId,
 }
 
+/// One memory node's free-block stack (one lock stripe of the pool).
 #[derive(Debug)]
 struct NodeState {
-    capacity: u64,
     free: Vec<BlockId>,
+}
+
+/// Per-application holdings, one entry per app under its name's shard.
+#[derive(Debug, Default, Clone, Copy)]
+struct AppHold {
+    held: u64,
+    peak: u64,
 }
 
 /// Point-in-time pool statistics.
@@ -47,17 +63,24 @@ pub struct PoolStats {
 }
 
 /// A pool of memory blocks spread over `nodes` memory nodes.
+///
+/// All methods take `&self`; the pool is safe to share across threads.
 #[derive(Debug)]
 pub struct MemoryPool {
     block_size: ByteSize,
-    nodes: Vec<NodeState>,
-    /// blocks held per application (top-level namespace).
-    held: HashMap<String, u64>,
-    /// per-application peak holdings, for the E5 multiplexing report.
-    app_peaks: HashMap<String, u64>,
+    capacity_blocks: u64,
+    nodes: Vec<Mutex<NodeState>>,
+    /// Rotating node selector: spreads allocations and decorrelates the
+    /// stripes concurrent allocators start from.
+    cursor: AtomicUsize,
+    /// Blocks available for new reservations. Decremented *before* blocks
+    /// are popped, incremented *after* freed blocks are pushed back, so a
+    /// successful reservation is always backed by blocks in the stacks.
+    free_count: AtomicU64,
+    allocated: AtomicU64,
+    peak_allocated: AtomicU64,
+    apps: ShardedMap<String, AppHold>,
     quota: Option<u64>,
-    allocated: u64,
-    peak_allocated: u64,
 }
 
 impl MemoryPool {
@@ -68,7 +91,7 @@ impl MemoryPool {
         assert!(blocks_per_node > 0, "nodes must hold at least one block");
         assert!(block_size.as_u64() > 0, "block size must be positive");
         let mut next_block = 0u64;
-        let nodes = (0..nodes)
+        let nodes: Vec<Mutex<NodeState>> = (0..nodes)
             .map(|_| {
                 let free: Vec<BlockId> = (0..blocks_per_node)
                     .map(|_| {
@@ -77,20 +100,20 @@ impl MemoryPool {
                         id
                     })
                     .collect();
-                NodeState {
-                    capacity: blocks_per_node,
-                    free,
-                }
+                Mutex::new(NodeState { free })
             })
             .collect();
+        let capacity = nodes.len() as u64 * blocks_per_node;
         Self {
             block_size,
+            capacity_blocks: capacity,
             nodes,
-            held: HashMap::new(),
-            app_peaks: HashMap::new(),
+            cursor: AtomicUsize::new(0),
+            free_count: AtomicU64::new(capacity),
+            allocated: AtomicU64::new(0),
+            peak_allocated: AtomicU64::new(0),
+            apps: ShardedMap::new(),
             quota: None,
-            allocated: 0,
-            peak_allocated: 0,
         }
     }
 
@@ -107,82 +130,111 @@ impl MemoryPool {
 
     /// Blocks currently free pool-wide.
     pub fn free_blocks(&self) -> u64 {
-        self.nodes.iter().map(|n| n.free.len() as u64).sum()
+        self.free_count.load(Ordering::Relaxed)
     }
 
     /// Snapshot statistics.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            capacity_blocks: self.nodes.iter().map(|n| n.capacity).sum(),
-            allocated_blocks: self.allocated,
-            peak_allocated_blocks: self.peak_allocated,
+            capacity_blocks: self.capacity_blocks,
+            allocated_blocks: self.allocated.load(Ordering::Relaxed),
+            peak_allocated_blocks: self.peak_allocated.load(Ordering::Relaxed),
             block_size: self.block_size,
         }
     }
 
     /// Blocks currently held by `app`.
     pub fn held_by(&self, app: &str) -> u64 {
-        self.held.get(app).copied().unwrap_or(0)
+        self.apps
+            .with(app, |shard| shard.get(app).map(|h| h.held))
+            .unwrap_or(0)
     }
 
     /// Peak blocks ever held by `app`.
     pub fn peak_held_by(&self, app: &str) -> u64 {
-        self.app_peaks.get(app).copied().unwrap_or(0)
+        self.apps
+            .with(app, |shard| shard.get(app).map(|h| h.peak))
+            .unwrap_or(0)
     }
 
     /// Sum over applications of their individual peaks — what static
     /// per-application provisioning would have had to reserve.
     pub fn sum_of_app_peaks(&self) -> u64 {
-        self.app_peaks.values().sum()
+        let mut sum = 0;
+        self.apps.for_each(|_, h| sum += h.peak);
+        sum
     }
 
-    /// Allocate `n` blocks for `app`, spread across the least-loaded nodes.
+    /// Allocate `n` blocks for `app`, spread across memory nodes.
     ///
     /// # Errors
     /// [`JiffyError::QuotaExceeded`] if the app's quota would be breached,
     /// [`JiffyError::PoolExhausted`] if fewer than `n` blocks are free.
     /// Either way the allocation is all-or-nothing.
-    pub fn allocate(&mut self, app: &str, n: u64) -> Result<Vec<BlockRef>> {
+    pub fn allocate(&self, app: &str, n: u64) -> Result<Vec<BlockRef>> {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let held = self.held_by(app);
-        if let Some(q) = self.quota {
-            if held + n > q {
-                return Err(JiffyError::QuotaExceeded {
-                    app: app.to_string(),
-                    held,
-                    quota: q,
+        // Quota reservation under the app's own stripe — apps only
+        // serialize against themselves.
+        self.apps.with(app, |shard| {
+            let hold = shard.entry(app.to_string()).or_default();
+            if let Some(q) = self.quota {
+                if hold.held + n > q {
+                    return Err(JiffyError::QuotaExceeded {
+                        app: app.to_string(),
+                        held: hold.held,
+                        quota: q,
+                    });
+                }
+            }
+            hold.held += n;
+            Ok(())
+        })?;
+        // Claim n blocks from the global free count. A successful CAS
+        // guarantees the node stacks collectively hold our n blocks.
+        let mut cur = self.free_count.load(Ordering::Relaxed);
+        loop {
+            if cur < n {
+                self.apps.with(app, |shard| {
+                    shard.get_mut(app).expect("reserved above").held -= n;
+                });
+                return Err(JiffyError::PoolExhausted {
+                    requested: n,
+                    available: cur,
+                });
+            }
+            match self.free_count.compare_exchange_weak(
+                cur,
+                cur - n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        // Pop the claimed blocks round-robin across node stacks. The
+        // rotation both spreads one app's blocks over nodes and starts
+        // concurrent allocators on different stripes.
+        let mut out = Vec::with_capacity(n as usize);
+        while out.len() < n as usize {
+            let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % self.nodes.len();
+            let mut node = self.nodes[idx].lock();
+            if let Some(id) = node.free.pop() {
+                out.push(BlockRef {
+                    node: NodeId(idx as u64),
+                    id,
                 });
             }
         }
-        if self.free_blocks() < n {
-            return Err(JiffyError::PoolExhausted {
-                requested: n,
-                available: self.free_blocks(),
-            });
-        }
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            // Least-loaded = node with the most free blocks.
-            let (idx, node) = self
-                .nodes
-                .iter_mut()
-                .enumerate()
-                .max_by_key(|(_, s)| s.free.len())
-                .expect("pool has nodes");
-            let id = node.free.pop().expect("checked free capacity");
-            out.push(BlockRef {
-                node: NodeId(idx as u64),
-                id,
-            });
-        }
-        self.allocated += n;
-        self.peak_allocated = self.peak_allocated.max(self.allocated);
-        let entry = self.held.entry(app.to_string()).or_insert(0);
-        *entry += n;
-        let peak = self.app_peaks.entry(app.to_string()).or_insert(0);
-        *peak = (*peak).max(*entry);
+        let now_allocated = self.allocated.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_allocated
+            .fetch_max(now_allocated, Ordering::Relaxed);
+        self.apps.with(app, |shard| {
+            let hold = shard.get_mut(app).expect("reserved above");
+            hold.peak = hold.peak.max(hold.held);
+        });
         Ok(out)
     }
 
@@ -191,25 +243,32 @@ impl MemoryPool {
     /// # Panics
     /// If `app` does not hold that many blocks (an accounting bug, not a
     /// user error).
-    pub fn free(&mut self, app: &str, blocks: &[BlockRef]) {
+    pub fn free(&self, app: &str, blocks: &[BlockRef]) {
         if blocks.is_empty() {
             return;
         }
-        let held = self.held.get_mut(app).unwrap_or_else(|| {
-            panic!("app {app} frees blocks it never allocated");
+        let n = blocks.len() as u64;
+        self.apps.with(app, |shard| {
+            let hold = shard
+                .get_mut(app)
+                .unwrap_or_else(|| panic!("app {app} frees blocks it never allocated"));
+            assert!(
+                hold.held >= n,
+                "app {app} frees {} blocks but holds {}",
+                blocks.len(),
+                hold.held
+            );
+            hold.held -= n;
         });
-        assert!(
-            *held >= blocks.len() as u64,
-            "app {app} frees {} blocks but holds {held}",
-            blocks.len()
-        );
         for b in blocks {
-            let node = &mut self.nodes[b.node.raw() as usize];
+            let mut node = self.nodes[b.node.raw() as usize].lock();
             debug_assert!(!node.free.contains(&b.id), "double free of {:?}", b.id);
             node.free.push(b.id);
         }
-        *held -= blocks.len() as u64;
-        self.allocated -= blocks.len() as u64;
+        self.allocated.fetch_sub(n, Ordering::Relaxed);
+        // Publish the freed blocks last: once the count rises, the blocks
+        // are already in the stacks for the next claimant.
+        self.free_count.fetch_add(n, Ordering::Release);
     }
 }
 
@@ -223,7 +282,7 @@ mod tests {
 
     #[test]
     fn allocation_spreads_across_nodes() {
-        let mut p = pool();
+        let p = pool();
         let blocks = p.allocate("a", 4).unwrap();
         let nodes: std::collections::HashSet<NodeId> = blocks.iter().map(|b| b.node).collect();
         assert_eq!(nodes.len(), 4, "4 blocks should land on 4 distinct nodes");
@@ -231,7 +290,7 @@ mod tests {
 
     #[test]
     fn exhausts_then_errors() {
-        let mut p = pool();
+        let p = pool();
         let all = p.allocate("a", 32).unwrap();
         assert_eq!(all.len(), 32);
         let err = p.allocate("a", 1).unwrap_err();
@@ -243,7 +302,7 @@ mod tests {
 
     #[test]
     fn free_returns_capacity() {
-        let mut p = pool();
+        let p = pool();
         let blocks = p.allocate("a", 10).unwrap();
         assert_eq!(p.free_blocks(), 22);
         p.free("a", &blocks);
@@ -255,7 +314,7 @@ mod tests {
 
     #[test]
     fn quota_is_enforced_per_app() {
-        let mut p = MemoryPool::new(2, 16, ByteSize::kb(4)).with_quota(5);
+        let p = MemoryPool::new(2, 16, ByteSize::kb(4)).with_quota(5);
         assert!(p.allocate("a", 5).is_ok());
         let err = p.allocate("a", 1).unwrap_err();
         assert!(matches!(err, JiffyError::QuotaExceeded { .. }));
@@ -265,7 +324,7 @@ mod tests {
 
     #[test]
     fn peaks_track_multiplexing() {
-        let mut p = pool();
+        let p = pool();
         let a = p.allocate("a", 12).unwrap();
         p.free("a", &a);
         let b = p.allocate("b", 12).unwrap();
@@ -278,7 +337,7 @@ mod tests {
 
     #[test]
     fn zero_allocation_is_noop() {
-        let mut p = pool();
+        let p = pool();
         assert!(p.allocate("a", 0).unwrap().is_empty());
         p.free("a", &[]);
         assert_eq!(p.stats().allocated_blocks, 0);
@@ -286,7 +345,7 @@ mod tests {
 
     #[test]
     fn all_or_nothing_allocation() {
-        let mut p = MemoryPool::new(1, 4, ByteSize::kb(4));
+        let p = MemoryPool::new(1, 4, ByteSize::kb(4));
         p.allocate("a", 3).unwrap();
         assert!(p.allocate("b", 2).is_err());
         // The failed request must not have consumed the last free block.
@@ -296,11 +355,42 @@ mod tests {
     #[test]
     #[should_panic(expected = "never allocated")]
     fn freeing_unheld_blocks_panics() {
-        let mut p = pool();
+        let p = pool();
         let fake = BlockRef {
             node: NodeId(0),
             id: BlockId(0),
         };
         p.free("ghost", &[fake]);
+    }
+
+    #[test]
+    fn quota_failure_leaves_holdings_untouched() {
+        let p = MemoryPool::new(2, 16, ByteSize::kb(4)).with_quota(4);
+        let held = p.allocate("a", 3).unwrap();
+        assert!(p.allocate("a", 2).is_err());
+        assert_eq!(p.held_by("a"), 3);
+        assert_eq!(p.peak_held_by("a"), 3);
+        p.free("a", &held);
+        assert_eq!(p.held_by("a"), 0);
+    }
+
+    #[test]
+    fn concurrent_allocate_free_conserves_blocks() {
+        let p = std::sync::Arc::new(MemoryPool::new(4, 64, ByteSize::kb(4)));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    let app = format!("app-{t}");
+                    for _ in 0..200 {
+                        if let Ok(blocks) = p.allocate(&app, 8) {
+                            p.free(&app, &blocks);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(p.free_blocks(), 256);
+        assert_eq!(p.stats().allocated_blocks, 0);
     }
 }

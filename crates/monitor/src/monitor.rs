@@ -313,10 +313,12 @@ impl Monitor {
 
     fn fold_span(&mut self, ev: &wire::SpanEvent) {
         let at = Duration::from_micros(ev.end_us);
-        let stats = self
-            .ops
-            .entry(ev.name.clone())
-            .or_insert_with(|| OpStats::new(&self.cfg));
+        // Same `&str`-first lookup as `fold_metric`: avoid cloning the op
+        // name on the per-span hot path once the op has been seen.
+        if !self.ops.contains_key(&ev.name) {
+            self.ops.insert(ev.name.clone(), OpStats::new(&self.cfg));
+        }
+        let stats = self.ops.get_mut(&ev.name).expect("just inserted");
         let latency_us = ev.duration_us() as f64;
         stats.cumulative.update(latency_us);
         stats.rolling.record(at, latency_us);
@@ -345,13 +347,21 @@ impl Monitor {
 
     fn fold_metric(&mut self, name: &str, delta: u64) {
         // `*_us` metrics are latency samples, everything else a counter.
+        // Look up by `&str` before falling back to insertion: the entry API
+        // would allocate an owned key on every event, and after warm-up
+        // every event hits an existing key.
         if name.ends_with("_us") {
-            self.metric_sketches
-                .entry(name.to_string())
-                .or_insert_with(|| KllSketch::new(self.cfg.quantile_k))
-                .update(delta as f64);
+            if let Some(sketch) = self.metric_sketches.get_mut(name) {
+                sketch.update(delta as f64);
+            } else {
+                let mut sketch = KllSketch::new(self.cfg.quantile_k);
+                sketch.update(delta as f64);
+                self.metric_sketches.insert(name.to_string(), sketch);
+            }
+        } else if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
         } else {
-            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+            self.counters.insert(name.to_string(), delta);
         }
     }
 

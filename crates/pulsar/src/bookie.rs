@@ -7,20 +7,24 @@
 //! survives, as BookKeeper journals do), which is what the ledger layer's
 //! quorum replication is tested against.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use taureau_core::id::LedgerId;
+use taureau_core::sync::ShardedMap;
 
 /// One storage node.
+///
+/// The ledger map is sharded by ledger id, so appends to different ledgers
+/// (i.e. different topics' active segments) never contend on one
+/// bookie-wide lock — only entries of the same ledger serialize.
 #[derive(Debug)]
 pub struct Bookie {
     /// Index within the cluster.
     pub index: usize,
     alive: AtomicBool,
-    ledgers: Mutex<HashMap<LedgerId, BTreeMap<u64, Bytes>>>,
+    ledgers: ShardedMap<LedgerId, BTreeMap<u64, Bytes>>,
 }
 
 impl Bookie {
@@ -29,7 +33,7 @@ impl Bookie {
         Self {
             index,
             alive: AtomicBool::new(true),
-            ledgers: Mutex::new(HashMap::new()),
+            ledgers: ShardedMap::new(),
         }
     }
 
@@ -54,11 +58,9 @@ impl Bookie {
         if !self.is_alive() {
             return false;
         }
-        self.ledgers
-            .lock()
-            .entry(ledger)
-            .or_default()
-            .insert(entry, data);
+        self.ledgers.with(&ledger, |shard| {
+            shard.entry(ledger).or_default().insert(entry, data);
+        });
         true
     }
 
@@ -67,7 +69,8 @@ impl Bookie {
         if !self.is_alive() {
             return None;
         }
-        self.ledgers.lock().get(&ledger)?.get(&entry).cloned()
+        self.ledgers
+            .with(&ledger, |shard| shard.get(&ledger)?.get(&entry).cloned())
     }
 
     /// Highest entry id stored for a ledger (for recovery).
@@ -75,33 +78,30 @@ impl Bookie {
         if !self.is_alive() {
             return None;
         }
-        self.ledgers
-            .lock()
-            .get(&ledger)?
-            .keys()
-            .next_back()
-            .copied()
+        self.ledgers.with(&ledger, |shard| {
+            shard.get(&ledger)?.keys().next_back().copied()
+        })
     }
 
     /// Drop all entries of a ledger (ledger deletion).
     pub fn delete_ledger(&self, ledger: LedgerId) {
-        self.ledgers.lock().remove(&ledger);
+        self.ledgers.remove(&ledger);
     }
 
     /// Number of entries stored for a ledger (test/metrics hook; works even
     /// when crashed, as it inspects the journal, not the serving path).
     pub fn entry_count(&self, ledger: LedgerId) -> usize {
-        self.ledgers.lock().get(&ledger).map_or(0, BTreeMap::len)
+        self.ledgers
+            .with(&ledger, |shard| shard.get(&ledger).map_or(0, BTreeMap::len))
     }
 
     /// Total bytes stored on this bookie.
     pub fn stored_bytes(&self) -> u64 {
-        self.ledgers
-            .lock()
-            .values()
-            .flat_map(|l| l.values())
-            .map(|b| b.len() as u64)
-            .sum()
+        let mut total = 0u64;
+        self.ledgers.for_each(|_, l| {
+            total += l.values().map(|b| b.len() as u64).sum::<u64>();
+        });
+        total
     }
 }
 

@@ -25,6 +25,7 @@ use taureau_core::clock::{SharedClock, WallClock};
 use taureau_core::hash::hash64;
 use taureau_core::id::LedgerId;
 use taureau_core::metrics::MetricsRegistry;
+use taureau_core::sync::ShardedMap;
 use taureau_core::trace::Tracer;
 
 use crate::bookie::Bookie;
@@ -167,7 +168,11 @@ struct ClusterInner {
     bk: BookKeeper,
     bookies: Arc<Vec<Arc<Bookie>>>,
     meta: Arc<MetadataStore>,
-    topics: Mutex<HashMap<String, Topic>>,
+    /// Broker-side topic state, sharded by topic-name hash so operations on
+    /// different topics never serialize on one broker-wide lock. Lock
+    /// ordering: topic shard → metadata shard → tier/quotas mutex; nothing
+    /// acquires a topic shard while holding another, so no cycles.
+    topics: ShardedMap<String, Topic>,
     metrics: MetricsRegistry,
     tracer: Mutex<Tracer>,
     next_consumer: AtomicU64,
@@ -199,7 +204,7 @@ impl PulsarCluster {
                 bk,
                 bookies,
                 meta,
-                topics: Mutex::new(HashMap::new()),
+                topics: ShardedMap::new(),
                 metrics: MetricsRegistry::new(),
                 tracer: Mutex::new(Tracer::disabled()),
                 next_consumer: AtomicU64::new(0),
@@ -257,37 +262,36 @@ impl PulsarCluster {
             Some(t) => t,
             None => return Ok(0),
         };
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let mut offloaded = 0;
-        for part in &t.partitions {
-            for &lid in &part.segments {
-                // Skip the open segment and anything already offloaded.
-                if part.writer.as_ref().is_some_and(|w| w.id() == lid) {
-                    continue;
-                }
-                if tier.offloaded_len(&inner.meta, lid).is_some() {
-                    continue;
-                }
-                let Ok(Some(last)) = inner.bk.last_entry(lid) else {
-                    // Empty sealed segment: record as zero entries.
-                    if inner.bk.ledger_meta(lid).is_ok() {
-                        tier.store_segment(&inner.meta, lid, &[]);
-                        let _ = inner.bk.delete_ledger(lid);
-                        offloaded += 1;
+        self.with_topic(topic, |inner, t| {
+            let mut offloaded = 0;
+            for part in &t.partitions {
+                for &lid in &part.segments {
+                    // Skip the open segment and anything already offloaded.
+                    if part.writer.as_ref().is_some_and(|w| w.id() == lid) {
+                        continue;
                     }
-                    continue;
-                };
-                let entries: Result<Vec<Bytes>> =
-                    (0..=last).map(|e| inner.bk.read_entry(lid, e)).collect();
-                tier.store_segment(&inner.meta, lid, &entries?);
-                inner.bk.delete_ledger(lid)?;
-                inner.metrics.counter("segments_offloaded").inc();
-                offloaded += 1;
+                    if tier.offloaded_len(&inner.meta, lid).is_some() {
+                        continue;
+                    }
+                    let Ok(Some(last)) = inner.bk.last_entry(lid) else {
+                        // Empty sealed segment: record as zero entries.
+                        if inner.bk.ledger_meta(lid).is_ok() {
+                            tier.store_segment(&inner.meta, lid, &[]);
+                            let _ = inner.bk.delete_ledger(lid);
+                            offloaded += 1;
+                        }
+                        continue;
+                    };
+                    let entries: Result<Vec<Bytes>> =
+                        (0..=last).map(|e| inner.bk.read_entry(lid, e)).collect();
+                    tier.store_segment(&inner.meta, lid, &entries?);
+                    inner.bk.delete_ledger(lid)?;
+                    inner.metrics.counter("segments_offloaded").inc();
+                    offloaded += 1;
+                }
             }
-        }
-        Ok(offloaded)
+            Ok(offloaded)
+        })
     }
 
     /// The tenant of a topic: the segment before the first `/` in the
@@ -323,7 +327,7 @@ impl PulsarCluster {
                 .meta
                 .put(&format!("/topics/{name}/{p}/segments"), Vec::new());
         }
-        self.inner.topics.lock().insert(
+        self.inner.topics.insert(
             name.to_string(),
             Topic {
                 partitions: (0..partitions)
@@ -370,31 +374,32 @@ impl PulsarCluster {
         mode: SubscriptionMode,
     ) -> Result<Consumer> {
         let nparts = self.partitions(topic)? as usize;
-        let mut topics = self.inner.topics.lock();
-        let t = Self::topic_entry(&self.inner, &mut topics, topic)?;
-        let sub = t
-            .subs
-            .entry(subscription.to_string())
-            .or_insert_with(|| SubState {
-                mode,
-                read: vec![ReadPos { seg: 0, entry: 0 }; nparts],
-                mark_delete: vec![None; nparts],
-                acked: BTreeSet::new(),
-                pending: BTreeSet::new(),
-                consumers: Vec::new(),
-            });
-        if sub.mode == SubscriptionMode::Exclusive && !sub.consumers.is_empty() {
-            return Err(PulsarError::ExclusiveSubscriptionBusy(
-                subscription.to_string(),
-            ));
-        }
-        let cid = self.inner.next_consumer.fetch_add(1, Ordering::Relaxed);
-        sub.consumers.push(cid);
-        // Persist subscription existence for broker restarts.
-        self.inner.meta.put(
-            &format!("/topics/{topic}/subs/{subscription}"),
-            mode.encode().as_bytes().to_vec(),
-        );
+        let cid = self.with_topic(topic, |inner, t| {
+            let sub = t
+                .subs
+                .entry(subscription.to_string())
+                .or_insert_with(|| SubState {
+                    mode,
+                    read: vec![ReadPos { seg: 0, entry: 0 }; nparts],
+                    mark_delete: vec![None; nparts],
+                    acked: BTreeSet::new(),
+                    pending: BTreeSet::new(),
+                    consumers: Vec::new(),
+                });
+            if sub.mode == SubscriptionMode::Exclusive && !sub.consumers.is_empty() {
+                return Err(PulsarError::ExclusiveSubscriptionBusy(
+                    subscription.to_string(),
+                ));
+            }
+            let cid = inner.next_consumer.fetch_add(1, Ordering::Relaxed);
+            sub.consumers.push(cid);
+            // Persist subscription existence for broker restarts.
+            inner.meta.put(
+                &format!("/topics/{topic}/subs/{subscription}"),
+                mode.encode().as_bytes().to_vec(),
+            );
+            Ok(cid)
+        })?;
         Ok(Consumer {
             cluster: self.clone(),
             topic: topic.to_string(),
@@ -406,101 +411,112 @@ impl PulsarCluster {
 
     // -- internals ----------------------------------------------------------
 
-    fn topic_entry<'a>(
-        inner: &ClusterInner,
-        topics: &'a mut HashMap<String, Topic>,
+    /// Run `f` with the topic's broker-side state, holding only that
+    /// topic's shard lock. Rebuilds the state from metadata if it is not
+    /// loaded (stateless broker); the rebuild happens inside the shard
+    /// lock so concurrent callers see it exactly once.
+    fn with_topic<R>(
+        &self,
         name: &str,
-    ) -> Result<&'a mut Topic> {
-        if !topics.contains_key(name) {
-            // Rebuild broker-side state from metadata (stateless broker).
-            let nparts: u32 = {
-                let v = inner
-                    .meta
-                    .get(&format!("/topics/{name}"))
-                    .ok_or_else(|| PulsarError::TopicNotFound(name.to_string()))?;
-                std::str::from_utf8(&v.data)
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| PulsarError::TopicNotFound(name.to_string()))?
-            };
-            let mut partitions = Vec::with_capacity(nparts as usize);
+        f: impl FnOnce(&ClusterInner, &mut Topic) -> Result<R>,
+    ) -> Result<R> {
+        let inner = &*self.inner;
+        inner.topics.with(name, |shard| {
+            if !shard.contains_key(name) {
+                let t = Self::load_topic(inner, name)?;
+                shard.insert(name.to_string(), t);
+            }
+            f(inner, shard.get_mut(name).expect("just inserted"))
+        })
+    }
+
+    /// Rebuild broker-side state for a topic from metadata (stateless
+    /// broker). Touches only the metadata store and bookies — never
+    /// another topic's shard.
+    fn load_topic(inner: &ClusterInner, name: &str) -> Result<Topic> {
+        let nparts: u32 = {
+            let v = inner
+                .meta
+                .get(&format!("/topics/{name}"))
+                .ok_or_else(|| PulsarError::TopicNotFound(name.to_string()))?;
+            std::str::from_utf8(&v.data)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| PulsarError::TopicNotFound(name.to_string()))?
+        };
+        let mut partitions = Vec::with_capacity(nparts as usize);
+        for p in 0..nparts {
+            let segs = inner
+                .meta
+                .get(&format!("/topics/{name}/{p}/segments"))
+                .map(|v| decode_segments(&v.data))
+                .unwrap_or_default();
+            // Any open tail segment belongs to a dead broker: fence it.
+            if let Some(&last) = segs.last() {
+                let _ = inner.bk.recover_and_close(last);
+            }
+            partitions.push(Partition {
+                segments: segs,
+                writer: None,
+            });
+        }
+        let mut subs = HashMap::new();
+        for key in inner.meta.list_prefix(&format!("/topics/{name}/subs/")) {
+            let sub_name = key.rsplit('/').next().unwrap_or_default().to_string();
+            let mode = inner
+                .meta
+                .get(&key)
+                .and_then(|v| SubscriptionMode::decode(std::str::from_utf8(&v.data).ok()?))
+                .unwrap_or(SubscriptionMode::Shared);
+            // Restore cursors from persisted mark-delete positions.
+            let mut read = Vec::with_capacity(nparts as usize);
+            let mut mark_delete = Vec::with_capacity(nparts as usize);
             for p in 0..nparts {
-                let segs = inner
+                let md = inner
                     .meta
-                    .get(&format!("/topics/{name}/{p}/segments"))
-                    .map(|v| decode_segments(&v.data))
-                    .unwrap_or_default();
-                // Any open tail segment belongs to a dead broker: fence it.
-                if let Some(&last) = segs.last() {
-                    let _ = inner.bk.recover_and_close(last);
-                }
-                partitions.push(Partition {
-                    segments: segs,
-                    writer: None,
-                });
-            }
-            let mut subs = HashMap::new();
-            for key in inner.meta.list_prefix(&format!("/topics/{name}/subs/")) {
-                let sub_name = key.rsplit('/').next().unwrap_or_default().to_string();
-                let mode = inner
-                    .meta
-                    .get(&key)
-                    .and_then(|v| SubscriptionMode::decode(std::str::from_utf8(&v.data).ok()?))
-                    .unwrap_or(SubscriptionMode::Shared);
-                // Restore cursors from persisted mark-delete positions.
-                let mut read = Vec::with_capacity(nparts as usize);
-                let mut mark_delete = Vec::with_capacity(nparts as usize);
-                for p in 0..nparts {
-                    let md = inner
-                        .meta
-                        .get(&format!("/topics/{name}/{p}/cursor/{sub_name}"))
-                        .and_then(|v| decode_cursor(&v.data));
-                    let pos = match md {
-                        Some(id) => {
-                            let seg = partitions[p as usize]
-                                .segments
-                                .iter()
-                                .position(|&l| l == id.ledger)
-                                .unwrap_or(0);
-                            ReadPos {
-                                seg,
-                                entry: id.entry + 1,
-                            }
+                    .get(&format!("/topics/{name}/{p}/cursor/{sub_name}"))
+                    .and_then(|v| decode_cursor(&v.data));
+                let pos = match md {
+                    Some(id) => {
+                        let seg = partitions[p as usize]
+                            .segments
+                            .iter()
+                            .position(|&l| l == id.ledger)
+                            .unwrap_or(0);
+                        ReadPos {
+                            seg,
+                            entry: id.entry + 1,
                         }
-                        None => ReadPos { seg: 0, entry: 0 },
-                    };
-                    read.push(pos);
-                    mark_delete.push(md);
-                }
-                subs.insert(
-                    sub_name,
-                    SubState {
-                        mode,
-                        read,
-                        mark_delete,
-                        acked: BTreeSet::new(),
-                        pending: BTreeSet::new(),
-                        consumers: Vec::new(),
-                    },
-                );
+                    }
+                    None => ReadPos { seg: 0, entry: 0 },
+                };
+                read.push(pos);
+                mark_delete.push(md);
             }
-            topics.insert(
-                name.to_string(),
-                Topic {
-                    partitions,
-                    subs,
-                    rr: 0,
+            subs.insert(
+                sub_name,
+                SubState {
+                    mode,
+                    read,
+                    mark_delete,
+                    acked: BTreeSet::new(),
+                    pending: BTreeSet::new(),
+                    consumers: Vec::new(),
                 },
             );
         }
-        Ok(topics.get_mut(name).expect("just inserted"))
+        Ok(Topic {
+            partitions,
+            subs,
+            rr: 0,
+        })
     }
 
     /// Drop all in-memory broker state; the next operation rebuilds it from
     /// metadata + ledgers. Models a broker restart — the statelessness
     /// claim of §4.3.
     pub fn restart_broker(&self) {
-        self.inner.topics.lock().clear();
+        self.inner.topics.clear();
     }
 
     fn persist_segments(inner: &ClusterInner, topic: &str, p: usize, segs: &[LedgerId]) {
@@ -516,15 +532,19 @@ impl PulsarCluster {
         span.attr("topic", topic);
         span.attr("bytes", payload.len());
         let now = self.inner.clock.now();
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        Self::topic_entry(inner, &mut topics, topic)?;
-        // Multi-tenancy backlog quota: total retained entries across the
-        // tenant's loaded topics must stay under the cap.
+        let inner = &*self.inner;
+        // Step 1: make sure the topic is loaded (shard locked and released).
+        self.with_topic(topic, |_, _| Ok(()))?;
+        // Step 2: multi-tenancy backlog quota — total retained entries
+        // across the tenant's loaded topics must stay under the cap. The
+        // scan visits shards one at a time without holding the target
+        // topic's shard, so two publishers scanning each other's tenants
+        // cannot deadlock. (Concurrent publishers may both pass a nearly
+        // full quota check; the cap is a backlog bound, not a ledger.)
         let tenant = Self::tenant_of(topic);
         if let Some(quota) = inner.quotas.lock().get(tenant).copied() {
             let mut retained = 0u64;
-            for (name, t) in topics.iter() {
+            inner.topics.for_each(|name, t| {
                 if Self::tenant_of(name) == tenant {
                     for part in &t.partitions {
                         for seg in 0..part.segments.len() {
@@ -532,7 +552,7 @@ impl PulsarCluster {
                         }
                     }
                 }
-            }
+            });
             if retained >= quota {
                 inner.metrics.counter("quota_rejections").inc();
                 span.attr("outcome", "quota_rejected");
@@ -542,65 +562,73 @@ impl PulsarCluster {
                 });
             }
         }
-        let t = topics.get_mut(topic).expect("loaded above");
-        let nparts = t.partitions.len();
-        let p = match key {
-            Some(k) => (hash64(ROUTE_SEED, k) % nparts as u64) as usize,
-            None => {
-                t.rr = t.rr.wrapping_add(1);
-                (t.rr as usize) % nparts
-            }
-        };
-        span.attr("partition", p);
-        let entry_bytes = encode_entry(key, now.as_nanos() as u64, payload);
-        let part = &mut t.partitions[p];
-        // Up to one rollover retry on quorum failure.
-        for attempt in 0..2 {
-            // Open a writer if needed, rolling over at the segment cap.
-            let need_new = match &part.writer {
-                None => true,
-                Some(w) => w.len() >= inner.cfg.max_entries_per_ledger,
+        // Step 3: append under the target topic's shard lock only.
+        let result = self.with_topic(topic, |inner, t| {
+            let nparts = t.partitions.len();
+            let p = match key {
+                Some(k) => (hash64(ROUTE_SEED, k) % nparts as u64) as usize,
+                None => {
+                    t.rr = t.rr.wrapping_add(1);
+                    (t.rr as usize) % nparts
+                }
             };
-            if need_new {
-                if let Some(mut w) = part.writer.take() {
-                    let _ = w.close();
+            span.attr("partition", p);
+            let entry_bytes = encode_entry(key, now.as_nanos() as u64, payload);
+            let part = &mut t.partitions[p];
+            // Up to one rollover retry on quorum failure.
+            for attempt in 0..2 {
+                // Open a writer if needed, rolling over at the segment cap.
+                let need_new = match &part.writer {
+                    None => true,
+                    Some(w) => w.len() >= inner.cfg.max_entries_per_ledger,
+                };
+                if need_new {
+                    if let Some(mut w) = part.writer.take() {
+                        let _ = w.close();
+                    }
+                    let w = inner.bk.create_ledger(inner.cfg.ledger)?;
+                    part.segments.push(w.id());
+                    Self::persist_segments(inner, topic, p, &part.segments);
+                    part.writer = Some(w);
                 }
-                let w = inner.bk.create_ledger(inner.cfg.ledger)?;
-                part.segments.push(w.id());
-                Self::persist_segments(inner, topic, p, &part.segments);
-                part.writer = Some(w);
+                let w = part.writer.as_mut().expect("writer just ensured");
+                let mut append_span = tracer.span(TRACE_SYSTEM, "pulsar.bookie_append");
+                append_span.attr("ledger", w.id().raw());
+                append_span.attr("attempt", attempt);
+                let appended = w.append(entry_bytes.clone());
+                drop(append_span);
+                match appended {
+                    Ok(entry) => {
+                        inner.metrics.counter("messages_published").inc();
+                        return Ok(MessageId {
+                            partition: p as u32,
+                            ledger: w.id(),
+                            entry,
+                        });
+                    }
+                    Err(PulsarError::QuorumUnavailable { .. }) => {
+                        // Seal the wounded ledger and roll over to a fresh
+                        // ensemble on the retry.
+                        let mut w = part.writer.take().expect("writer present");
+                        let _ = w.close();
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            let w = part.writer.as_mut().expect("writer just ensured");
-            let mut append_span = tracer.span(TRACE_SYSTEM, "pulsar.bookie_append");
-            append_span.attr("ledger", w.id().raw());
-            append_span.attr("attempt", attempt);
-            let appended = w.append(entry_bytes.clone());
-            drop(append_span);
-            match appended {
-                Ok(entry) => {
-                    self.inner.metrics.counter("messages_published").inc();
-                    span.attr("outcome", "ok");
-                    return Ok(MessageId {
-                        partition: p as u32,
-                        ledger: w.id(),
-                        entry,
-                    });
-                }
-                Err(PulsarError::QuorumUnavailable { .. }) => {
-                    // Seal the wounded ledger and roll over to a fresh
-                    // ensemble on the retry.
-                    let mut w = part.writer.take().expect("writer present");
-                    let _ = w.close();
-                    continue;
-                }
-                Err(e) => return Err(e),
+            Err(PulsarError::QuorumUnavailable {
+                needed: inner.cfg.ledger.ack_quorum,
+                got: 0,
+            })
+        });
+        match &result {
+            Ok(_) => span.attr("outcome", "ok"),
+            Err(PulsarError::QuorumUnavailable { .. }) => {
+                span.attr("outcome", "quorum_unavailable");
             }
+            Err(_) => {}
         }
-        span.attr("outcome", "quorum_unavailable");
-        Err(PulsarError::QuorumUnavailable {
-            needed: inner.cfg.ledger.ack_quorum,
-            got: 0,
-        })
+        result
     }
 
     /// Segment length: closed segments from metadata, the open one from the
@@ -653,270 +681,268 @@ impl PulsarCluster {
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.dispatch");
         span.attr("topic", topic);
         span.attr("subscription", subscription);
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let nparts = t.partitions.len();
-        let sub = t
-            .subs
-            .get_mut(subscription)
-            .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
-        // Failover: only the active (first attached) consumer receives.
-        if sub.mode == SubscriptionMode::Failover && sub.consumers.first() != Some(&consumer_id) {
-            return Ok(None);
-        }
-        for scan in 0..nparts {
-            let p = (*start_part + scan) % nparts;
-            loop {
-                let pos = sub.read[p];
-                let part = &t.partitions[p];
-                if pos.seg >= part.segments.len() {
-                    break; // nothing ever written here
-                }
-                let seg_len = Self::segment_len(inner, part, pos.seg);
-                if pos.entry >= seg_len {
-                    // Move to the next segment if this one is closed and
-                    // fully read.
-                    let is_open = part
-                        .writer
-                        .as_ref()
-                        .is_some_and(|w| w.id() == part.segments[pos.seg]);
-                    if !is_open && pos.seg + 1 < part.segments.len() {
-                        sub.read[p] = ReadPos {
-                            seg: pos.seg + 1,
-                            entry: 0,
-                        };
-                        continue;
+        self.with_topic(topic, |inner, t| {
+            let nparts = t.partitions.len();
+            let sub = t
+                .subs
+                .get_mut(subscription)
+                .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
+            // Failover: only the active (first attached) consumer receives.
+            if sub.mode == SubscriptionMode::Failover && sub.consumers.first() != Some(&consumer_id)
+            {
+                return Ok(None);
+            }
+            for scan in 0..nparts {
+                let p = (*start_part + scan) % nparts;
+                loop {
+                    let pos = sub.read[p];
+                    let part = &t.partitions[p];
+                    if pos.seg >= part.segments.len() {
+                        break; // nothing ever written here
                     }
-                    break; // caught up on this partition
-                }
-                let lid = part.segments[pos.seg];
-                let id = MessageId {
-                    partition: p as u32,
-                    ledger: lid,
-                    entry: pos.entry,
-                };
-                sub.read[p] = ReadPos {
-                    seg: pos.seg,
-                    entry: pos.entry + 1,
-                };
-                if sub.acked.contains(&id) {
-                    continue; // individually acked earlier (redelivery path)
-                }
-                // Also skip anything the mark-delete cursor already covers
-                // (individual acks get folded into mark-delete and leave
-                // the acked set).
-                if let Some(md) = sub.mark_delete[p] {
-                    let md_seg = part
-                        .segments
-                        .iter()
-                        .position(|&l| l == md.ledger)
-                        .unwrap_or(0);
-                    if (pos.seg, pos.entry) <= (md_seg, md.entry) {
-                        continue;
+                    let seg_len = Self::segment_len(inner, part, pos.seg);
+                    if pos.entry >= seg_len {
+                        // Move to the next segment if this one is closed and
+                        // fully read.
+                        let is_open = part
+                            .writer
+                            .as_ref()
+                            .is_some_and(|w| w.id() == part.segments[pos.seg]);
+                        if !is_open && pos.seg + 1 < part.segments.len() {
+                            sub.read[p] = ReadPos {
+                                seg: pos.seg + 1,
+                                entry: 0,
+                            };
+                            continue;
+                        }
+                        break; // caught up on this partition
                     }
-                }
-                let raw = Self::read_entry_any(inner, lid, pos.entry)?;
-                let (key, ts, payload) =
-                    decode_entry(&raw).ok_or(PulsarError::EntryUnavailable {
+                    let lid = part.segments[pos.seg];
+                    let id = MessageId {
+                        partition: p as u32,
                         ledger: lid,
                         entry: pos.entry,
-                    })?;
-                sub.pending.insert(id);
-                *start_part = (p + 1) % nparts;
-                self.inner.metrics.counter("messages_delivered").inc();
-                span.attr("partition", p);
-                span.attr("ledger", lid.raw());
-                span.attr("entry", pos.entry);
-                return Ok(Some(Message {
-                    id,
-                    key,
-                    payload,
-                    publish_time: std::time::Duration::from_nanos(ts),
-                }));
+                    };
+                    sub.read[p] = ReadPos {
+                        seg: pos.seg,
+                        entry: pos.entry + 1,
+                    };
+                    if sub.acked.contains(&id) {
+                        continue; // individually acked earlier (redelivery path)
+                    }
+                    // Also skip anything the mark-delete cursor already covers
+                    // (individual acks get folded into mark-delete and leave
+                    // the acked set).
+                    if let Some(md) = sub.mark_delete[p] {
+                        let md_seg = part
+                            .segments
+                            .iter()
+                            .position(|&l| l == md.ledger)
+                            .unwrap_or(0);
+                        if (pos.seg, pos.entry) <= (md_seg, md.entry) {
+                            continue;
+                        }
+                    }
+                    let raw = Self::read_entry_any(inner, lid, pos.entry)?;
+                    let (key, ts, payload) =
+                        decode_entry(&raw).ok_or(PulsarError::EntryUnavailable {
+                            ledger: lid,
+                            entry: pos.entry,
+                        })?;
+                    sub.pending.insert(id);
+                    *start_part = (p + 1) % nparts;
+                    inner.metrics.counter("messages_delivered").inc();
+                    span.attr("partition", p);
+                    span.attr("ledger", lid.raw());
+                    span.attr("entry", pos.entry);
+                    return Ok(Some(Message {
+                        id,
+                        key,
+                        payload,
+                        publish_time: std::time::Duration::from_nanos(ts),
+                    }));
+                }
             }
-        }
-        Ok(None)
+            Ok(None)
+        })
     }
 
     fn ack(&self, topic: &str, subscription: &str, id: MessageId) -> Result<()> {
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let sub = t
-            .subs
-            .get_mut(subscription)
-            .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
-        sub.pending.remove(&id);
-        sub.acked.insert(id);
-        // Advance the mark-delete position while the next message is acked.
-        let p = id.partition as usize;
-        let part = &t.partitions[p];
-        loop {
-            let next = match sub.mark_delete[p] {
-                None => {
-                    // First position of the partition.
-                    match part.segments.first() {
-                        Some(&l) => MessageId {
-                            partition: id.partition,
-                            ledger: l,
-                            entry: 0,
-                        },
-                        None => break,
-                    }
-                }
-                Some(md) => {
-                    // Position after md: next entry, or first entry of the
-                    // next segment.
-                    let seg_idx = part
-                        .segments
-                        .iter()
-                        .position(|&l| l == md.ledger)
-                        .unwrap_or(0);
-                    let seg_len = Self::segment_len(inner, part, seg_idx);
-                    if md.entry + 1 < seg_len {
-                        MessageId {
-                            partition: id.partition,
-                            ledger: md.ledger,
-                            entry: md.entry + 1,
+        self.with_topic(topic, |inner, t| {
+            let sub = t
+                .subs
+                .get_mut(subscription)
+                .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
+            sub.pending.remove(&id);
+            sub.acked.insert(id);
+            // Advance the mark-delete position while the next message is acked.
+            let p = id.partition as usize;
+            let part = &t.partitions[p];
+            loop {
+                let next = match sub.mark_delete[p] {
+                    None => {
+                        // First position of the partition.
+                        match part.segments.first() {
+                            Some(&l) => MessageId {
+                                partition: id.partition,
+                                ledger: l,
+                                entry: 0,
+                            },
+                            None => break,
                         }
-                    } else if seg_idx + 1 < part.segments.len() {
-                        MessageId {
-                            partition: id.partition,
-                            ledger: part.segments[seg_idx + 1],
-                            entry: 0,
-                        }
-                    } else {
-                        break;
                     }
+                    Some(md) => {
+                        // Position after md: next entry, or first entry of the
+                        // next segment.
+                        let seg_idx = part
+                            .segments
+                            .iter()
+                            .position(|&l| l == md.ledger)
+                            .unwrap_or(0);
+                        let seg_len = Self::segment_len(inner, part, seg_idx);
+                        if md.entry + 1 < seg_len {
+                            MessageId {
+                                partition: id.partition,
+                                ledger: md.ledger,
+                                entry: md.entry + 1,
+                            }
+                        } else if seg_idx + 1 < part.segments.len() {
+                            MessageId {
+                                partition: id.partition,
+                                ledger: part.segments[seg_idx + 1],
+                                entry: 0,
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                };
+                if sub.acked.remove(&next) {
+                    sub.mark_delete[p] = Some(next);
+                } else {
+                    break;
                 }
-            };
-            if sub.acked.remove(&next) {
-                sub.mark_delete[p] = Some(next);
-            } else {
-                break;
             }
-        }
-        if let Some(md) = sub.mark_delete[p] {
-            inner.meta.put(
-                &format!("/topics/{topic}/{p}/cursor/{subscription}"),
-                encode_cursor(&md),
-            );
-        }
-        Ok(())
+            if let Some(md) = sub.mark_delete[p] {
+                inner.meta.put(
+                    &format!("/topics/{topic}/{p}/cursor/{subscription}"),
+                    encode_cursor(&md),
+                );
+            }
+            Ok(())
+        })
     }
 
     fn redeliver(&self, topic: &str, subscription: &str) -> Result<usize> {
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let sub = t
-            .subs
-            .get_mut(subscription)
-            .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
-        let n = sub.pending.len();
-        // Rewind each partition's read position to just after mark-delete;
-        // already-acked messages are skipped during delivery.
-        for p in 0..t.partitions.len() {
-            let pos = match sub.mark_delete[p] {
-                None => ReadPos { seg: 0, entry: 0 },
-                Some(md) => {
-                    let seg = t.partitions[p]
-                        .segments
-                        .iter()
-                        .position(|&l| l == md.ledger)
-                        .unwrap_or(0);
-                    ReadPos {
-                        seg,
-                        entry: md.entry + 1,
+        self.with_topic(topic, |_inner, t| {
+            let sub = t
+                .subs
+                .get_mut(subscription)
+                .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
+            let n = sub.pending.len();
+            // Rewind each partition's read position to just after mark-delete;
+            // already-acked messages are skipped during delivery.
+            for p in 0..t.partitions.len() {
+                let pos = match sub.mark_delete[p] {
+                    None => ReadPos { seg: 0, entry: 0 },
+                    Some(md) => {
+                        let seg = t.partitions[p]
+                            .segments
+                            .iter()
+                            .position(|&l| l == md.ledger)
+                            .unwrap_or(0);
+                        ReadPos {
+                            seg,
+                            entry: md.entry + 1,
+                        }
                     }
-                }
-            };
-            sub.read[p] = pos;
-        }
-        sub.pending.clear();
-        Ok(n)
+                };
+                sub.read[p] = pos;
+            }
+            sub.pending.clear();
+            Ok(n)
+        })
     }
 
     fn detach(&self, topic: &str, subscription: &str, consumer_id: u64) {
-        let mut topics = self.inner.topics.lock();
-        if let Some(t) = topics.get_mut(topic) {
-            if let Some(sub) = t.subs.get_mut(subscription) {
-                sub.consumers.retain(|&c| c != consumer_id);
+        // No lazy rebuild: detaching from an unloaded topic is a no-op.
+        self.inner.topics.with(topic, |shard| {
+            if let Some(t) = shard.get_mut(topic) {
+                if let Some(sub) = t.subs.get_mut(subscription) {
+                    sub.consumers.retain(|&c| c != consumer_id);
+                }
             }
-        }
+        });
     }
 
     /// Delete ledger segments that every subscription has fully consumed
     /// ("durable storage for messages until they are consumed"). Returns
     /// the number of segments reclaimed.
     pub fn trim_consumed(&self, topic: &str) -> Result<usize> {
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let mut reclaimed = 0;
-        for p in 0..t.partitions.len() {
-            loop {
-                let part = &t.partitions[p];
-                let Some(&first) = part.segments.first() else {
-                    break;
-                };
-                // The open segment is never trimmed.
-                if part.writer.as_ref().is_some_and(|w| w.id() == first) {
-                    break;
-                }
-                let seg_len = Self::segment_len(inner, part, 0);
-                // Every subscription must have mark-deleted past this
-                // segment's final entry.
-                let all_consumed = !t.subs.is_empty()
-                    && t.subs.values().all(|sub| match sub.mark_delete[p] {
-                        Some(md) => md.ledger != first || md.entry + 1 >= seg_len,
-                        None => seg_len == 0,
-                    })
-                    && t.subs.values().all(|sub| {
-                        sub.mark_delete[p]
-                            .map(|md| md.ledger != first)
-                            .unwrap_or(seg_len == 0)
-                            || seg_len == 0
-                    });
-                if !all_consumed {
-                    break;
-                }
-                // Delete from whichever tier holds the segment.
-                if inner.bk.delete_ledger(first).is_err() {
-                    if let Some(tier) = &*inner.tier.lock() {
-                        tier.delete_segment(&inner.meta, first);
+        self.with_topic(topic, |inner, t| {
+            let mut reclaimed = 0;
+            for p in 0..t.partitions.len() {
+                loop {
+                    let part = &t.partitions[p];
+                    let Some(&first) = part.segments.first() else {
+                        break;
+                    };
+                    // The open segment is never trimmed.
+                    if part.writer.as_ref().is_some_and(|w| w.id() == first) {
+                        break;
                     }
-                }
-                t.partitions[p].segments.remove(0);
-                // Re-base read positions that referenced segment indices.
-                for sub in t.subs.values_mut() {
-                    if sub.read[p].seg > 0 {
-                        sub.read[p].seg -= 1;
-                    } else {
-                        sub.read[p] = ReadPos { seg: 0, entry: 0 };
+                    let seg_len = Self::segment_len(inner, part, 0);
+                    // Every subscription must have mark-deleted past this
+                    // segment's final entry.
+                    let all_consumed = !t.subs.is_empty()
+                        && t.subs.values().all(|sub| match sub.mark_delete[p] {
+                            Some(md) => md.ledger != first || md.entry + 1 >= seg_len,
+                            None => seg_len == 0,
+                        })
+                        && t.subs.values().all(|sub| {
+                            sub.mark_delete[p]
+                                .map(|md| md.ledger != first)
+                                .unwrap_or(seg_len == 0)
+                                || seg_len == 0
+                        });
+                    if !all_consumed {
+                        break;
                     }
+                    // Delete from whichever tier holds the segment.
+                    if inner.bk.delete_ledger(first).is_err() {
+                        if let Some(tier) = &*inner.tier.lock() {
+                            tier.delete_segment(&inner.meta, first);
+                        }
+                    }
+                    t.partitions[p].segments.remove(0);
+                    // Re-base read positions that referenced segment indices.
+                    for sub in t.subs.values_mut() {
+                        if sub.read[p].seg > 0 {
+                            sub.read[p].seg -= 1;
+                        } else {
+                            sub.read[p] = ReadPos { seg: 0, entry: 0 };
+                        }
+                    }
+                    let segs = t.partitions[p].segments.clone();
+                    Self::persist_segments(inner, topic, p, &segs);
+                    reclaimed += 1;
                 }
-                let segs = t.partitions[p].segments.clone();
-                Self::persist_segments(inner, topic, p, &segs);
-                reclaimed += 1;
             }
-        }
-        Ok(reclaimed)
+            Ok(reclaimed)
+        })
     }
 
     /// Total messages currently retained on the bookies for a topic.
     pub fn retained_entries(&self, topic: &str) -> Result<u64> {
-        let mut topics = self.inner.topics.lock();
-        let inner = &self.inner;
-        let t = Self::topic_entry(inner, &mut topics, topic)?;
-        let mut total = 0;
-        for part in &t.partitions {
-            for seg_idx in 0..part.segments.len() {
-                total += Self::segment_len(inner, part, seg_idx);
+        self.with_topic(topic, |inner, t| {
+            let mut total = 0;
+            for part in &t.partitions {
+                for seg_idx in 0..part.segments.len() {
+                    total += Self::segment_len(inner, part, seg_idx);
+                }
             }
-        }
-        Ok(total)
+            Ok(total)
+        })
     }
 }
 

@@ -6,10 +6,16 @@
 //! versioned reads and compare-and-swap writes (so concurrent brokers can't
 //! clobber each other's updates), plus watch-free sequential node creation
 //! for id allocation.
+//!
+//! Nodes are sharded by key hash ([`ShardedMap`]), so cursor updates for
+//! different subscriptions and ledger-metadata writes for different topics
+//! never serialize on one store-wide lock; the id sequence is a plain
+//! atomic. CAS semantics are unchanged — each key's shard lock makes the
+//! compare and the swap one critical section.
 
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use taureau_core::sync::ShardedMap;
 
 use crate::error::{PulsarError, Result};
 
@@ -25,13 +31,8 @@ pub struct Versioned {
 /// In-process versioned KV store with CAS semantics.
 #[derive(Debug, Default)]
 pub struct MetadataStore {
-    state: Mutex<MetaState>,
-}
-
-#[derive(Debug, Default)]
-struct MetaState {
-    nodes: BTreeMap<String, Versioned>,
-    next_seq: u64,
+    nodes: ShardedMap<String, Versioned>,
+    next_seq: AtomicU64,
 }
 
 impl MetadataStore {
@@ -42,79 +43,74 @@ impl MetadataStore {
 
     /// Read a node.
     pub fn get(&self, key: &str) -> Option<Versioned> {
-        self.state.lock().nodes.get(key).cloned()
+        self.nodes.get_cloned(key)
     }
 
     /// Create a node; fails if it exists.
     pub fn create(&self, key: &str, data: Vec<u8>) -> Result<()> {
-        let mut st = self.state.lock();
-        if st.nodes.contains_key(key) {
-            return Err(PulsarError::MetadataConflict(key.to_string()));
-        }
-        st.nodes
-            .insert(key.to_string(), Versioned { data, version: 0 });
-        Ok(())
+        self.nodes.with(key, |shard| {
+            if shard.contains_key(key) {
+                return Err(PulsarError::MetadataConflict(key.to_string()));
+            }
+            shard.insert(key.to_string(), Versioned { data, version: 0 });
+            Ok(())
+        })
     }
 
     /// Compare-and-swap: write succeeds only if the stored version matches
     /// `expected_version` (pass `None` to create-if-absent).
     pub fn cas(&self, key: &str, data: Vec<u8>, expected_version: Option<u64>) -> Result<u64> {
-        let mut st = self.state.lock();
-        match (st.nodes.get_mut(key), expected_version) {
-            (None, None) => {
-                st.nodes
-                    .insert(key.to_string(), Versioned { data, version: 0 });
-                Ok(0)
-            }
-            (Some(node), Some(v)) if node.version == v => {
-                node.data = data;
-                node.version += 1;
-                Ok(node.version)
-            }
-            _ => Err(PulsarError::MetadataConflict(key.to_string())),
-        }
+        self.nodes
+            .with(key, |shard| match (shard.get_mut(key), expected_version) {
+                (None, None) => {
+                    shard.insert(key.to_string(), Versioned { data, version: 0 });
+                    Ok(0)
+                }
+                (Some(node), Some(v)) if node.version == v => {
+                    node.data = data;
+                    node.version += 1;
+                    Ok(node.version)
+                }
+                _ => Err(PulsarError::MetadataConflict(key.to_string())),
+            })
     }
 
     /// Unconditional write (used where a single owner is already
     /// guaranteed, e.g. cursor updates by the owning subscription).
     pub fn put(&self, key: &str, data: Vec<u8>) -> u64 {
-        let mut st = self.state.lock();
-        match st.nodes.get_mut(key) {
+        self.nodes.with(key, |shard| match shard.get_mut(key) {
             Some(node) => {
                 node.data = data;
                 node.version += 1;
                 node.version
             }
             None => {
-                st.nodes
-                    .insert(key.to_string(), Versioned { data, version: 0 });
+                shard.insert(key.to_string(), Versioned { data, version: 0 });
                 0
             }
-        }
+        })
     }
 
     /// Delete a node (idempotent).
     pub fn delete(&self, key: &str) {
-        self.state.lock().nodes.remove(key);
+        self.nodes.remove(key);
     }
 
-    /// Keys under a prefix (ZooKeeper getChildren analogue).
+    /// Keys under a prefix (ZooKeeper getChildren analogue), sorted.
     pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
-        self.state
-            .lock()
-            .nodes
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        self.nodes.for_each(|k, _| {
+            if k.starts_with(prefix) {
+                out.push(k.clone());
+            }
+        });
+        out.sort();
+        out
     }
 
     /// Allocate the next value of a global sequence (for ledger ids).
     pub fn next_sequence(&self) -> u64 {
-        let mut st = self.state.lock();
-        let v = st.next_seq;
-        st.next_seq += 1;
-        v
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -170,10 +166,41 @@ mod tests {
     }
 
     #[test]
+    fn list_prefix_is_sorted() {
+        let m = MetadataStore::new();
+        for k in ["/t/c", "/t/a", "/t/b", "/u/z"] {
+            m.put(k, vec![]);
+        }
+        assert_eq!(m.list_prefix("/t/"), vec!["/t/a", "/t/b", "/t/c"]);
+    }
+
+    #[test]
     fn sequence_is_monotone() {
         let m = MetadataStore::new();
         assert_eq!(m.next_sequence(), 0);
         assert_eq!(m.next_sequence(), 1);
         assert_eq!(m.next_sequence(), 2);
+    }
+
+    #[test]
+    fn concurrent_cas_admits_exactly_one_writer_per_version() {
+        let m = std::sync::Arc::new(MetadataStore::new());
+        m.put("/contended", b"v0".to_vec());
+        let mut wins = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let m = std::sync::Arc::clone(&m);
+                    s.spawn(move || m.cas("/contended", b"mine".to_vec(), Some(0)).is_ok())
+                })
+                .collect();
+            for h in handles {
+                if h.join().unwrap() {
+                    wins += 1;
+                }
+            }
+        });
+        assert_eq!(wins, 1, "exactly one CAS at version 0 may succeed");
+        assert_eq!(m.get("/contended").unwrap().version, 1);
     }
 }
