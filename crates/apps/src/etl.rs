@@ -192,13 +192,8 @@ impl EtlPipeline {
                 .collect::<Vec<_>>(),
         );
         let report = self.orchestrator.run(&self.composition, &framed)?;
-        let loaded = u64::from_le_bytes(
-            report
-                .output
-                .as_slice()
-                .try_into()
-                .expect("load returns u64"),
-        ) as usize;
+        let loaded =
+            u64::from_le_bytes(report.output[..].try_into().expect("load returns u64")) as usize;
         let extracted = self
             .jiffy
             .open_kv("/etl/sink")

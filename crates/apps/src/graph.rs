@@ -442,7 +442,7 @@ pub fn run_pregel<P: VertexProgram>(
                 let cur = state
                     .get(&v.to_le_bytes())
                     .map_err(|e| e.to_string())?
-                    .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .map(|b| f64::from_le_bytes(b[..].try_into().expect("8 bytes")))
                     .ok_or("missing vertex state")?;
                 let (new_val, out) = prog.compute(v, cur, &msgs.unwrap_or_default(), step, &g);
                 state
@@ -474,7 +474,7 @@ pub fn run_pregel<P: VertexProgram>(
                 .invoke(&fn_name, format!("{part},{step}").into_bytes())
                 .expect("superstep invocation");
             invocations += 1;
-            sent_this_step += u64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
+            sent_this_step += u64::from_le_bytes(r.output[..].try_into().expect("8 bytes"));
         }
         messages += sent_this_step;
         step += 1;
@@ -488,7 +488,7 @@ pub fn run_pregel<P: VertexProgram>(
             state
                 .get(&v.to_le_bytes())
                 .expect("state read")
-                .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .map(|b| f64::from_le_bytes(b[..].try_into().expect("8 bytes")))
                 .expect("vertex present")
         })
         .collect();

@@ -164,7 +164,7 @@ impl IotBackend {
     pub fn lookup(&self, device_id: &str) -> Option<(String, String)> {
         let kv = self.jiffy.open_kv("/iot/registry").ok()?;
         let b = kv.get(device_id.as_bytes()).ok()??;
-        let s = String::from_utf8(b).ok()?;
+        let s = String::from_utf8(b.to_vec()).ok()?;
         let (kind, location) = s.split_once('|')?;
         Some((kind.to_string(), location.to_string()))
     }
@@ -190,7 +190,7 @@ impl IotBackend {
     pub fn device_stats(&self, device_id: &str) -> Option<(f64, f64)> {
         let kv = self.jiffy.open_kv("/iot/telemetry").ok()?;
         let last = kv.get(format!("last:{device_id}").as_bytes()).ok()??;
-        let last = f64::from_le_bytes(last.try_into().ok()?);
+        let last = f64::from_le_bytes(last[..].try_into().ok()?);
         let stats = kv.get(format!("stats:{device_id}").as_bytes()).ok()??;
         let count = u64::from_le_bytes(stats[0..8].try_into().ok()?);
         let sum = f64::from_le_bytes(stats[8..16].try_into().ok()?);

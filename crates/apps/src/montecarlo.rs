@@ -65,7 +65,7 @@ pub fn estimate_pi(
         let r = platform
             .invoke(fn_name, w.to_string().into_bytes())
             .expect("worker invocation");
-        hits += u64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
+        hits += u64::from_le_bytes(r.output[..].try_into().expect("8 bytes"));
     }
     let trials = workers as u64 * trials_per_worker;
     let _ = platform.deregister(fn_name);
@@ -154,7 +154,7 @@ pub fn price_european_call(
         let r = platform
             .invoke(fn_name, w.to_string().into_bytes())
             .expect("worker invocation");
-        total_payoff += f64::from_le_bytes(r.output.as_slice().try_into().expect("8 bytes"));
+        total_payoff += f64::from_le_bytes(r.output[..].try_into().expect("8 bytes"));
     }
     let trials = workers as u64 * trials_per_worker;
     let discounted = (total_payoff / trials as f64) * (-option.rate * option.expiry).exp();

@@ -160,7 +160,7 @@ pub fn all_pairs_serverless(
                 .expect("pair invocation");
             invocations += 1;
             row.push(i32::from_le_bytes(
-                r.output.as_slice().try_into().expect("4 bytes"),
+                r.output[..].try_into().expect("4 bytes"),
             ));
         }
         scores.push(row);

@@ -146,8 +146,9 @@ pub fn decode_chunk(bytes: &[u8], reference: &Frame) -> Option<Vec<Frame>> {
 /// Outcome of the serverless encode.
 #[derive(Debug)]
 pub struct EncodeOutcome {
-    /// Encoded bytes per chunk, in order.
-    pub chunks: Vec<Vec<u8>>,
+    /// Encoded bytes per chunk, in order (shared with the Jiffy file
+    /// blocks they were read from).
+    pub chunks: Vec<bytes::Bytes>,
     /// Raw input bytes.
     pub raw_bytes: u64,
     /// Total encoded bytes.
@@ -221,7 +222,7 @@ pub fn encode_serverless(
                 .open_file(format!("/{job_owned}/ref/{c}").as_str())
                 .and_then(|f| f.contents())
                 .map_err(|e| e.to_string())?;
-            let encoded = encode_chunk(&vid[lo..hi], &reference);
+            let encoded = encode_chunk(&vid[lo..hi], &reference.to_vec());
             let out = jf
                 .create_file(format!("/{job_owned}/out/{c}").as_str())
                 .map_err(|e| e.to_string())?;
@@ -241,7 +242,7 @@ pub fn encode_serverless(
         chunk_times.push(r.exec_duration);
     }
 
-    let chunks: Vec<Vec<u8>> = (0..n_chunks)
+    let chunks: Vec<bytes::Bytes> = (0..n_chunks)
         .map(|c| {
             jiffy
                 .open_file(format!("/{job}/out/{c}").as_str())

@@ -17,19 +17,23 @@ use taureau_jiffy::Jiffy;
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes (refcounted: static-file and function-output responses
+    /// share storage with the underlying KV block / handler buffer).
+    pub body: bytes::Bytes,
 }
 
 impl Response {
-    fn ok(body: Vec<u8>) -> Self {
-        Self { status: 200, body }
+    fn ok(body: impl Into<bytes::Bytes>) -> Self {
+        Self {
+            status: 200,
+            body: body.into(),
+        }
     }
 
     fn not_found() -> Self {
         Self {
             status: 404,
-            body: b"not found".to_vec(),
+            body: bytes::Bytes::from_static(b"not found"),
         }
     }
 
@@ -72,7 +76,7 @@ impl WebApp {
                 let n = kv
                     .get(key.as_bytes())
                     .map_err(|e| e.to_string())?
-                    .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .map(|b| u64::from_le_bytes(b[..].try_into().expect("8 bytes")))
                     .unwrap_or(0)
                     + 1;
                 kv.put(key.as_bytes(), &n.to_le_bytes())
@@ -131,6 +135,7 @@ impl WebApp {
                     "get" => Ok(kv
                         .get(sid.as_bytes())
                         .map_err(|e| e.to_string())?
+                        .map(|b| b.to_vec())
                         .unwrap_or_default()),
                     _ => Err(format!("unknown op {op}")),
                 }
@@ -181,7 +186,7 @@ impl WebApp {
             Err(FaasError::FunctionNotFound(_)) => Response::not_found(),
             Err(e) => Response {
                 status: 500,
-                body: e.to_string().into_bytes(),
+                body: bytes::Bytes::from(e.to_string().into_bytes()),
             },
         }
     }

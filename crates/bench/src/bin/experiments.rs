@@ -30,7 +30,9 @@ use taureau_core::latency::LatencyModel;
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::rng::{det_rng, Zipf};
 use taureau_core::trace::{TelemetrySink, Tracer};
-use taureau_dag::{Dag, DagBuilder, DagError, DagExecutor, ExecutorConfig, RetryPolicy};
+use taureau_dag::{
+    Dag, DagBuilder, DagError, DagExecutor, DataPassing, ExecutorConfig, RetryPolicy,
+};
 use taureau_faas::{FaasPlatform, FunctionSpec, PlatformConfig};
 use taureau_jiffy::baseline::{GlobalStore, PersistentStore};
 use taureau_jiffy::{Jiffy, JiffyConfig};
@@ -46,9 +48,57 @@ use taureau_sim::vmfleet::{simulate_vm_fleet, VmFleetConfig, VmScalingPolicy};
 use taureau_sim::workload::{typical_duration_model, WorkloadSpec};
 use taureau_sketches::CountMinSketch;
 
+// ---------------------------------------------------------------------------
+// Counting allocator: E26 reads call/byte deltas around hot loops to report
+// allocations per operation. Two relaxed atomic adds per allocation; every
+// other experiment is unaffected beyond that.
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ALLOC_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counters are
+// side-effect-only.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAllocator = CountingAllocator;
+
+/// Run `f` and return the (allocation calls, allocated bytes) it performed.
+fn alloc_delta(f: impl FnOnce()) -> (u64, u64) {
+    let c0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    f();
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed) - c0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+    )
+}
+
 const KNOWN: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
-    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25",
+    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26",
 ];
 
 /// Default path for the machine-readable benchmark numbers E25 (and E24's
@@ -178,9 +228,13 @@ fn main() {
     if want("e25") {
         e25_contention_scaling(&mut bench_parts);
     }
+    if want("e26") {
+        e26_zero_copy_batching(&mut bench_parts);
+    }
     // E25 always persists its numbers (the CI scaling gate reads them);
-    // other fragments (E24's overhead coda) ride along, or are written on
-    // their own when `--bench-json` is given explicitly.
+    // other fragments (E24's overhead coda, E26's batching numbers) ride
+    // along, or are written on their own when `--bench-json` is given
+    // explicitly.
     if want("e25") || (bench_json.is_some() && !bench_parts.is_empty()) {
         let path = bench_json.as_deref().unwrap_or(BENCH_JSON_DEFAULT);
         let body = bench_parts
@@ -585,7 +639,7 @@ fn e22_traced_pipeline(trace_out: Option<&str>, metrics_out: Option<&str>) {
             .unwrap_or_default();
         producer.send(&staged).map_err(|e| e.to_string())?;
         blob_h.put("archive", b"last", &staged);
-        Ok(staged)
+        Ok(staged.to_vec())
     }))
     .expect("register");
 
@@ -2311,6 +2365,257 @@ fn e25_contention_scaling(bench: &mut Vec<(String, String)>) {
         format!(
             "{{\n    \"cores\": {cores},\n    \"threads\": [1, 2, 4, 8],\n    \
              \"subsystems\": {{\n{subsystem_json}\n    }}\n  }}"
+        ),
+    ));
+}
+
+/// E26 — the data plane moves payloads by reference and the broker
+/// amortises ledger group commits across producer-side batches: publish
+/// throughput grows with batch size, a Jiffy read allocates nothing, and a
+/// DAG fan-out passes one buffer to every child instead of one copy each.
+fn e26_zero_copy_batching(bench: &mut Vec<(String, String)>) {
+    banner(
+        "E26",
+        "zero-copy data plane: batched publish amortises ledger appends; Jiffy reads and DAG fan-out edges allocate nothing per payload",
+    );
+
+    const BATCH_SIZES: &[usize] = &[1, 8, 64, 256];
+    const MSGS: usize = 8192;
+    const PAYLOAD: usize = 256;
+
+    let payloads: Vec<Vec<u8>> = (0..MSGS)
+        .map(|i| {
+            let mut v = vec![0u8; PAYLOAD];
+            v[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            v
+        })
+        .collect();
+
+    // -- Pulsar: publish + dispatch throughput vs producer batch size -----
+    let mut publish_rates: Vec<f64> = Vec::new();
+    let mut dispatch_rates: Vec<f64> = Vec::new();
+    let mut appends_per_msg: Vec<f64> = Vec::new();
+    let mut publish_alloc_b_per_msg: Vec<f64> = Vec::new();
+    for &b in BATCH_SIZES {
+        let cluster = PulsarCluster::new(
+            PulsarConfig {
+                max_entries_per_ledger: 1 << 20,
+                ..PulsarConfig::default()
+            },
+            WallClock::shared(),
+        );
+        cluster.create_topic("e26", 1).expect("topic");
+        let p = cluster.producer("e26").expect("producer");
+        let t0 = Instant::now();
+        let (_, alloc_bytes) = alloc_delta(|| {
+            for chunk in payloads.chunks(b) {
+                if b == 1 {
+                    p.send(&chunk[0]).expect("send");
+                } else {
+                    p.send_batch(chunk).expect("send_batch");
+                }
+            }
+        });
+        publish_rates.push(MSGS as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        publish_alloc_b_per_msg.push(alloc_bytes as f64 / MSGS as f64);
+        let appended = if b == 1 {
+            MSGS as u64
+        } else {
+            cluster.metrics().counter("batch_entries_appended").get()
+        };
+        appends_per_msg.push(appended as f64 / MSGS as f64);
+
+        let mut consumer = cluster
+            .subscribe("e26", "s", SubscriptionMode::Exclusive)
+            .expect("subscribe");
+        let t1 = Instant::now();
+        let mut got = 0usize;
+        loop {
+            let ms = consumer.receive_batch(512).expect("receive_batch");
+            if ms.is_empty() {
+                break;
+            }
+            for m in &ms {
+                assert_eq!(m.payload.len(), PAYLOAD);
+                consumer.ack(m.id).expect("ack");
+            }
+            got += ms.len();
+        }
+        assert_eq!(got, MSGS);
+        dispatch_rates.push(MSGS as f64 / t1.elapsed().as_secs_f64().max(1e-9));
+    }
+
+    let fmt_rate = |v: f64| {
+        if v >= 1e6 {
+            format!("{:.2}M/s", v / 1e6)
+        } else {
+            format!("{:.1}k/s", v / 1e3)
+        }
+    };
+    let mut t = Table::new([
+        "batch",
+        "publish",
+        "dispatch",
+        "ledger appends/msg",
+        "alloc B/msg (publish)",
+    ]);
+    for (i, &b) in BATCH_SIZES.iter().enumerate() {
+        t.row([
+            format!("{b}"),
+            fmt_rate(publish_rates[i]),
+            fmt_rate(dispatch_rates[i]),
+            format!("{:.4}", appends_per_msg[i]),
+            format!("{:.0}", publish_alloc_b_per_msg[i]),
+        ]);
+    }
+    t.print();
+    println!(
+        "(one ledger entry per batch: a batch of {} costs {:.1}% of the appends \
+         unbatched publishing pays; payload {} B, {} messages per point)",
+        64,
+        100.0 * appends_per_msg[2] / appends_per_msg[0],
+        PAYLOAD,
+        MSGS
+    );
+
+    // -- Jiffy: allocations per read on the refcounted block store --------
+    let jiffy = Jiffy::new(
+        JiffyConfig {
+            blocks_per_node: 4096,
+            ..Default::default()
+        },
+        Arc::new(WallClock::new()),
+    );
+    let kv = jiffy.create_kv("/e26/kv", 2).expect("kv");
+    for k in 0u64..256 {
+        kv.put(&k.to_le_bytes(), &payloads[0]).expect("put");
+    }
+    const OPS: u64 = 50_000;
+    let (get_allocs, _) = alloc_delta(|| {
+        for i in 0..OPS {
+            let v = kv.get(&(i % 256).to_le_bytes()).expect("get").expect("hit");
+            std::hint::black_box(&v);
+        }
+    });
+    let file = jiffy.create_file("/e26/file").expect("file");
+    file.append(&vec![7u8; 64 * 1024]).expect("append");
+    let (read_allocs, _) = alloc_delta(|| {
+        for i in 0..OPS {
+            let v = file.read((i % 60) * 1024, 4096).expect("read");
+            std::hint::black_box(&v);
+        }
+    });
+    let get_per_op = get_allocs as f64 / OPS as f64;
+    let read_per_op = read_allocs as f64 / OPS as f64;
+    println!(
+        "\njiffy allocations/op over {OPS} warm ops: kv get {get_per_op:.3}, \
+         file read (4 KB within a chunk) {read_per_op:.3} \
+         (a get clones a refcount, not the value; a within-chunk read is a slice)"
+    );
+
+    // -- DAG fan-out: bytes allocated per root-payload byte ---------------
+    // One root produces an N-byte buffer; eight children each digest it;
+    // a sink gathers the digests. With refcounted edges the run's
+    // payload-proportional allocation is the root's own buffer — a copy
+    // factor near 1.0. Per-edge copies would push it toward 1 + width.
+    let platform = FaasPlatform::new(
+        PlatformConfig {
+            cold_start: LatencyModel::Constant(Duration::ZERO),
+            warm_start: LatencyModel::Constant(Duration::ZERO),
+            ..PlatformConfig::default()
+        },
+        Arc::new(WallClock::new()),
+    );
+    platform
+        .register(FunctionSpec::new("produce", "e26", |ctx| {
+            let n = u64::from_le_bytes(ctx.payload[..].try_into().map_err(|_| "bad input")?);
+            Ok(vec![5u8; n as usize])
+        }))
+        .expect("register");
+    platform
+        .register(FunctionSpec::new("digest", "e26", |ctx| {
+            let sum: u64 = ctx.payload.iter().map(|&b| b as u64).sum();
+            Ok(sum.to_le_bytes().to_vec())
+        }))
+        .expect("register");
+    platform
+        .register(FunctionSpec::new("gather", "e26", |ctx| {
+            let parts = frame::unpack(&ctx.payload).ok_or("malformed frame")?;
+            Ok(parts.concat())
+        }))
+        .expect("register");
+    const WIDTH: usize = 8;
+    let children: Vec<String> = (0..WIDTH).map(|i| format!("d{i}")).collect();
+    let mut builder = DagBuilder::new().node("root", "produce", &[]);
+    for c in &children {
+        builder = builder.node(c.as_str(), "digest", &["root"]);
+    }
+    let child_refs: Vec<&str> = children.iter().map(String::as_str).collect();
+    let dag = builder
+        .node("gather", "gather", &child_refs)
+        .build()
+        .expect("dag");
+    let executor = DagExecutor::new(&platform).with_config(ExecutorConfig {
+        max_parallelism: 1,
+        retry: RetryPolicy::none(),
+        checkpoint: false,
+        data_passing: DataPassing::Inline,
+    });
+    let run_bytes = |label: &str, n: u64| {
+        let (_, bytes) = alloc_delta(|| {
+            executor
+                .run(&dag, label, &n.to_le_bytes())
+                .expect("fan-out run");
+        });
+        bytes as f64
+    };
+    // Warm the container pool so the measured runs pay no one-time setup.
+    let _ = run_bytes("e26-warmup", 4096);
+    let small = 4096u64;
+    let large = 262_144u64;
+    let b_small = run_bytes("e26-small", small);
+    let b_large = run_bytes("e26-large", large);
+    let copy_factor = (b_large - b_small) / (large - small) as f64;
+    println!(
+        "dag fan-out (width {WIDTH}): {:.2} bytes allocated per root-payload byte \
+         (1.0 = the root buffer itself; per-edge copying would cost ~{}.0)",
+        copy_factor,
+        1 + WIDTH
+    );
+
+    bench.push((
+        "e26".to_string(),
+        format!(
+            "{{\n    \"payload_bytes\": {PAYLOAD},\n    \"messages\": {MSGS},\n    \
+             \"batch_sizes\": [1, 8, 64, 256],\n    \
+             \"publish_msgs_per_sec\": [{}],\n    \
+             \"dispatch_msgs_per_sec\": [{}],\n    \
+             \"ledger_appends_per_msg\": [{}],\n    \
+             \"publish_alloc_bytes_per_msg\": [{}],\n    \
+             \"jiffy_get_allocs_per_op\": {get_per_op:.3},\n    \
+             \"jiffy_read_allocs_per_op\": {read_per_op:.3},\n    \
+             \"dag_fanout_width\": {WIDTH},\n    \
+             \"dag_fanout_alloc_bytes_per_payload_byte\": {copy_factor:.3}\n  }}",
+            publish_rates
+                .iter()
+                .map(|r| format!("{r:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            dispatch_rates
+                .iter()
+                .map(|r| format!("{r:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            appends_per_msg
+                .iter()
+                .map(|r| format!("{r:.4}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            publish_alloc_b_per_msg
+                .iter()
+                .map(|r| format!("{r:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
         ),
     ));
 }

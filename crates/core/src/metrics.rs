@@ -334,6 +334,26 @@ fn sorted_view<M, T>(
     out
 }
 
+/// Get-or-create on a sharded metric map without allocating on the hot
+/// path: the steady state is "metric already exists", which `entry()`
+/// would pay an unconditional `name.to_string()` for on *every* call —
+/// the dominant cost e25 measured on `metrics_counter`-adjacent paths.
+/// Only the first touch of a name (the miss) allocates.
+fn get_or_create<M>(
+    map: &ShardedMap<String, Arc<M>>,
+    name: &str,
+    create: impl FnOnce() -> M,
+) -> Arc<M> {
+    map.with(name, |shard| {
+        if let Some(existing) = shard.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(create());
+        shard.insert(name.to_string(), Arc::clone(&created));
+        created
+    })
+}
+
 impl MetricsRegistry {
     /// New empty registry.
     pub fn new() -> Self {
@@ -341,36 +361,21 @@ impl MetricsRegistry {
     }
 
     /// Get or create a counter.
+    #[inline]
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        self.inner.counters.with(name, |shard| {
-            Arc::clone(
-                shard
-                    .entry(name.to_string())
-                    .or_insert_with(|| Arc::new(Counter::new())),
-            )
-        })
+        get_or_create(&self.inner.counters, name, Counter::new)
     }
 
     /// Get or create a gauge.
+    #[inline]
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        self.inner.gauges.with(name, |shard| {
-            Arc::clone(
-                shard
-                    .entry(name.to_string())
-                    .or_insert_with(|| Arc::new(Gauge::new())),
-            )
-        })
+        get_or_create(&self.inner.gauges, name, Gauge::new)
     }
 
     /// Get or create a histogram.
+    #[inline]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        self.inner.histograms.with(name, |shard| {
-            Arc::clone(
-                shard
-                    .entry(name.to_string())
-                    .or_insert_with(|| Arc::new(Histogram::new())),
-            )
-        })
+        get_or_create(&self.inner.histograms, name, Histogram::new)
     }
 
     /// Names and values of all counters, sorted by name.

@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use taureau_core::cost::Dollars;
 use taureau_core::metrics::MetricsRegistry;
@@ -49,8 +50,8 @@ type NodeResult = Result<(Stored, NodeOutcome), DagError>;
 /// Where a completed node's output lives.
 #[derive(Debug, Clone)]
 enum Stored {
-    /// In executor memory.
-    Inline(Vec<u8>),
+    /// In executor memory (refcounted; cloning a fetch is a pointer bump).
+    Inline(Bytes),
     /// Spilled to a Jiffy file.
     Spilled {
         /// Jiffy file path holding the bytes.
@@ -96,7 +97,10 @@ pub struct WorkflowReport {
     /// Workflow output: the sole sink's output verbatim, or a
     /// [`frame`]-packed list of every sink's output (in node order) when
     /// the DAG has several sinks.
-    pub output: Vec<u8>,
+    ///
+    /// Refcounted: for a single-sink DAG with an inline output this is the
+    /// very allocation the sink's handler returned — no copy on the way out.
+    pub output: Bytes,
     /// Per-node outcomes, in node-declaration order.
     pub nodes: Vec<NodeOutcome>,
     /// Clock time from run start to workflow output.
@@ -193,6 +197,8 @@ impl DagExecutor {
     /// frontier; a successful run clears the job's namespace, so the next
     /// run with that id starts fresh.
     pub fn run(&self, dag: &Dag, job: &str, input: &[u8]) -> Result<WorkflowReport, DagError> {
+        // One copy at the workflow boundary; every root thereafter shares it.
+        let input = Bytes::copy_from_slice(input);
         let tracer = self.platform.tracer();
         let clock = self.platform.clock().clone();
         let started = clock.now();
@@ -281,7 +287,7 @@ impl DagExecutor {
                             dag,
                             i,
                             job,
-                            input,
+                            &input,
                             &outputs,
                             root_ctx,
                             ckpt.as_ref(),
@@ -310,7 +316,7 @@ impl DagExecutor {
             for &s in &sinks {
                 items.push(self.fetch(outputs[s].as_ref().expect("sink completed"))?);
             }
-            frame::pack(&items)
+            Bytes::from(frame::pack(&items))
         };
 
         // The job finished: its ephemeral state (checkpoint + spilled
@@ -342,7 +348,7 @@ impl DagExecutor {
         dag: &Dag,
         i: usize,
         job: &str,
-        input: &[u8],
+        input: &Bytes,
         outputs: &[Option<Stored>],
         root_ctx: Option<SpanContext>,
         ckpt: Option<&taureau_jiffy::KvHandle>,
@@ -357,17 +363,18 @@ impl DagExecutor {
         span.attr("function", &node.function);
 
         // Assemble the input: workflow input for roots, the sole parent's
-        // output verbatim, or a framed list for fan-in.
+        // output verbatim (a refcount bump, not a copy), or a framed list
+        // for fan-in — `frame::pack` is the one copy point on this path.
         let deps = dag.deps_of(i);
-        let payload: Vec<u8> = match deps {
-            [] => input.to_vec(),
+        let payload: Bytes = match deps {
+            [] => input.clone(),
             [d] => self.fetch(outputs[*d].as_ref().expect("dependency completed"))?,
             many => {
                 let mut items = Vec::with_capacity(many.len());
                 for &d in many {
                     items.push(self.fetch(outputs[d].as_ref().expect("dependency completed"))?);
                 }
-                frame::pack(&items)
+                Bytes::from(frame::pack(&items))
             }
         };
 
@@ -398,7 +405,7 @@ impl DagExecutor {
             let file = store
                 .open_file(path.as_str())
                 .or_else(|_| store.create_file(path.as_str()))?;
-            file.append(&r.output)?;
+            file.append_bytes(r.output.clone())?;
             spilled_bytes.fetch_add(r.output.len() as u64, Ordering::Relaxed);
             self.metrics.counter("spills").inc();
             Stored::Spilled {
@@ -453,7 +460,7 @@ impl DagExecutor {
     fn invoke_with_backoff(
         &self,
         function: &str,
-        payload: &[u8],
+        payload: &Bytes,
         retry: RetryPolicy,
         node_span: &SpanGuard,
         retries: &AtomicU32,
@@ -462,7 +469,7 @@ impl DagExecutor {
         let tracer = self.platform.tracer();
         for attempt in 1..=retry.max_attempts {
             invocations.fetch_add(1, Ordering::Relaxed);
-            match self.platform.invoke(function, payload.to_vec()) {
+            match self.platform.invoke(function, payload.clone()) {
                 Ok(r) => return Ok((r, attempt)),
                 Err(e @ (FaasError::ExecutionFailed { .. } | FaasError::Timeout { .. }))
                     if attempt < retry.max_attempts =>
@@ -487,8 +494,11 @@ impl DagExecutor {
         unreachable!("loop returns on the final attempt")
     }
 
-    /// Materialise a stored output.
-    fn fetch(&self, stored: &Stored) -> Result<Vec<u8>, DagError> {
+    /// Materialise a stored output. Inline outputs come back as a
+    /// refcount bump on the handler's buffer; spilled outputs come back as
+    /// whatever the Jiffy file rope yields (zero-copy when the spill was a
+    /// single append, which it always is on this path).
+    fn fetch(&self, stored: &Stored) -> Result<Bytes, DagError> {
         match stored {
             Stored::Inline(b) => Ok(b.clone()),
             Stored::Spilled { path, .. } => {
@@ -524,7 +534,7 @@ fn encode_checkpoint(stored: &Stored) -> Vec<u8> {
 /// Decode a checkpoint KV value; `None` if malformed.
 fn decode_checkpoint(value: &[u8]) -> Option<Stored> {
     match value.split_first()? {
-        (&CKPT_INLINE, rest) => Some(Stored::Inline(rest.to_vec())),
+        (&CKPT_INLINE, rest) => Some(Stored::Inline(Bytes::copy_from_slice(rest))),
         (&CKPT_FILE, rest) => {
             let len = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
             let path = String::from_utf8(rest.get(8..)?.to_vec()).ok()?;

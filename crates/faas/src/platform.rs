@@ -69,8 +69,11 @@ impl PlatformConfig {
 pub struct InvocationResult {
     /// Invocation identity.
     pub id: InvocationId,
-    /// Handler output bytes.
-    pub output: Vec<u8>,
+    /// Handler output bytes. Refcounted: the same allocation the handler
+    /// returned flows through DAG edges, state-machine steps, and trigger
+    /// chains without further copies (the handler's `Vec<u8>` is converted
+    /// once, here, at the Ok boundary).
+    pub output: Bytes,
     /// Cold or warm start.
     pub start: StartKind,
     /// Injected startup latency (container init or dispatch).
@@ -519,7 +522,7 @@ impl FaasPlatform {
                 self.inner.metrics.counter("invocations_ok").inc();
                 Ok(InvocationResult {
                     id: InvocationId(self.inner.invocation_ids.next()),
-                    output: bytes,
+                    output: Bytes::from(bytes),
                     start,
                     startup_latency,
                     exec_duration,
@@ -859,7 +862,7 @@ mod tests {
                     .collect::<Vec<_>>()
             }));
         }
-        let outputs: Vec<Vec<u8>> = handles
+        let outputs: Vec<bytes::Bytes> = handles
             .into_iter()
             .flat_map(|h| h.join().unwrap())
             .collect();

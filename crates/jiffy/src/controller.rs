@@ -18,6 +18,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, WallClock};
@@ -193,7 +194,7 @@ impl Jiffy {
             }
             Ok(())
         })?;
-        self.publish(&path, EventKind::Created);
+        self.publish(&path, || EventKind::Created);
         Ok(())
     }
 
@@ -247,7 +248,7 @@ impl Jiffy {
             }
             Ok(())
         })?;
-        self.publish(&path, EventKind::Removed);
+        self.publish(&path, || EventKind::Removed);
         Ok(())
     }
 
@@ -292,7 +293,7 @@ impl Jiffy {
             keep
         });
         for path in &expired_all {
-            self.publish(path, EventKind::LeaseExpired);
+            self.publish(path, || EventKind::LeaseExpired);
         }
         expired_all
     }
@@ -531,10 +532,17 @@ impl Jiffy {
         })
     }
 
-    fn publish(&self, path: &JPath, kind: EventKind) {
-        self.inner.bus.lock().publish(Event {
+    /// Publish an event, constructing it lazily: on the data-plane fast
+    /// path (no subscribers — the common case for raw KV/queue/file
+    /// traffic) no event, key copy, or path clone is ever built.
+    fn publish(&self, path: &JPath, kind: impl FnOnce() -> EventKind) {
+        let mut bus = self.inner.bus.lock();
+        if bus.is_empty() {
+            return;
+        }
+        bus.publish(Event {
             path: path.clone(),
-            kind,
+            kind: kind(),
         });
     }
 }
@@ -552,17 +560,24 @@ impl KvHandle {
         &self.path
     }
 
-    /// Insert or update a key. Auto-scales the object if its partition is
-    /// full; re-partitioned bytes are recorded in the
-    /// `kv_repartitioned_bytes` metric.
+    /// Insert or update a key from a borrowed slice (one copy into a
+    /// refcounted buffer; see [`put_bytes`](Self::put_bytes) to avoid it).
+    /// Auto-scales the object if its partition is full; re-partitioned
+    /// bytes are recorded in the `kv_repartitioned_bytes` metric.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.put_bytes(key, Bytes::copy_from_slice(value))
+    }
+
+    /// Insert or update a key, taking ownership of an already-refcounted
+    /// value — no byte copy anywhere on the path.
+    pub fn put_bytes(&self, key: &[u8], value: Bytes) -> Result<()> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.kv_put");
         span.attr("path", &self.path);
         span.attr("bytes", key.len() + value.len());
         self.jiffy.metrics().counter("kv_puts").inc();
         let moved = self
             .jiffy
-            .with_kv(&self.path, |kv, pool| kv.put(pool, key, value))?;
+            .with_kv(&self.path, |kv, pool| kv.put_bytes(pool, key, value))?;
         if moved > 0 {
             span.attr("repartitioned_bytes", moved);
         }
@@ -573,24 +588,24 @@ impl KvHandle {
                 .add(moved);
         }
         self.jiffy
-            .publish(&self.path, EventKind::KvPut { key: key.to_vec() });
+            .publish(&self.path, || EventKind::KvPut { key: key.to_vec() });
         Ok(())
     }
 
-    /// Read a key.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Read a key. The returned [`Bytes`] is a refcounted view of the
+    /// stored value (no copy) with snapshot semantics: it stays valid and
+    /// unchanged even if the key is overwritten or removed afterwards.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.kv_get");
         span.attr("path", &self.path);
         self.jiffy.metrics().counter("kv_gets").inc();
-        let value = self
-            .jiffy
-            .with_kv(&self.path, |kv, _| Ok(kv.get(key).map(<[u8]>::to_vec)))?;
+        let value = self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.get(key)))?;
         span.attr("hit", value.is_some());
         Ok(value)
     }
 
     /// Remove a key, returning its value.
-    pub fn remove(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    pub fn remove(&self, key: &[u8]) -> Result<Option<Bytes>> {
         self.jiffy.with_kv(&self.path, |kv, _| Ok(kv.remove(key)))
     }
 
@@ -641,20 +656,27 @@ impl QueueHandle {
         &self.path
     }
 
-    /// Append a payload.
+    /// Append a payload from a borrowed slice (one copy; see
+    /// [`push_bytes`](Self::push_bytes) to avoid it).
     pub fn push(&self, payload: &[u8]) -> Result<()> {
+        self.push_bytes(Bytes::copy_from_slice(payload))
+    }
+
+    /// Append an already-refcounted payload — no byte copy anywhere on the
+    /// path; `pop` hands the same buffer back out.
+    pub fn push_bytes(&self, payload: Bytes) -> Result<()> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.queue_push");
         span.attr("path", &self.path);
         span.attr("bytes", payload.len());
         self.jiffy.metrics().counter("queue_pushes").inc();
         self.jiffy
-            .with_queue(&self.path, |q, pool| q.push(pool, payload))?;
-        self.jiffy.publish(&self.path, EventKind::QueuePush);
+            .with_queue(&self.path, |q, pool| q.push_bytes(pool, payload))?;
+        self.jiffy.publish(&self.path, || EventKind::QueuePush);
         Ok(())
     }
 
-    /// Pop the oldest payload.
-    pub fn pop(&self) -> Result<Option<Vec<u8>>> {
+    /// Pop the oldest payload (the stored refcounted buffer — no copy).
+    pub fn pop(&self) -> Result<Option<Bytes>> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.queue_pop");
         span.attr("path", &self.path);
         self.jiffy.metrics().counter("queue_pops").inc();
@@ -689,36 +711,45 @@ impl FileHandle {
         &self.path
     }
 
-    /// Append bytes; returns the new length.
+    /// Append bytes from a borrowed slice (one copy; see
+    /// [`append_bytes`](Self::append_bytes) to avoid it); returns the new
+    /// length.
     pub fn append(&self, bytes: &[u8]) -> Result<u64> {
+        self.append_bytes(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Append an already-refcounted chunk — no byte copy; returns the new
+    /// length.
+    pub fn append_bytes(&self, bytes: Bytes) -> Result<u64> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.file_append");
         span.attr("path", &self.path);
         span.attr("bytes", bytes.len());
         self.jiffy.metrics().counter("file_appends").inc();
         let len = self
             .jiffy
-            .with_file(&self.path, |f, pool| f.append(pool, bytes))?;
-        self.jiffy.publish(&self.path, EventKind::FileWrite { len });
+            .with_file(&self.path, |f, pool| f.append_bytes(pool, bytes))?;
+        self.jiffy
+            .publish(&self.path, || EventKind::FileWrite { len });
         Ok(len)
     }
 
-    /// Read a byte range (clamped to the file length).
-    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// Read a byte range (clamped to the file length). Zero-copy when the
+    /// range falls within one appended chunk.
+    pub fn read(&self, offset: u64, len: u64) -> Result<Bytes> {
         let mut span = self.jiffy.tracer().span(TRACE_SYSTEM, "jiffy.file_read");
         span.attr("path", &self.path);
         span.attr("offset", offset);
         self.jiffy.metrics().counter("file_reads").inc();
         let data = self
             .jiffy
-            .with_file(&self.path, |f, _| Ok(f.read(offset, len).to_vec()))?;
+            .with_file(&self.path, |f, _| Ok(f.read(offset, len)))?;
         span.attr("bytes", data.len());
         Ok(data)
     }
 
-    /// Full contents.
-    pub fn contents(&self) -> Result<Vec<u8>> {
-        self.jiffy
-            .with_file(&self.path, |f, _| Ok(f.contents().to_vec()))
+    /// Full contents (zero-copy for files written in a single append).
+    pub fn contents(&self) -> Result<Bytes> {
+        self.jiffy.with_file(&self.path, |f, _| Ok(f.contents()))
     }
 
     /// File length.
@@ -754,11 +785,11 @@ mod tests {
         let (j, _) = deployment();
         let kv = j.create_kv("/app/state", 2).unwrap();
         kv.put(b"k", b"v").unwrap();
-        assert_eq!(kv.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
         assert_eq!(kv.len().unwrap(), 1);
         // A second handle opened by another "function" sees the same data.
         let kv2 = j.open_kv("/app/state").unwrap();
-        assert_eq!(kv2.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(kv2.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
     }
 
     #[test]
@@ -778,8 +809,8 @@ mod tests {
         q.push(b"one").unwrap();
         q.push(b"two").unwrap();
         let consumer = j.open_queue("/app/shuffle/part-0").unwrap();
-        assert_eq!(consumer.pop().unwrap(), Some(b"one".to_vec()));
-        assert_eq!(consumer.pop().unwrap(), Some(b"two".to_vec()));
+        assert_eq!(consumer.pop().unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(consumer.pop().unwrap().as_deref(), Some(&b"two"[..]));
         assert_eq!(consumer.pop().unwrap(), None);
     }
 
@@ -882,7 +913,10 @@ mod tests {
         assert_eq!(after - before, moved);
         // b's data is untouched and fully readable.
         for i in 0..20u64 {
-            assert_eq!(b.get(&i.to_le_bytes()).unwrap(), Some(vec![2u8; 8]));
+            assert_eq!(
+                b.get(&i.to_le_bytes()).unwrap().as_deref(),
+                Some(&[2u8; 8][..])
+            );
         }
         // Moved bytes are bounded by app a's own footprint.
         let a_bytes: u64 = 20 * (8 + 8 + 16);

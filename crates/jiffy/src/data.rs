@@ -18,6 +18,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use bytes::Bytes;
 use taureau_core::hash::hash64;
 
 use crate::error::{JiffyError, Result};
@@ -69,7 +70,11 @@ fn entry_size(key: &[u8], value: &[u8]) -> u64 {
 #[derive(Debug)]
 struct Partition {
     block: BlockRef,
-    map: HashMap<Vec<u8>, Vec<u8>>,
+    /// Values are refcounted: `get` hands out a view of the stored
+    /// allocation instead of copying it, and an overwrite swaps the
+    /// refcounted pointer — outstanding views keep seeing the value they
+    /// read (snapshot semantics).
+    map: HashMap<Vec<u8>, Bytes>,
     used: u64,
 }
 
@@ -122,13 +127,21 @@ impl KvObject {
         (hash64(PARTITION_SEED, key) % self.partitions.len() as u64) as usize
     }
 
-    /// Insert or update. If the target partition's block is full, the
-    /// object auto-scales by adding one partition (re-partitioning only
-    /// itself) and retries; returns the number of bytes moved by any
-    /// re-partitioning this call triggered.
+    /// Insert or update from a borrowed slice (copies the value once, into
+    /// a fresh refcounted buffer). See [`put_bytes`](Self::put_bytes) for
+    /// the zero-copy variant.
     pub fn put(&mut self, pool: &MemoryPool, key: &[u8], value: &[u8]) -> Result<u64> {
+        self.put_bytes(pool, key, Bytes::copy_from_slice(value))
+    }
+
+    /// Insert or update, taking ownership of an already-refcounted value
+    /// (no byte copy). If the target partition's block is full, the object
+    /// auto-scales by adding one partition (re-partitioning only itself)
+    /// and retries; returns the number of bytes moved by any
+    /// re-partitioning this call triggered.
+    pub fn put_bytes(&mut self, pool: &MemoryPool, key: &[u8], value: Bytes) -> Result<u64> {
         let block_size = pool.block_size().as_u64();
-        let size = entry_size(key, value);
+        let size = entry_size(key, &value);
         if size > block_size {
             return Err(JiffyError::ValueTooLarge {
                 value_bytes: size,
@@ -141,7 +154,7 @@ impl KvObject {
             let part = &mut self.partitions[idx];
             let old = part.map.get(key).map(|v| entry_size(key, v)).unwrap_or(0);
             if part.used - old + size <= block_size {
-                part.map.insert(key.to_vec(), value.to_vec());
+                part.map.insert(key.to_vec(), value);
                 part.used = part.used - old + size;
                 return Ok(moved_total);
             }
@@ -151,16 +164,15 @@ impl KvObject {
         }
     }
 
-    /// Look up a key.
-    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
-        self.partitions[self.index_of(key)]
-            .map
-            .get(key)
-            .map(Vec::as_slice)
+    /// Look up a key. The returned [`Bytes`] is a refcounted view of the
+    /// stored value — no copy — and stays valid (snapshot semantics) even
+    /// if the key is overwritten or removed afterwards.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.partitions[self.index_of(key)].map.get(key).cloned()
     }
 
     /// Remove a key, returning its value.
-    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+    pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
         let idx = self.index_of(key);
         let part = &mut self.partitions[idx];
         let v = part.map.remove(key)?;
@@ -241,7 +253,7 @@ impl KvObject {
 /// resident bytes.
 #[derive(Debug)]
 pub struct QueueObject {
-    deque: VecDeque<Vec<u8>>,
+    deque: VecDeque<Bytes>,
     used: u64,
     blocks: Vec<BlockRef>,
     app: String,
@@ -286,8 +298,16 @@ impl QueueObject {
         self.pushed
     }
 
-    /// Append a payload, growing the block set if needed.
+    /// Append a payload from a borrowed slice (one copy into a refcounted
+    /// buffer). See [`push_bytes`](Self::push_bytes) for the zero-copy
+    /// variant.
     pub fn push(&mut self, pool: &MemoryPool, payload: &[u8]) -> Result<()> {
+        self.push_bytes(pool, Bytes::copy_from_slice(payload))
+    }
+
+    /// Append an already-refcounted payload (no byte copy), growing the
+    /// block set if needed.
+    pub fn push_bytes(&mut self, pool: &MemoryPool, payload: Bytes) -> Result<()> {
         let block_size = pool.block_size().as_u64();
         let size = payload.len() as u64 + ENTRY_OVERHEAD;
         if size > block_size {
@@ -300,15 +320,16 @@ impl QueueObject {
             let mut newly = pool.allocate(&self.app, 1)?;
             self.blocks.append(&mut newly);
         }
-        self.deque.push_back(payload.to_vec());
+        self.deque.push_back(payload);
         self.used += size;
         self.pushed += 1;
         Ok(())
     }
 
-    /// Pop the oldest payload, shrinking the block set when usage allows
-    /// (with one block of hysteresis to avoid thrashing).
-    pub fn pop(&mut self, pool: &MemoryPool) -> Option<Vec<u8>> {
+    /// Pop the oldest payload (handing back the stored refcounted buffer —
+    /// no copy), shrinking the block set when usage allows (with one block
+    /// of hysteresis to avoid thrashing).
+    pub fn pop(&mut self, pool: &MemoryPool) -> Option<Bytes> {
         let payload = self.deque.pop_front()?;
         let block_size = pool.block_size().as_u64();
         self.used -= payload.len() as u64 + ENTRY_OVERHEAD;
@@ -326,10 +347,15 @@ impl QueueObject {
     }
 }
 
-/// Append-only byte stream.
+/// Append-only byte stream, stored as a rope of refcounted chunks: each
+/// append becomes one chunk, so appending never re-copies earlier data and
+/// a read that lands inside one chunk is a zero-copy slice. Reads that span
+/// chunk boundaries coalesce into a fresh buffer (the one place this object
+/// still copies).
 #[derive(Debug)]
 pub struct FileObject {
-    data: Vec<u8>,
+    chunks: Vec<Bytes>,
+    len: u64,
     blocks: Vec<BlockRef>,
     app: String,
 }
@@ -338,7 +364,8 @@ impl FileObject {
     /// Create an empty file.
     pub fn create(app: &str) -> Self {
         Self {
-            data: Vec::new(),
+            chunks: Vec::new(),
+            len: 0,
             blocks: Vec::new(),
             app: app.to_string(),
         }
@@ -346,12 +373,12 @@ impl FileObject {
 
     /// File length in bytes.
     pub fn len(&self) -> u64 {
-        self.data.len() as u64
+        self.len
     }
 
     /// Whether the file is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Blocks currently held.
@@ -359,30 +386,65 @@ impl FileObject {
         self.blocks.len()
     }
 
-    /// Append bytes, growing the block set as needed. Returns the new
-    /// length.
+    /// Append bytes from a borrowed slice (one copy into a refcounted
+    /// chunk). See [`append_bytes`](Self::append_bytes) for the zero-copy
+    /// variant.
     pub fn append(&mut self, pool: &MemoryPool, bytes: &[u8]) -> Result<u64> {
+        self.append_bytes(pool, Bytes::copy_from_slice(bytes))
+    }
+
+    /// Append an already-refcounted chunk (no byte copy), growing the
+    /// block set as needed. Returns the new length.
+    pub fn append_bytes(&mut self, pool: &MemoryPool, bytes: Bytes) -> Result<u64> {
         let block_size = pool.block_size().as_u64();
-        let needed = (self.data.len() as u64 + bytes.len() as u64).div_ceil(block_size);
+        let needed = (self.len + bytes.len() as u64).div_ceil(block_size);
         if needed > self.blocks.len() as u64 {
             let extra = needed - self.blocks.len() as u64;
             let mut newly = pool.allocate(&self.app, extra)?;
             self.blocks.append(&mut newly);
         }
-        self.data.extend_from_slice(bytes);
-        Ok(self.data.len() as u64)
+        self.len += bytes.len() as u64;
+        if !bytes.is_empty() {
+            self.chunks.push(bytes);
+        }
+        Ok(self.len)
     }
 
     /// Read `len` bytes starting at `offset` (clamped to the file length).
-    pub fn read(&self, offset: u64, len: u64) -> &[u8] {
-        let start = (offset as usize).min(self.data.len());
-        let end = (start + len as usize).min(self.data.len());
-        &self.data[start..end]
+    /// Zero-copy when the range falls within one appended chunk; otherwise
+    /// the spanning range is coalesced into a fresh buffer.
+    pub fn read(&self, offset: u64, len: u64) -> Bytes {
+        let start = (offset.min(self.len)) as usize;
+        let end = ((start as u64 + len).min(self.len)) as usize;
+        if start == end {
+            return Bytes::new();
+        }
+        let mut pos = 0usize;
+        let mut buf: Vec<u8> = Vec::new();
+        for c in &self.chunks {
+            let c_start = pos;
+            let c_end = pos + c.len();
+            pos = c_end;
+            if c_end <= start {
+                continue;
+            }
+            if c_start >= end {
+                break;
+            }
+            let s = start.max(c_start) - c_start;
+            let e = end.min(c_end) - c_start;
+            if c_start <= start && end <= c_end {
+                // Entire range inside one chunk: share its storage.
+                return c.slice(s..e);
+            }
+            buf.extend_from_slice(&c[s..e]);
+        }
+        Bytes::from(buf)
     }
 
-    /// Full contents.
-    pub fn contents(&self) -> &[u8] {
-        &self.data
+    /// Full contents. Zero-copy for files written in a single append.
+    pub fn contents(&self) -> Bytes {
+        self.read(0, self.len)
     }
 }
 
@@ -406,9 +468,9 @@ mod tests {
         let mut kv = KvObject::create(&p, "app", 2).unwrap();
         assert_eq!(kv.put(&p, b"k1", b"v1").unwrap(), 0);
         kv.put(&p, b"k2", b"v2").unwrap();
-        assert_eq!(kv.get(b"k1"), Some(&b"v1"[..]));
+        assert_eq!(kv.get(b"k1").as_deref(), Some(&b"v1"[..]));
         assert_eq!(kv.get(b"missing"), None);
-        assert_eq!(kv.remove(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(kv.remove(b"k1").as_deref(), Some(&b"v1"[..]));
         assert_eq!(kv.get(b"k1"), None);
         assert_eq!(kv.len(), 1);
     }
@@ -437,7 +499,7 @@ mod tests {
         }
         assert!(kv.partitions() > 1, "object never scaled");
         for i in 0..40u64 {
-            assert_eq!(kv.get(&i.to_le_bytes()), Some(&[0u8; 12][..]));
+            assert_eq!(kv.get(&i.to_le_bytes()).as_deref(), Some(&[0u8; 12][..]));
         }
     }
 
@@ -463,7 +525,7 @@ mod tests {
         assert!(moved > 0, "growing 2->4 should move some entries");
         assert_eq!(kv.partitions(), 4);
         for i in 0..10u64 {
-            assert_eq!(kv.get(&i.to_le_bytes()), Some(&b"v"[..]));
+            assert_eq!(kv.get(&i.to_le_bytes()).as_deref(), Some(&b"v"[..]));
         }
         // Shrink back.
         kv.scale_to(&p, 2).unwrap();
@@ -492,7 +554,7 @@ mod tests {
         }
         assert!(q.block_count() >= 2, "queue should have grown blocks");
         for i in 0..20u64 {
-            assert_eq!(q.pop(&p), Some(i.to_le_bytes().to_vec()));
+            assert_eq!(q.pop(&p).as_deref(), Some(&i.to_le_bytes()[..]));
         }
         assert_eq!(q.pop(&p), None);
         assert_eq!(q.block_count(), 0, "drained queue returns all blocks");
@@ -552,6 +614,59 @@ mod tests {
             f.append(&p, &vec![0u8; 1024]),
             Err(JiffyError::PoolExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn kv_get_is_snapshot_after_overwrite_and_remove() {
+        // `get` returns a refcounted view of the stored allocation: an
+        // overwrite swaps the map's pointer, so the view keeps reading the
+        // value it observed (and costs no copy to hand out).
+        let p = pool();
+        let mut kv = KvObject::create(&p, "app", 1).unwrap();
+        kv.put(&p, b"k", b"first-value").unwrap();
+        let snap = kv.get(b"k").unwrap();
+        let stored = kv.get(b"k").unwrap();
+        assert_eq!(
+            snap.as_ref().as_ptr(),
+            stored.as_ref().as_ptr(),
+            "get copied the value instead of sharing it"
+        );
+        kv.put(&p, b"k", b"second-value").unwrap();
+        assert_eq!(snap, &b"first-value"[..]);
+        assert_eq!(kv.get(b"k").unwrap(), &b"second-value"[..]);
+        kv.remove(b"k");
+        assert_eq!(snap, &b"first-value"[..]);
+    }
+
+    #[test]
+    fn file_reads_within_a_chunk_share_storage() {
+        let p = pool();
+        let mut f = FileObject::create("app");
+        f.append(&p, b"chunk-one").unwrap();
+        f.append(&p, b"chunk-two").unwrap();
+        // A read inside one appended chunk is a zero-copy slice.
+        let full = f.read(0, 9);
+        let part = f.read(6, 3);
+        assert_eq!(part, b"one");
+        assert_eq!(
+            part.as_ref().as_ptr(),
+            full.as_ref()[6..].as_ptr(),
+            "within-chunk read copied"
+        );
+        // A spanning read coalesces (copies) but is still correct.
+        assert_eq!(f.read(6, 9), b"onechunk-");
+        assert_eq!(f.contents(), b"chunk-onechunk-two");
+    }
+
+    #[test]
+    fn queue_pop_returns_stored_buffer() {
+        let p = pool();
+        let mut q = QueueObject::create("app");
+        let payload = Bytes::from(vec![42u8; 64]);
+        let src = payload.as_ref().as_ptr();
+        q.push_bytes(&p, payload).unwrap();
+        let got = q.pop(&p).unwrap();
+        assert_eq!(got.as_ref().as_ptr(), src, "pop copied the payload");
     }
 
     #[test]

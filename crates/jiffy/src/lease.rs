@@ -58,14 +58,25 @@ impl LeaseManager {
     /// Renew the lease covering `path` (i.e. the lease on `path` itself or
     /// its closest leased ancestor). Returns whether a lease was found.
     pub fn renew(&mut self, path: &JPath, now: Duration) -> bool {
-        // Exact match first, then walk ancestors.
-        let mut cur = Some(path.clone());
-        while let Some(p) = cur {
-            if let Some(l) = self.leases.get_mut(&p) {
-                l.renewed_at = now;
-                return true;
-            }
-            cur = p.parent();
+        // Exact match first, then the deepest leased ancestor. This sits on
+        // every KV/queue/file data-path call, so it must not build candidate
+        // paths: a `JPath` clone per ancestor would dominate a warm `get`.
+        if let Some(l) = self.leases.get_mut(path) {
+            l.renewed_at = now;
+            return true;
+        }
+        let want = path.segments();
+        if let Some((_, l)) = self
+            .leases
+            .iter_mut()
+            .filter(|(p, _)| {
+                let s = p.segments();
+                s.len() < want.len() && s == &want[..s.len()]
+            })
+            .max_by_key(|(p, _)| p.depth())
+        {
+            l.renewed_at = now;
+            return true;
         }
         false
     }

@@ -31,7 +31,7 @@ proptest! {
     /// with negative holdings.
     #[test]
     fn pool_conserves_blocks(ops in vec((0u8..4, 1u64..6), 1..60)) {
-        let mut pool = MemoryPool::new(3, 20, ByteSize::kb(4));
+        let pool = MemoryPool::new(3, 20, ByteSize::kb(4));
         let capacity = pool.stats().capacity_blocks;
         let mut held: Vec<Vec<_>> = vec![Vec::new(); 4];
         for (app, n) in ops {
@@ -68,12 +68,12 @@ proptest! {
                 KvOp::Remove(k) => {
                     let got = kv.remove(&[k]).unwrap();
                     let expect = model.remove(&vec![k]);
-                    prop_assert_eq!(got, expect);
+                    prop_assert_eq!(got.map(|b| b.to_vec()), expect);
                 }
                 KvOp::Get(k) => {
                     let got = kv.get(&[k]).unwrap();
                     let expect = model.get(&vec![k]).cloned();
-                    prop_assert_eq!(got, expect);
+                    prop_assert_eq!(got.map(|b| b.to_vec()), expect);
                 }
             }
         }
@@ -90,7 +90,7 @@ proptest! {
         }
         let mut out = Vec::new();
         while let Some(p) = q.pop().unwrap() {
-            out.push(p);
+            out.push(p.to_vec());
         }
         prop_assert_eq!(out, payloads);
     }
@@ -109,10 +109,8 @@ proptest! {
         for t in targets {
             kv.scale_to(t).unwrap();
             for &k in &keys {
-                prop_assert_eq!(
-                    kv.get(&k.to_le_bytes()).unwrap(),
-                    Some(b"payload".to_vec())
-                );
+                let got = kv.get(&k.to_le_bytes()).unwrap();
+                prop_assert_eq!(got.as_deref(), Some(&b"payload"[..]));
             }
         }
     }

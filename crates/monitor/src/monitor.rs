@@ -931,7 +931,7 @@ mod tests {
             .unwrap()
             .contents()
             .unwrap();
-        let text = String::from_utf8(text).unwrap();
+        let text = String::from_utf8(text.to_vec()).unwrap();
         assert!(text.contains("faas.invoke"), "summary: {text}");
         assert!(text.contains("jiffy.kv_put"));
         assert!(text.contains("outcome=error"));
@@ -940,7 +940,7 @@ mod tests {
             .unwrap()
             .contents()
             .unwrap();
-        let json = String::from_utf8(json).unwrap();
+        let json = String::from_utf8(json.to_vec()).unwrap();
         assert!(json.contains("\"name\":\"jiffy.kv_put\""));
         // Re-polling the same failure does not dump twice.
         let again = monitor.poll().unwrap();

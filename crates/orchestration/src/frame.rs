@@ -7,12 +7,19 @@
 //! [count: u32 le] ([len: u32 le] [bytes])*
 //! ```
 
-/// Pack a list of payloads into one framed buffer.
-pub fn pack(items: &[Vec<u8>]) -> Vec<u8> {
-    let total: usize = 4 + items.iter().map(|i| 4 + i.len()).sum::<usize>();
+use bytes::Bytes;
+
+/// Pack a list of payloads into one framed buffer. This is the fan-in
+/// point of the data plane and it *copies*: the branches' refcounted
+/// outputs are glued into one contiguous buffer so a black-box function
+/// can consume the list as a single payload. (The reverse direction —
+/// [`unpack_bytes`] — is zero-copy.)
+pub fn pack<T: AsRef<[u8]>>(items: &[T]) -> Vec<u8> {
+    let total: usize = 4 + items.iter().map(|i| 4 + i.as_ref().len()).sum::<usize>();
     let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&(items.len() as u32).to_le_bytes());
     for item in items {
+        let item = item.as_ref();
         out.extend_from_slice(&(item.len() as u32).to_le_bytes());
         out.extend_from_slice(item);
     }
@@ -45,6 +52,33 @@ pub fn unpack(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
     Some(items)
 }
 
+/// Unpack a framed buffer into refcounted views of it — zero-copy: each
+/// item shares the input's storage. `None` if malformed.
+pub fn unpack_bytes(bytes: &Bytes) -> Option<Vec<Bytes>> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let mut items = Vec::with_capacity(count.min(1024));
+    let mut pos = 4;
+    for _ in 0..count {
+        if bytes.len() < pos + 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as usize;
+        pos += 4;
+        if bytes.len() < pos + len {
+            return None;
+        }
+        items.push(bytes.slice(pos..pos + len));
+        pos += len;
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,7 +87,22 @@ mod tests {
     fn roundtrip() {
         let items = vec![b"one".to_vec(), Vec::new(), vec![0u8; 1000]];
         assert_eq!(unpack(&pack(&items)), Some(items));
-        assert_eq!(unpack(&pack(&[])), Some(Vec::new()));
+        assert_eq!(unpack(&pack::<Vec<u8>>(&[])), Some(Vec::new()));
+    }
+
+    #[test]
+    fn unpack_bytes_is_zero_copy() {
+        let items = vec![b"alpha".to_vec(), b"beta".to_vec()];
+        let framed = Bytes::from(pack(&items));
+        let views = unpack_bytes(&framed).unwrap();
+        assert_eq!(views.len(), 2);
+        for (v, want) in views.iter().zip(&items) {
+            assert_eq!(&v[..], &want[..]);
+            let base = framed.as_ref().as_ptr() as usize;
+            let vp = v.as_ref().as_ptr() as usize;
+            assert!(vp >= base && vp < base + framed.len(), "item copied");
+        }
+        assert_eq!(unpack_bytes(&Bytes::new()), None);
     }
 
     #[test]

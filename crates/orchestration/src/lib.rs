@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 
 use taureau_core::cost::Dollars;
@@ -121,8 +122,9 @@ pub struct InvocationRecord {
 /// The result of running a composition.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
-    /// Final output bytes.
-    pub output: Vec<u8>,
+    /// Final output bytes (refcounted: the last stage's output is shared,
+    /// not copied, into the report).
+    pub output: Bytes,
     /// Every basic function execution, in completion order.
     pub invocations: Vec<InvocationRecord>,
 }
@@ -174,10 +176,10 @@ impl Orchestrator {
     pub fn run(&self, comp: &Composition, input: &[u8]) -> Result<ExecutionReport, FaasError> {
         self.metrics.counter("compositions_run").inc();
         let mut report = ExecutionReport {
-            output: Vec::new(),
+            output: Bytes::new(),
             invocations: Vec::new(),
         };
-        let output = self.eval(comp, input.to_vec(), &mut report)?;
+        let output = self.eval(comp, Bytes::copy_from_slice(input), &mut report)?;
         report.output = output;
         self.metrics
             .histogram("composition_billed_us")
@@ -188,9 +190,9 @@ impl Orchestrator {
     fn eval(
         &self,
         comp: &Composition,
-        input: Vec<u8>,
+        input: Bytes,
         report: &mut ExecutionReport,
-    ) -> Result<Vec<u8>, FaasError> {
+    ) -> Result<Bytes, FaasError> {
         match comp {
             Composition::Task(name) => {
                 self.metrics.counter("tasks_invoked").inc();
@@ -233,7 +235,7 @@ impl Orchestrator {
                 for branch in branches {
                     outputs.push(self.eval(branch, input.clone(), report)?);
                 }
-                Ok(frame::pack(&outputs))
+                Ok(Bytes::from(frame::pack(&outputs)))
             }
             Composition::Choice {
                 predicate,
@@ -247,15 +249,16 @@ impl Orchestrator {
                 }
             }
             Composition::Map(body) => {
-                let items = frame::unpack(&input).ok_or_else(|| FaasError::ExecutionFailed {
-                    function: "<map>".to_string(),
-                    reason: "map input is not a framed list".to_string(),
-                })?;
+                let items =
+                    frame::unpack_bytes(&input).ok_or_else(|| FaasError::ExecutionFailed {
+                        function: "<map>".to_string(),
+                        reason: "map input is not a framed list".to_string(),
+                    })?;
                 let mut outputs = Vec::with_capacity(items.len());
                 for item in items {
                     outputs.push(self.eval(body, item, report)?);
                 }
-                Ok(frame::pack(&outputs))
+                Ok(Bytes::from(frame::pack(&outputs)))
             }
             Composition::Retry { inner, attempts } => {
                 assert!(*attempts >= 1);

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use taureau_faas::{FaasError, FaasPlatform};
 
 use crate::InvocationRecord;
@@ -120,8 +121,8 @@ impl std::error::Error for StateMachineError {
 /// The result of running a state machine.
 #[derive(Debug)]
 pub struct StateMachineReport {
-    /// Final output.
-    pub output: Vec<u8>,
+    /// Final output (refcounted; shared with the last step's result).
+    pub output: Bytes,
     /// States visited, in order.
     pub path: Vec<String>,
     /// Billed basic-function executions (no double billing: the machine
@@ -167,7 +168,7 @@ impl StateMachine {
     ) -> Result<StateMachineReport, StateMachineError> {
         let mut current = self.start.clone();
         let mut previous: Option<String> = None;
-        let mut payload = input.to_vec();
+        let mut payload = Bytes::copy_from_slice(input);
         let mut path = Vec::new();
         let mut invocations = Vec::new();
         for _ in 0..self.max_transitions {

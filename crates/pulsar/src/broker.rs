@@ -15,7 +15,7 @@
 //! configurable size, and a bookie failure mid-stream triggers rollover to
 //! a fresh ledger on a healthy ensemble.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -92,7 +92,29 @@ impl SubscriptionMode {
 }
 
 // --------------------------------------------------------------------------
-// Entry codec: [key_len u32 | key | publish_nanos u64 | payload]
+// Entry codec.
+//
+// Unbatched: `[key_len u32 | key | publish_nanos u64 | payload]`.
+//
+// Batched (producer-side batching, one group-committed ledger entry for N
+// messages): the `key_len` slot holds [`BATCH_MARKER`] — impossible for a
+// real key, whose length is bounded far below `u32::MAX` — followed by
+//
+// `[BATCH_MARKER u32 | count u32 | publish_nanos u64 |
+//   end_offset u32 × count | payload bytes…]`
+//
+// `end_offset[i]` is the exclusive end of payload `i` relative to the start
+// of the payload section, so decoding message `i` is O(1): slice between
+// `end_offset[i-1]` (0 for the first) and `end_offset[i]`. Batched messages
+// are key-less (a partition key exists to *route*, and the whole batch
+// routes together); they share one publish timestamp — the group commit
+// persists them at the same instant.
+//
+// Decoded keys and payloads are zero-copy [`Bytes::slice`] views into the
+// replicated entry buffer.
+
+/// `key_len` sentinel marking the batched entry format.
+const BATCH_MARKER: u32 = u32::MAX;
 
 fn encode_entry(key: Option<&[u8]>, publish_nanos: u64, payload: &[u8]) -> Bytes {
     let key = key.unwrap_or(&[]);
@@ -122,6 +144,56 @@ fn decode_entry(bytes: &Bytes) -> Option<(Option<Bytes>, u64, Bytes)> {
     Some((key, ts, payload))
 }
 
+fn encode_batch_entry<T: AsRef<[u8]>>(publish_nanos: u64, payloads: &[T]) -> Bytes {
+    let total: usize = payloads.iter().map(|p| p.as_ref().len()).sum();
+    let mut buf = BytesMut::with_capacity(16 + 4 * payloads.len() + total);
+    buf.put_u32_le(BATCH_MARKER);
+    buf.put_u32_le(payloads.len() as u32);
+    buf.put_u64_le(publish_nanos);
+    let mut end = 0u32;
+    for p in payloads {
+        end += p.as_ref().len() as u32;
+        buf.put_u32_le(end);
+    }
+    for p in payloads {
+        buf.put_slice(p.as_ref());
+    }
+    buf.freeze()
+}
+
+fn is_batch_entry(bytes: &Bytes) -> bool {
+    bytes.len() >= 16 && bytes[0..4] == BATCH_MARKER.to_le_bytes()
+}
+
+/// Number of messages in a batched entry, or `None` if not batch-framed.
+fn batch_count(bytes: &Bytes) -> Option<u32> {
+    if !is_batch_entry(bytes) {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes[4..8].try_into().ok()?))
+}
+
+/// Decode message `index` of a batched entry: O(1) via the offset table,
+/// returning a zero-copy slice of the entry buffer.
+fn decode_batch_message(bytes: &Bytes, index: u32) -> Option<(u64, Bytes)> {
+    let count = batch_count(bytes)?;
+    if index >= count {
+        return None;
+    }
+    let ts = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?);
+    let end_at = |i: u32| -> Option<usize> {
+        let off = 16 + 4 * i as usize;
+        Some(u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize)
+    };
+    let base = 16 + 4 * count as usize;
+    let start = if index == 0 { 0 } else { end_at(index - 1)? };
+    let end = end_at(index)?;
+    if start > end || base + end > bytes.len() {
+        return None;
+    }
+    Some((ts, bytes.slice(base + start..base + end)))
+}
+
 // --------------------------------------------------------------------------
 
 /// Next position a subscription will read, per partition.
@@ -131,6 +203,27 @@ struct ReadPos {
     seg: usize,
     /// Entry within that segment.
     entry: u64,
+    /// Message index within a batched entry (0 for unbatched entries or at
+    /// an entry boundary).
+    batch: u32,
+}
+
+impl ReadPos {
+    /// The beginning of a partition.
+    const START: ReadPos = ReadPos {
+        seg: 0,
+        entry: 0,
+        batch: 0,
+    };
+
+    /// First message of entry `entry` in segment `seg`.
+    fn at(seg: usize, entry: u64) -> Self {
+        Self {
+            seg,
+            entry,
+            batch: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -140,10 +233,17 @@ struct SubState {
     read: Vec<ReadPos>,
     /// Per-partition mark-delete: everything at or before this is acked.
     mark_delete: Vec<Option<MessageId>>,
-    /// Individually acked messages above the mark-delete position.
+    /// Individually acked messages above the mark-delete position. Always
+    /// entry-level ([`MessageId::canonical`]) ids: a batched entry enters
+    /// this set only once *all* its messages are acked.
     acked: BTreeSet<MessageId>,
-    /// Delivered but not yet acked.
+    /// Delivered but not yet acked (per-message ids, batch-indexed).
     pending: BTreeSet<MessageId>,
+    /// Acked message indices of partially-acked batched entries, keyed by
+    /// the entry's canonical id. In-memory only: a broker restart forgets
+    /// partial acks and redelivers the whole entry — the same at-least-once
+    /// contract unacked messages already have.
+    partial: BTreeMap<MessageId, BTreeSet<u32>>,
     /// Attached consumers (by id); order matters for failover.
     consumers: Vec<u64>,
 }
@@ -380,10 +480,11 @@ impl PulsarCluster {
                 .entry(subscription.to_string())
                 .or_insert_with(|| SubState {
                     mode,
-                    read: vec![ReadPos { seg: 0, entry: 0 }; nparts],
+                    read: vec![ReadPos::START; nparts],
                     mark_delete: vec![None; nparts],
                     acked: BTreeSet::new(),
                     pending: BTreeSet::new(),
+                    partial: BTreeMap::new(),
                     consumers: Vec::new(),
                 });
             if sub.mode == SubscriptionMode::Exclusive && !sub.consumers.is_empty() {
@@ -483,12 +584,9 @@ impl PulsarCluster {
                             .iter()
                             .position(|&l| l == id.ledger)
                             .unwrap_or(0);
-                        ReadPos {
-                            seg,
-                            entry: id.entry + 1,
-                        }
+                        ReadPos::at(seg, id.entry + 1)
                     }
-                    None => ReadPos { seg: 0, entry: 0 },
+                    None => ReadPos::START,
                 };
                 read.push(pos);
                 mark_delete.push(md);
@@ -501,6 +599,7 @@ impl PulsarCluster {
                     mark_delete,
                     acked: BTreeSet::new(),
                     pending: BTreeSet::new(),
+                    partial: BTreeMap::new(),
                     consumers: Vec::new(),
                 },
             );
@@ -526,21 +625,21 @@ impl PulsarCluster {
         );
     }
 
-    fn publish(&self, topic: &str, key: Option<&[u8]>, payload: &[u8]) -> Result<MessageId> {
-        let tracer = self.tracer();
-        let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish");
-        span.attr("topic", topic);
-        span.attr("bytes", payload.len());
-        let now = self.inner.clock.now();
+    /// Publish steps 1–2, shared by single and batched publishing.
+    /// Step 1: make sure the topic is loaded (shard locked and released).
+    /// Step 2: multi-tenancy backlog quota — total retained entries
+    /// across the tenant's loaded topics must stay under the cap. The
+    /// scan visits shards one at a time without holding the target
+    /// topic's shard, so two publishers scanning each other's tenants
+    /// cannot deadlock. (Concurrent publishers may both pass a nearly
+    /// full quota check; the cap is a backlog bound, not a ledger.)
+    ///
+    /// The quota is denominated in *ledger entries*: a batched entry counts
+    /// once no matter how many messages it packs — amortizing the backlog
+    /// cost is exactly what batching is for.
+    fn check_quota(&self, topic: &str) -> Result<()> {
         let inner = &*self.inner;
-        // Step 1: make sure the topic is loaded (shard locked and released).
         self.with_topic(topic, |_, _| Ok(()))?;
-        // Step 2: multi-tenancy backlog quota — total retained entries
-        // across the tenant's loaded topics must stay under the cap. The
-        // scan visits shards one at a time without holding the target
-        // topic's shard, so two publishers scanning each other's tenants
-        // cannot deadlock. (Concurrent publishers may both pass a nearly
-        // full quota check; the cap is a backlog bound, not a ledger.)
         let tenant = Self::tenant_of(topic);
         if let Some(quota) = inner.quotas.lock().get(tenant).copied() {
             let mut retained = 0u64;
@@ -555,12 +654,78 @@ impl PulsarCluster {
             });
             if retained >= quota {
                 inner.metrics.counter("quota_rejections").inc();
-                span.attr("outcome", "quota_rejected");
                 return Err(PulsarError::TenantQuotaExceeded {
                     tenant: tenant.to_string(),
                     quota,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Publish step 3: append one encoded entry to the partition's open
+    /// ledger, with up to one rollover retry on quorum failure. The entry
+    /// buffer is refcounted ([`Bytes`]) — the writer hands the *same*
+    /// allocation to every replica in the write quorum (and to the retry),
+    /// so a publish copies payload bytes exactly once, at encode time.
+    fn append_with_rollover(
+        inner: &ClusterInner,
+        tracer: &Tracer,
+        topic: &str,
+        p: usize,
+        part: &mut Partition,
+        entry_bytes: &Bytes,
+    ) -> Result<(LedgerId, u64)> {
+        for attempt in 0..2 {
+            // Open a writer if needed, rolling over at the segment cap.
+            let need_new = match &part.writer {
+                None => true,
+                Some(w) => w.len() >= inner.cfg.max_entries_per_ledger,
+            };
+            if need_new {
+                if let Some(mut w) = part.writer.take() {
+                    let _ = w.close();
+                }
+                let w = inner.bk.create_ledger(inner.cfg.ledger)?;
+                part.segments.push(w.id());
+                Self::persist_segments(inner, topic, p, &part.segments);
+                part.writer = Some(w);
+            }
+            let w = part.writer.as_mut().expect("writer just ensured");
+            let mut append_span = tracer.span(TRACE_SYSTEM, "pulsar.bookie_append");
+            append_span.attr("ledger", w.id().raw());
+            append_span.attr("attempt", attempt);
+            let appended = w.append(entry_bytes.clone());
+            drop(append_span);
+            match appended {
+                Ok(entry) => return Ok((w.id(), entry)),
+                Err(PulsarError::QuorumUnavailable { .. }) => {
+                    // Seal the wounded ledger and roll over to a fresh
+                    // ensemble on the retry.
+                    let mut w = part.writer.take().expect("writer present");
+                    let _ = w.close();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(PulsarError::QuorumUnavailable {
+            needed: inner.cfg.ledger.ack_quorum,
+            got: 0,
+        })
+    }
+
+    fn publish(&self, topic: &str, key: Option<&[u8]>, payload: &[u8]) -> Result<MessageId> {
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish");
+        span.attr("topic", topic);
+        span.attr("bytes", payload.len());
+        let now = self.inner.clock.now();
+        if let Err(e) = self.check_quota(topic) {
+            if matches!(e, PulsarError::TenantQuotaExceeded { .. }) {
+                span.attr("outcome", "quota_rejected");
+            }
+            return Err(e);
         }
         // Step 3: append under the target topic's shard lock only.
         let result = self.with_topic(topic, |inner, t| {
@@ -574,52 +739,82 @@ impl PulsarCluster {
             };
             span.attr("partition", p);
             let entry_bytes = encode_entry(key, now.as_nanos() as u64, payload);
-            let part = &mut t.partitions[p];
-            // Up to one rollover retry on quorum failure.
-            for attempt in 0..2 {
-                // Open a writer if needed, rolling over at the segment cap.
-                let need_new = match &part.writer {
-                    None => true,
-                    Some(w) => w.len() >= inner.cfg.max_entries_per_ledger,
-                };
-                if need_new {
-                    if let Some(mut w) = part.writer.take() {
-                        let _ = w.close();
-                    }
-                    let w = inner.bk.create_ledger(inner.cfg.ledger)?;
-                    part.segments.push(w.id());
-                    Self::persist_segments(inner, topic, p, &part.segments);
-                    part.writer = Some(w);
-                }
-                let w = part.writer.as_mut().expect("writer just ensured");
-                let mut append_span = tracer.span(TRACE_SYSTEM, "pulsar.bookie_append");
-                append_span.attr("ledger", w.id().raw());
-                append_span.attr("attempt", attempt);
-                let appended = w.append(entry_bytes.clone());
-                drop(append_span);
-                match appended {
-                    Ok(entry) => {
-                        inner.metrics.counter("messages_published").inc();
-                        return Ok(MessageId {
-                            partition: p as u32,
-                            ledger: w.id(),
-                            entry,
-                        });
-                    }
-                    Err(PulsarError::QuorumUnavailable { .. }) => {
-                        // Seal the wounded ledger and roll over to a fresh
-                        // ensemble on the retry.
-                        let mut w = part.writer.take().expect("writer present");
-                        let _ = w.close();
-                        continue;
-                    }
-                    Err(e) => return Err(e),
-                }
+            let (lid, entry) = Self::append_with_rollover(
+                inner,
+                &tracer,
+                topic,
+                p,
+                &mut t.partitions[p],
+                &entry_bytes,
+            )?;
+            inner.metrics.counter("messages_published").inc();
+            Ok(MessageId::new(p as u32, lid, entry))
+        });
+        match &result {
+            Ok(_) => span.attr("outcome", "ok"),
+            Err(PulsarError::QuorumUnavailable { .. }) => {
+                span.attr("outcome", "quorum_unavailable");
             }
-            Err(PulsarError::QuorumUnavailable {
-                needed: inner.cfg.ledger.ack_quorum,
-                got: 0,
-            })
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Publish `payloads` as one group-committed ledger entry (producer
+    /// batching, §4.3): one quota check, one entry encode, one replicated
+    /// append for the whole batch — the per-entry costs that dominate
+    /// small-message publishing are paid once and amortized over N.
+    ///
+    /// Returns one [`MessageId`] per message, carrying its batch offset.
+    /// Batches route like key-less messages (round-robin over partitions,
+    /// the whole batch to one partition). Empty input publishes nothing;
+    /// a single payload degenerates to the unbatched path, so ids from
+    /// this method are always consistent with [`Producer::send`].
+    fn publish_batch<T: AsRef<[u8]>>(&self, topic: &str, payloads: &[T]) -> Result<Vec<MessageId>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        if payloads.len() == 1 {
+            return self
+                .publish(topic, None, payloads[0].as_ref())
+                .map(|id| vec![id]);
+        }
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish_batch");
+        span.attr("topic", topic);
+        span.attr("messages", payloads.len());
+        let now = self.inner.clock.now();
+        if let Err(e) = self.check_quota(topic) {
+            if matches!(e, PulsarError::TenantQuotaExceeded { .. }) {
+                span.attr("outcome", "quota_rejected");
+            }
+            return Err(e);
+        }
+        let result = self.with_topic(topic, |inner, t| {
+            let nparts = t.partitions.len();
+            t.rr = t.rr.wrapping_add(1);
+            let p = (t.rr as usize) % nparts;
+            span.attr("partition", p);
+            let entry_bytes = encode_batch_entry(now.as_nanos() as u64, payloads);
+            span.attr("bytes", entry_bytes.len());
+            let (lid, entry) = Self::append_with_rollover(
+                inner,
+                &tracer,
+                topic,
+                p,
+                &mut t.partitions[p],
+                &entry_bytes,
+            )?;
+            let n = payloads.len() as u32;
+            inner.metrics.counter("messages_published").add(n as u64);
+            inner.metrics.counter("batch_entries_appended").inc();
+            inner
+                .metrics
+                .counter("batch_bytes_encoded")
+                .add(entry_bytes.len() as u64);
+            Ok((0..n)
+                .map(|i| MessageId::in_batch(p as u32, lid, entry, i, n))
+                .collect())
         });
         match &result {
             Ok(_) => span.attr("outcome", "ok"),
@@ -670,13 +865,25 @@ impl PulsarCluster {
         }
     }
 
-    fn receive_from(
+    /// Unified dispatch scan: deliver up to `max` messages under ONE
+    /// topic-shard lock acquisition, starting the partition round-robin at
+    /// `start_part`, invoking `on_msg` per message. Returns the count.
+    ///
+    /// Batched entries decode lazily: the offset table makes locating
+    /// message `i` O(1), and each payload is a refcounted slice of the
+    /// single ledger-entry buffer — dispatch copies no payload bytes.
+    fn receive_scan(
         &self,
         topic: &str,
         subscription: &str,
         consumer_id: u64,
         start_part: &mut usize,
-    ) -> Result<Option<Message>> {
+        max: usize,
+        on_msg: &mut dyn FnMut(Message),
+    ) -> Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
         let tracer = self.tracer();
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.dispatch");
         span.attr("topic", topic);
@@ -690,11 +897,15 @@ impl PulsarCluster {
             // Failover: only the active (first attached) consumer receives.
             if sub.mode == SubscriptionMode::Failover && sub.consumers.first() != Some(&consumer_id)
             {
-                return Ok(None);
+                return Ok(0);
             }
-            for scan in 0..nparts {
+            let mut delivered = 0usize;
+            'parts: for scan in 0..nparts {
                 let p = (*start_part + scan) % nparts;
                 loop {
+                    if delivered >= max {
+                        break 'parts;
+                    }
                     let pos = sub.read[p];
                     let part = &t.partitions[p];
                     if pos.seg >= part.segments.len() {
@@ -709,26 +920,17 @@ impl PulsarCluster {
                             .as_ref()
                             .is_some_and(|w| w.id() == part.segments[pos.seg]);
                         if !is_open && pos.seg + 1 < part.segments.len() {
-                            sub.read[p] = ReadPos {
-                                seg: pos.seg + 1,
-                                entry: 0,
-                            };
+                            sub.read[p] = ReadPos::at(pos.seg + 1, 0);
                             continue;
                         }
                         break; // caught up on this partition
                     }
                     let lid = part.segments[pos.seg];
-                    let id = MessageId {
-                        partition: p as u32,
-                        ledger: lid,
-                        entry: pos.entry,
-                    };
-                    sub.read[p] = ReadPos {
-                        seg: pos.seg,
-                        entry: pos.entry + 1,
-                    };
-                    if sub.acked.contains(&id) {
-                        continue; // individually acked earlier (redelivery path)
+                    let canonical = MessageId::new(p as u32, lid, pos.entry);
+                    if sub.acked.contains(&canonical) {
+                        // Individually acked earlier (redelivery path).
+                        sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
+                        continue;
                     }
                     // Also skip anything the mark-delete cursor already covers
                     // (individual acks get folded into mark-delete and leave
@@ -740,31 +942,109 @@ impl PulsarCluster {
                             .position(|&l| l == md.ledger)
                             .unwrap_or(0);
                         if (pos.seg, pos.entry) <= (md_seg, md.entry) {
+                            sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
                             continue;
                         }
                     }
                     let raw = Self::read_entry_any(inner, lid, pos.entry)?;
-                    let (key, ts, payload) =
-                        decode_entry(&raw).ok_or(PulsarError::EntryUnavailable {
-                            ledger: lid,
-                            entry: pos.entry,
-                        })?;
-                    sub.pending.insert(id);
+                    let msg = if let Some(n) = batch_count(&raw) {
+                        // Resume inside the entry, skipping indices already
+                        // acked through the partial-batch set.
+                        let mut idx = pos.batch;
+                        if let Some(done) = sub.partial.get(&canonical) {
+                            while idx < n && done.contains(&idx) {
+                                idx += 1;
+                            }
+                        }
+                        if idx >= n {
+                            sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
+                            continue;
+                        }
+                        let (ts, payload) = decode_batch_message(&raw, idx).ok_or(
+                            PulsarError::EntryUnavailable {
+                                ledger: lid,
+                                entry: pos.entry,
+                            },
+                        )?;
+                        let id = MessageId::in_batch(p as u32, lid, pos.entry, idx, n);
+                        sub.read[p] = if idx + 1 < n {
+                            ReadPos {
+                                seg: pos.seg,
+                                entry: pos.entry,
+                                batch: idx + 1,
+                            }
+                        } else {
+                            ReadPos::at(pos.seg, pos.entry + 1)
+                        };
+                        sub.pending.insert(id);
+                        Message {
+                            id,
+                            key: None,
+                            payload,
+                            publish_time: std::time::Duration::from_nanos(ts),
+                        }
+                    } else {
+                        let (key, ts, payload) =
+                            decode_entry(&raw).ok_or(PulsarError::EntryUnavailable {
+                                ledger: lid,
+                                entry: pos.entry,
+                            })?;
+                        sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
+                        sub.pending.insert(canonical);
+                        Message {
+                            id: canonical,
+                            key,
+                            payload,
+                            publish_time: std::time::Duration::from_nanos(ts),
+                        }
+                    };
                     *start_part = (p + 1) % nparts;
                     inner.metrics.counter("messages_delivered").inc();
                     span.attr("partition", p);
                     span.attr("ledger", lid.raw());
                     span.attr("entry", pos.entry);
-                    return Ok(Some(Message {
-                        id,
-                        key,
-                        payload,
-                        publish_time: std::time::Duration::from_nanos(ts),
-                    }));
+                    delivered += 1;
+                    on_msg(msg);
                 }
             }
-            Ok(None)
+            Ok(delivered)
         })
+    }
+
+    fn receive_from(
+        &self,
+        topic: &str,
+        subscription: &str,
+        consumer_id: u64,
+        start_part: &mut usize,
+    ) -> Result<Option<Message>> {
+        let mut slot = None;
+        self.receive_scan(topic, subscription, consumer_id, start_part, 1, &mut |m| {
+            slot = Some(m);
+        })?;
+        Ok(slot)
+    }
+
+    fn receive_many_from(
+        &self,
+        topic: &str,
+        subscription: &str,
+        consumer_id: u64,
+        start_part: &mut usize,
+        max: usize,
+    ) -> Result<Vec<Message>> {
+        let mut out = Vec::new();
+        self.receive_scan(
+            topic,
+            subscription,
+            consumer_id,
+            start_part,
+            max,
+            &mut |m| {
+                out.push(m);
+            },
+        )?;
+        Ok(out)
     }
 
     fn ack(&self, topic: &str, subscription: &str, id: MessageId) -> Result<()> {
@@ -774,6 +1054,29 @@ impl PulsarCluster {
                 .get_mut(subscription)
                 .ok_or_else(|| PulsarError::TopicNotFound(format!("{topic}:{subscription}")))?;
             sub.pending.remove(&id);
+            // Batched messages ack at message granularity, but the cursor
+            // machinery below is entry-granular: record per-index acks in
+            // `partial` and only fold the canonical entry id into the acked
+            // set once every index of the batch has been acked.
+            let id = if id.batch_size > 1 {
+                let canonical = id.canonical();
+                let covered = sub.acked.contains(&canonical)
+                    || sub.mark_delete[id.partition as usize].is_some_and(|md| {
+                        (md.ledger, md.entry) >= (canonical.ledger, canonical.entry)
+                    });
+                if covered {
+                    return Ok(()); // duplicate ack of a completed batch
+                }
+                let done = sub.partial.entry(canonical).or_default();
+                done.insert(id.batch_index);
+                if (done.len() as u32) < id.batch_size {
+                    return Ok(()); // batch still partially unacked
+                }
+                sub.partial.remove(&canonical);
+                canonical
+            } else {
+                id
+            };
             sub.acked.insert(id);
             // Advance the mark-delete position while the next message is acked.
             let p = id.partition as usize;
@@ -783,11 +1086,7 @@ impl PulsarCluster {
                     None => {
                         // First position of the partition.
                         match part.segments.first() {
-                            Some(&l) => MessageId {
-                                partition: id.partition,
-                                ledger: l,
-                                entry: 0,
-                            },
+                            Some(&l) => MessageId::new(id.partition, l, 0),
                             None => break,
                         }
                     }
@@ -801,17 +1100,9 @@ impl PulsarCluster {
                             .unwrap_or(0);
                         let seg_len = Self::segment_len(inner, part, seg_idx);
                         if md.entry + 1 < seg_len {
-                            MessageId {
-                                partition: id.partition,
-                                ledger: md.ledger,
-                                entry: md.entry + 1,
-                            }
+                            MessageId::new(id.partition, md.ledger, md.entry + 1)
                         } else if seg_idx + 1 < part.segments.len() {
-                            MessageId {
-                                partition: id.partition,
-                                ledger: part.segments[seg_idx + 1],
-                                entry: 0,
-                            }
+                            MessageId::new(id.partition, part.segments[seg_idx + 1], 0)
                         } else {
                             break;
                         }
@@ -844,17 +1135,14 @@ impl PulsarCluster {
             // already-acked messages are skipped during delivery.
             for p in 0..t.partitions.len() {
                 let pos = match sub.mark_delete[p] {
-                    None => ReadPos { seg: 0, entry: 0 },
+                    None => ReadPos::START,
                     Some(md) => {
                         let seg = t.partitions[p]
                             .segments
                             .iter()
                             .position(|&l| l == md.ledger)
                             .unwrap_or(0);
-                        ReadPos {
-                            seg,
-                            entry: md.entry + 1,
-                        }
+                        ReadPos::at(seg, md.entry + 1)
                     }
                 };
                 sub.read[p] = pos;
@@ -920,7 +1208,7 @@ impl PulsarCluster {
                         if sub.read[p].seg > 0 {
                             sub.read[p].seg -= 1;
                         } else {
-                            sub.read[p] = ReadPos { seg: 0, entry: 0 };
+                            sub.read[p] = ReadPos::START;
                         }
                     }
                     let segs = t.partitions[p].segments.clone();
@@ -970,11 +1258,11 @@ fn encode_cursor(id: &MessageId) -> Vec<u8> {
 fn decode_cursor(bytes: &[u8]) -> Option<MessageId> {
     let s = std::str::from_utf8(bytes).ok()?;
     let mut it = s.split(';');
-    Some(MessageId {
-        partition: it.next()?.parse().ok()?,
-        ledger: LedgerId(it.next()?.parse().ok()?),
-        entry: it.next()?.parse().ok()?,
-    })
+    Some(MessageId::new(
+        it.next()?.parse().ok()?,
+        LedgerId(it.next()?.parse().ok()?),
+        it.next()?.parse().ok()?,
+    ))
 }
 
 /// A producer attached to a topic.
@@ -999,6 +1287,56 @@ impl Producer {
     /// partition, preserving per-key order).
     pub fn send_keyed(&self, key: &[u8], payload: &[u8]) -> Result<MessageId> {
         self.cluster.publish(&self.topic, Some(key), payload)
+    }
+
+    /// Publish several messages as one group-committed ledger entry: one
+    /// quota check, one encode, one replicated append. The whole batch
+    /// lands on one partition (round-robin, like key-less `send`); ids come
+    /// back in payload order. See [`BatchBuilder`] for incremental packing.
+    pub fn send_batch<T: AsRef<[u8]>>(&self, payloads: &[T]) -> Result<Vec<MessageId>> {
+        self.cluster.publish_batch(&self.topic, payloads)
+    }
+
+    /// Start building a batch to flush through this producer.
+    pub fn batch(&self) -> BatchBuilder<'_> {
+        BatchBuilder {
+            producer: self,
+            payloads: Vec::new(),
+        }
+    }
+}
+
+/// Incrementally packs messages for one group-committed publish.
+///
+/// Accumulates refcounted payloads and submits them in a single
+/// [`Producer::send_batch`] call on [`flush`](BatchBuilder::flush).
+/// Dropping an unflushed builder publishes nothing.
+pub struct BatchBuilder<'a> {
+    producer: &'a Producer,
+    payloads: Vec<Bytes>,
+}
+
+impl BatchBuilder<'_> {
+    /// Append one message to the pending batch.
+    pub fn add(&mut self, payload: impl Into<Bytes>) -> &mut Self {
+        self.payloads.push(payload.into());
+        self
+    }
+
+    /// Number of messages currently pending.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Publish everything added so far as one batch and reset the builder.
+    pub fn flush(&mut self) -> Result<Vec<MessageId>> {
+        let payloads = std::mem::take(&mut self.payloads);
+        self.producer.send_batch(&payloads)
     }
 }
 
@@ -1027,6 +1365,19 @@ impl Consumer {
     pub fn receive(&mut self) -> Result<Option<Message>> {
         self.cluster
             .receive_from(&self.topic, &self.subscription, self.id, &mut self.rr_part)
+    }
+
+    /// Pull up to `max` available messages under a single broker lock
+    /// acquisition (batched dispatch). Returns fewer (possibly zero) when
+    /// caught up; messages still need individual [`ack`](Consumer::ack)s.
+    pub fn receive_batch(&mut self, max: usize) -> Result<Vec<Message>> {
+        self.cluster.receive_many_from(
+            &self.topic,
+            &self.subscription,
+            self.id,
+            &mut self.rr_part,
+            max,
+        )
     }
 
     /// Acknowledge a message; advances the subscription's mark-delete
@@ -1090,6 +1441,175 @@ mod tests {
             assert_eq!(ts, 42);
             assert_eq!(&p[..], payload);
         }
+    }
+
+    #[test]
+    fn batch_codec_roundtrip() {
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"gamma-longer-payload", b"d"];
+        let enc = encode_batch_entry(99, &payloads);
+        assert!(is_batch_entry(&enc));
+        assert_eq!(batch_count(&enc), Some(payloads.len() as u32));
+        for (i, p) in payloads.iter().enumerate() {
+            let (ts, got) = decode_batch_message(&enc, i as u32).unwrap();
+            assert_eq!(ts, 99);
+            assert_eq!(&got[..], *p);
+        }
+        assert!(decode_batch_message(&enc, payloads.len() as u32).is_none());
+        // Decoded payloads are zero-copy slices of the one entry buffer.
+        let (_, first) = decode_batch_message(&enc, 0).unwrap();
+        let base = enc.as_ref().as_ptr() as usize;
+        let fp = first.as_ref().as_ptr() as usize;
+        assert!(
+            fp >= base && fp < base + enc.len(),
+            "payload not a slice of the entry"
+        );
+        // An unbatched entry is never misread as a batch: its first field is
+        // a key length, which a real key can't push to u32::MAX.
+        let plain = encode_entry(Some(b"key"), 7, b"payload");
+        assert!(!is_batch_entry(&plain));
+        assert_eq!(batch_count(&plain), None);
+    }
+
+    #[test]
+    fn send_batch_roundtrip_and_ids() {
+        let c = small_cluster();
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        let ids = p.send_batch(&[b"a".as_slice(), b"bb", b"ccc"]).unwrap();
+        assert_eq!(ids.len(), 3);
+        // One ledger entry for the whole batch, indexed ids in order.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.batch_index, i as u32);
+            assert_eq!(id.batch_size, 3);
+            assert_eq!(id.canonical(), ids[0].canonical());
+        }
+        assert_eq!(c.retained_entries("t").unwrap(), 1);
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let got = consumer.drain().unwrap();
+        assert_eq!(got.len(), 3);
+        for (m, (id, want)) in got.iter().zip(ids.iter().zip([&b"a"[..], b"bb", b"ccc"])) {
+            assert_eq!(&m.id, id);
+            assert_eq!(&m.payload[..], want);
+        }
+        assert!(consumer.receive().unwrap().is_none());
+    }
+
+    #[test]
+    fn receive_batch_matches_unbatched_delivery() {
+        let c = small_cluster();
+        c.create_topic("mixed", 1).unwrap();
+        let p = c.producer("mixed").unwrap();
+        // Interleave unbatched sends and batches, spanning a segment
+        // rollover (8 entries/segment in small_cluster).
+        let mut want: Vec<Vec<u8>> = Vec::new();
+        for i in 0..6u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+            want.push(i.to_le_bytes().to_vec());
+        }
+        let batch: Vec<Vec<u8>> = (100..140u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        p.send_batch(&batch).unwrap();
+        want.extend(batch.iter().cloned());
+        p.send(b"tail").unwrap();
+        want.push(b"tail".to_vec());
+        let mut consumer = c
+            .subscribe("mixed", "s", SubscriptionMode::Exclusive)
+            .unwrap();
+        let mut got = Vec::new();
+        loop {
+            let chunk = consumer.receive_batch(7).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            for m in chunk {
+                consumer.ack(m.id).unwrap();
+                got.push(m.payload.to_vec());
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_builder_flushes_one_entry() {
+        let c = small_cluster();
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        let mut b = p.batch();
+        assert!(b.is_empty());
+        b.add(&b"x"[..]).add(&b"y"[..]);
+        assert_eq!(b.len(), 2);
+        let ids = b.flush().unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(c.retained_entries("t").unwrap(), 1);
+        // Empty flush publishes nothing.
+        assert!(b.flush().unwrap().is_empty());
+        assert_eq!(c.retained_entries("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn partial_batch_ack_redelivers_only_unacked() {
+        let c = small_cluster();
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        p.send_batch(&[b"m0".as_slice(), b"m1", b"m2", b"m3"])
+            .unwrap();
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let got = consumer.receive_batch(4).unwrap();
+        assert_eq!(got.len(), 4);
+        // Ack only indices 0 and 2.
+        consumer.ack(got[0].id).unwrap();
+        consumer.ack(got[2].id).unwrap();
+        assert_eq!(consumer.redeliver_unacked().unwrap(), 2);
+        let again = consumer.receive_batch(10).unwrap();
+        let payloads: Vec<_> = again.iter().map(|m| m.payload.to_vec()).collect();
+        assert_eq!(payloads, vec![b"m1".to_vec(), b"m3".to_vec()]);
+        // Finishing the batch advances the cursor past the entry.
+        for m in &again {
+            consumer.ack(m.id).unwrap();
+        }
+        assert!(consumer.receive().unwrap().is_none());
+        assert_eq!(consumer.redeliver_unacked().unwrap(), 0);
+        assert!(consumer.receive().unwrap().is_none());
+    }
+
+    #[test]
+    fn fully_acked_batch_survives_restart_partially_acked_redelivers() {
+        let c = small_cluster();
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        p.send_batch(&[b"a0".as_slice(), b"a1"]).unwrap();
+        p.send_batch(&[b"b0".as_slice(), b"b1"]).unwrap();
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let got = consumer.receive_batch(4).unwrap();
+        assert_eq!(got.len(), 4);
+        // Fully ack the first batch; half-ack the second.
+        consumer.ack(got[0].id).unwrap();
+        consumer.ack(got[1].id).unwrap();
+        consumer.ack(got[2].id).unwrap();
+        c.restart_broker();
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let rest = consumer.drain().unwrap();
+        // Partial-ack state is in-memory only: the half-acked entry comes
+        // back whole (at-least-once); the fully-acked one does not.
+        let payloads: Vec<_> = rest.iter().map(|m| m.payload.to_vec()).collect();
+        assert_eq!(payloads, vec![b"b0".to_vec(), b"b1".to_vec()]);
+    }
+
+    #[test]
+    fn duplicate_ack_of_batch_message_is_idempotent() {
+        let c = small_cluster();
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        p.send_batch(&[b"x".as_slice(), b"y"]).unwrap();
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let got = consumer.receive_batch(2).unwrap();
+        consumer.ack(got[0].id).unwrap();
+        consumer.ack(got[0].id).unwrap(); // duplicate before completion
+        consumer.ack(got[1].id).unwrap();
+        consumer.ack(got[1].id).unwrap(); // duplicate after completion
+        assert!(consumer.receive().unwrap().is_none());
+        assert_eq!(consumer.redeliver_unacked().unwrap(), 0);
+        assert!(consumer.receive().unwrap().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use taureau_jiffy::{Jiffy, KvHandle};
@@ -57,8 +58,9 @@ impl Context<'_> {
     }
 
     /// Read a state value (Jiffy-backed; survives across invocations and
-    /// across function instances).
-    pub fn state_get(&self, key: &[u8]) -> Option<Vec<u8>> {
+    /// across function instances). The returned [`Bytes`] is a refcounted
+    /// view with snapshot semantics — no copy.
+    pub fn state_get(&self, key: &[u8]) -> Option<Bytes> {
         self.state.get(key).ok().flatten()
     }
 
@@ -76,7 +78,7 @@ impl Context<'_> {
     pub fn increment(&self, key: &[u8], delta: i64) -> i64 {
         let cur = self
             .state_get(key)
-            .and_then(|v| v.try_into().ok().map(i64::from_le_bytes))
+            .and_then(|v| v[..].try_into().ok().map(i64::from_le_bytes))
             .unwrap_or(0);
         let next = cur + delta;
         self.state_put(key, &next.to_le_bytes());
@@ -351,7 +353,7 @@ mod tests {
         let count = |k: &[u8]| {
             kv.get(k)
                 .unwrap()
-                .map(|v| i64::from_le_bytes(v.try_into().unwrap()))
+                .map(|v| i64::from_le_bytes(v[..].try_into().unwrap()))
                 .unwrap_or(0)
         };
         assert_eq!(count(b"a"), 3);

@@ -279,6 +279,10 @@ impl LedgerWriter {
         let mut acks = 0;
         for i in 0..self.cfg.write_quorum {
             let bk_idx = self.ensemble[(start + i) % n];
+            // `data.clone()` is a refcount bump, not a byte copy: every
+            // replica in the write quorum stores a view of the SAME
+            // allocation (`replicas_share_one_entry_allocation` pins this
+            // down). Replicating an entry is O(quorum), not O(quorum·len).
             if self.bk.bookies[bk_idx].add_entry(self.id, entry, data.clone()) {
                 acks += 1;
             }
@@ -376,6 +380,35 @@ mod tests {
         }
         let total: usize = bookies.iter().map(|b| b.entry_count(w.id())).sum();
         assert_eq!(total, 60, "each entry stored write_quorum=2 times");
+    }
+
+    #[test]
+    fn replicas_share_one_entry_allocation() {
+        // Group commit only pays off if replication doesn't multiply the
+        // memcpy: the same refcounted buffer must back every replica.
+        let (bk, bookies) = cluster(3);
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 3,
+            ack_quorum: 2,
+        };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        let data = Bytes::from(vec![7u8; 4096]);
+        let src = data.as_ref().as_ptr();
+        let entry = w.append(data).unwrap();
+        let ptrs: Vec<*const u8> = bookies
+            .iter()
+            .map(|b| {
+                b.read_entry(w.id(), entry)
+                    .expect("replica stored")
+                    .as_ref()
+                    .as_ptr()
+            })
+            .collect();
+        assert_eq!(ptrs.len(), 3);
+        for p in &ptrs {
+            assert_eq!(*p, src, "replica copied the entry instead of sharing it");
+        }
     }
 
     #[test]

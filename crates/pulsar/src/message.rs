@@ -7,7 +7,14 @@ use taureau_core::id::LedgerId;
 /// A message's durable address: which ledger segment and entry it was
 /// persisted as, plus the partition it belongs to. Totally ordered within a
 /// partition (ledger ids grow over segment rollovers; entry ids grow within
-/// a ledger).
+/// a ledger; batch indices grow within a batched entry).
+///
+/// Producer-side batching packs several messages into one ledger entry, so
+/// an id also carries its position inside that entry: `batch_index` of
+/// `batch_size`. Unbatched messages are the degenerate batch `0 of 1`,
+/// which keeps ids from before batching existed bit-compatible — the
+/// derived `Ord`/`Eq` and the entry-level cursor format are unchanged for
+/// them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId {
     /// Topic partition index.
@@ -16,6 +23,47 @@ pub struct MessageId {
     pub ledger: LedgerId,
     /// Entry index within the ledger.
     pub entry: u64,
+    /// Position within the batched entry (0 for unbatched messages).
+    pub batch_index: u32,
+    /// Number of messages sharing this entry (1 for unbatched messages).
+    pub batch_size: u32,
+}
+
+impl MessageId {
+    /// Id of an unbatched message: the degenerate batch `0 of 1`.
+    pub fn new(partition: u32, ledger: LedgerId, entry: u64) -> Self {
+        Self {
+            partition,
+            ledger,
+            entry,
+            batch_index: 0,
+            batch_size: 1,
+        }
+    }
+
+    /// Id of message `batch_index` inside a `batch_size`-message entry.
+    pub fn in_batch(
+        partition: u32,
+        ledger: LedgerId,
+        entry: u64,
+        batch_index: u32,
+        batch_size: u32,
+    ) -> Self {
+        debug_assert!(batch_index < batch_size.max(1));
+        Self {
+            partition,
+            ledger,
+            entry,
+            batch_index,
+            batch_size,
+        }
+    }
+
+    /// The entry-level (batch-erased) form of this id: what cursors,
+    /// entry-level ack sets, and the `"p;l;e"` persistence format track.
+    pub fn canonical(&self) -> Self {
+        Self::new(self.partition, self.ledger, self.entry)
+    }
 }
 
 /// A message delivered to a consumer.
@@ -44,32 +92,29 @@ mod tests {
 
     #[test]
     fn message_ids_order_within_partition() {
-        let a = MessageId {
-            partition: 0,
-            ledger: LedgerId(1),
-            entry: 5,
-        };
-        let b = MessageId {
-            partition: 0,
-            ledger: LedgerId(1),
-            entry: 6,
-        };
-        let c = MessageId {
-            partition: 0,
-            ledger: LedgerId(2),
-            entry: 0,
-        };
+        let a = MessageId::new(0, LedgerId(1), 5);
+        let b = MessageId::new(0, LedgerId(1), 6);
+        let c = MessageId::new(0, LedgerId(2), 0);
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn batch_ids_order_within_entry_and_canonicalize() {
+        let a = MessageId::in_batch(0, LedgerId(1), 5, 0, 3);
+        let b = MessageId::in_batch(0, LedgerId(1), 5, 1, 3);
+        let c = MessageId::in_batch(0, LedgerId(1), 5, 2, 3);
+        let next = MessageId::new(0, LedgerId(1), 6);
+        assert!(a < b && b < c && c < next);
+        assert_eq!(a.canonical(), b.canonical());
+        // An unbatched id is already canonical.
+        let plain = MessageId::new(2, LedgerId(9), 7);
+        assert_eq!(plain.canonical(), plain);
     }
 
     #[test]
     fn payload_str_roundtrip() {
         let m = Message {
-            id: MessageId {
-                partition: 0,
-                ledger: LedgerId(0),
-                entry: 0,
-            },
+            id: MessageId::new(0, LedgerId(0), 0),
             key: None,
             payload: Bytes::from_static(b"hello"),
             publish_time: std::time::Duration::ZERO,

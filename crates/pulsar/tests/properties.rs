@@ -109,6 +109,76 @@ proptest! {
         prop_assert_eq!(redelivered, unacked);
     }
 
+    /// Batched publish/dispatch is observationally equivalent to unbatched:
+    /// the same payload sequence split into arbitrary batch boundaries, read
+    /// back with arbitrary `receive_batch` chunk sizes, yields the identical
+    /// per-partition payload sequence, and acking by the returned
+    /// (batch-indexed) `MessageId`s fully advances the cursor.
+    #[test]
+    fn batched_publish_dispatch_equals_unbatched(
+        payloads in vec(vec(any::<u8>(), 0..24), 1..60),
+        cuts in vec(1usize..8, 1..20),
+        chunk in 1usize..9,
+        max_per_ledger in 1u64..10,
+    ) {
+        let make = || {
+            let cfg = PulsarConfig {
+                bookies: 3,
+                ledger: LedgerConfig::default(),
+                max_entries_per_ledger: max_per_ledger,
+            };
+            let c = PulsarCluster::new(cfg, WallClock::shared());
+            c.create_topic("t", 1).unwrap();
+            c
+        };
+        // Reference: unbatched sends, one-at-a-time receive.
+        let reference = make();
+        let p = reference.producer("t").unwrap();
+        for payload in &payloads {
+            p.send(payload).unwrap();
+        }
+        let mut consumer = reference.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let want: Vec<Vec<u8>> = consumer
+            .drain()
+            .unwrap()
+            .into_iter()
+            .map(|m| m.payload.to_vec())
+            .collect();
+        prop_assert_eq!(&want, &payloads);
+        // Batched: same payloads split at arbitrary boundaries.
+        let batched = make();
+        let p = batched.producer("t").unwrap();
+        let mut rest = &payloads[..];
+        let mut cut = cuts.iter().cycle();
+        let mut all_ids = Vec::new();
+        while !rest.is_empty() {
+            let take = (*cut.next().unwrap()).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            all_ids.extend(p.send_batch(head).unwrap());
+            rest = tail;
+        }
+        prop_assert_eq!(all_ids.len(), payloads.len());
+        let mut consumer = batched.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let mut got = Vec::new();
+        let mut got_ids = Vec::new();
+        loop {
+            let ms = consumer.receive_batch(chunk).unwrap();
+            if ms.is_empty() {
+                break;
+            }
+            for m in ms {
+                consumer.ack(m.id).unwrap();
+                got_ids.push(m.id);
+                got.push(m.payload.to_vec());
+            }
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got_ids, all_ids);
+        // Every message was acked by its batch-indexed id: nothing left.
+        prop_assert_eq!(consumer.redeliver_unacked().unwrap(), 0);
+        prop_assert!(consumer.receive().unwrap().is_none());
+    }
+
     /// Broker restart at any point preserves exactly the unconsumed suffix.
     #[test]
     fn restart_preserves_unconsumed_suffix(

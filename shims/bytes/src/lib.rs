@@ -1,6 +1,11 @@
 //! Offline shim for the `bytes` crate: cheap-to-clone immutable byte
-//! buffers (`Bytes`) over an `Arc<[u8]>`, plus a growable `BytesMut`
+//! buffers (`Bytes`) over an `Arc<Vec<u8>>`, plus a growable `BytesMut`
 //! builder with the little-endian `BufMut` put-methods the workspace uses.
+//!
+//! The backing store is an `Arc<Vec<u8>>` rather than an `Arc<[u8]>` on
+//! purpose: `Vec<u8> -> Bytes` then reuses the vector's heap buffer (one
+//! small `Arc` header allocation, no byte copy), which is what makes the
+//! handler-output -> `Bytes` conversion at the FaaS `Ok` boundary free.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -10,7 +15,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable slice of bytes.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -97,8 +102,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // Takes ownership of the vector's buffer: no byte copy.
         let end = v.len();
-        Self { data: v.into(), start: 0, end }
+        Self { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -137,6 +143,30 @@ impl PartialEq<[u8]> for Bytes {
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
         self.as_ref() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
     }
 }
 

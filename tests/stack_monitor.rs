@@ -139,7 +139,7 @@ fn failed_invocation_dumps_its_complete_span_tree() {
             .unwrap()
             .contents()
             .unwrap();
-        String::from_utf8(bytes).unwrap()
+        String::from_utf8(bytes.to_vec()).unwrap()
     };
     let text = read("summary.txt");
     // Causally complete: the invoke root, the platform's internal phases,

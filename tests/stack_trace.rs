@@ -34,7 +34,7 @@ fn traced_stack(invocations: u64) -> (Tracer, FaasPlatform, PulsarCluster, Jiffy
             .map_err(|e| e.to_string())?
             .unwrap_or_default();
         producer.send(&staged).map_err(|e| e.to_string())?;
-        Ok(staged)
+        Ok(staged.to_vec())
     }))
     .unwrap();
 
