@@ -411,6 +411,17 @@ impl MetricsRegistry {
     /// name prefixed (e.g. a subsystem name), so expositions from several
     /// registries can be concatenated without collisions.
     pub fn render_prometheus_prefixed(&self, prefix: &str) -> String {
+        self.render_prometheus_labeled(prefix, &[])
+    }
+
+    /// [`render_prometheus_prefixed`](Self::render_prometheus_prefixed)
+    /// with a shared label set attached to every sample (e.g.
+    /// `instance`/`tenant` identity when several processes' expositions
+    /// are scraped together). Label *names* must already be valid
+    /// Prometheus identifiers; label *values* are arbitrary and escaped
+    /// per the text-format spec (backslash, double-quote, line feed).
+    /// Every metric family gets `# HELP` and `# TYPE` comment lines.
+    pub fn render_prometheus_labeled(&self, prefix: &str, labels: &[(&str, &str)]) -> String {
         fn sanitize(prefix: &str, name: &str) -> String {
             let mut out = String::with_capacity(prefix.len() + name.len());
             for (i, c) in prefix.chars().chain(name.chars()).enumerate() {
@@ -424,28 +435,84 @@ impl MetricsRegistry {
         }
 
         use std::fmt::Write as _;
+        let shared = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        // Label block for plain samples; empty when there are no labels.
+        let base = if shared.is_empty() {
+            String::new()
+        } else {
+            format!("{{{shared}}}")
+        };
+        let with_quantile = |q: f64| {
+            if shared.is_empty() {
+                format!("{{quantile=\"{q}\"}}")
+            } else {
+                format!("{{{shared},quantile=\"{q}\"}}")
+            }
+        };
+
         let mut out = String::new();
-        for (name, value) in self.counter_values() {
-            let name = sanitize(prefix, &name);
+        for (orig, value) in self.counter_values() {
+            let name = sanitize(prefix, &orig);
+            let _ = writeln!(out, "# HELP {name} Counter `{}`.", escape_help(&orig));
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{name}{base} {value}");
         }
-        for (name, value) in self.gauge_values() {
-            let name = sanitize(prefix, &name);
+        for (orig, value) in self.gauge_values() {
+            let name = sanitize(prefix, &orig);
+            let _ = writeln!(out, "# HELP {name} Gauge `{}`.", escape_help(&orig));
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{name}{base} {value}");
         }
-        for (name, h) in sorted_view(&self.inner.histograms, Arc::clone) {
-            let name = sanitize(prefix, &name);
+        for (orig, h) in sorted_view(&self.inner.histograms, Arc::clone) {
+            let name = sanitize(prefix, &orig);
+            let _ = writeln!(
+                out,
+                "# HELP {name} Histogram `{}` quantile summary.",
+                escape_help(&orig)
+            );
             let _ = writeln!(out, "# TYPE {name} summary");
             for q in [0.5, 0.9, 0.99] {
-                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.value_at_quantile(q));
+                let _ = writeln!(out, "{name}{} {}", with_quantile(q), h.value_at_quantile(q));
             }
-            let _ = writeln!(out, "{name}_sum {}", h.sum());
-            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_sum{base} {}", h.sum());
+            let _ = writeln!(out, "{name}_count{base} {}", h.count());
         }
         out
     }
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash → `\\`, double-quote → `\"`, line feed → `\n`. All other
+/// bytes pass through untouched (values are arbitrary UTF-8).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text per the exposition format: backslash → `\\` and
+/// line feed → `\n` (quotes are legal in help text and stay literal).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -601,6 +668,45 @@ mod tests {
             assert!(val.parse::<f64>().is_ok(), "unparsable value in: {line}");
             assert_eq!(parts.next(), None, "trailing fields in: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_type_lines() {
+        let r = MetricsRegistry::new();
+        r.counter("invocations").inc();
+        r.gauge("pool.size").set(1);
+        r.histogram("latency_us").record(5);
+        let text = r.render_prometheus_prefixed("faas_");
+        for family in ["faas_invocations", "faas_pool_size", "faas_latency_us"] {
+            let help = text.find(&format!("# HELP {family} ")).unwrap();
+            let typ = text.find(&format!("# TYPE {family} ")).unwrap();
+            assert!(help < typ, "{family}: HELP must precede TYPE");
+        }
+        // Help text echoes the original (pre-sanitize) metric name.
+        assert!(text.contains("# HELP faas_pool_size Gauge `pool.size`."));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("hits").add(2);
+        r.histogram("lat").record(9);
+        let text =
+            r.render_prometheus_labeled("", &[("path", "C:\\tmp\\\"x\"\nend"), ("plain", "ok")]);
+        let want = "path=\"C:\\\\tmp\\\\\\\"x\\\"\\nend\",plain=\"ok\"";
+        assert!(
+            text.contains(&format!("hits{{{want}}} 2")),
+            "counter sample missing escaped labels:\n{text}"
+        );
+        // Histogram quantile samples merge shared labels with `quantile`.
+        assert!(text.contains(&format!("lat{{{want},quantile=\"0.5\"}} ")));
+        assert!(text.contains(&format!("lat_sum{{{want}}} 9")));
+        assert!(text.contains(&format!("lat_count{{{want}}} 1")));
+        // No raw (unescaped) newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(!line.is_empty(), "escaping must not split sample lines");
+        }
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -31,11 +31,17 @@ use std::cell::Cell;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+#[cfg(feature = "lock-prof")]
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::hash::{fnv, FnvBuildHasher, FnvHashMap};
 use crate::id::LedgerId;
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::trace::TelemetrySink;
 
 /// The table type inside each shard. FNV-hashed: shard keys are short,
 /// trusted strings/ids, so the keyed SipHash the std `HashMap` defaults to
@@ -108,6 +114,10 @@ impl ShardKey for LedgerId {
 pub struct ShardedMap<K, V> {
     shards: Box<[Mutex<Shard<K, V>>]>,
     mask: u64,
+    /// Contention instrumentation, attached at most once per map (see
+    /// [`ShardedMap::attach_profiler`]). Read with a single atomic load on
+    /// the hot path; `None` (the default) costs exactly that one load.
+    prof: OnceLock<Arc<LockSite>>,
 }
 
 impl<K, V> Default for ShardedMap<K, V> {
@@ -140,6 +150,7 @@ impl<K, V> ShardedMap<K, V> {
         Self {
             shards,
             mask: (n - 1) as u64,
+            prof: OnceLock::new(),
         }
     }
 
@@ -148,9 +159,36 @@ impl<K, V> ShardedMap<K, V> {
         self.shards.len()
     }
 
+    /// Attach a contention [`LockSite`]: every subsequent keyed
+    /// acquisition (`with`, `insert`, `remove`, `get_cloned`,
+    /// `contains_key`) reports wait/hold timings to it. Attach-once:
+    /// returns `false` (and leaves the existing site) if a profiler is
+    /// already attached. Whole-map sweeps (`for_each`, `len`, …) are
+    /// report-time paths and stay untimed. With the `lock-prof` feature
+    /// disabled this still stores the site but no timing code is compiled
+    /// into the lock paths at all.
+    pub fn attach_profiler(&self, site: Arc<LockSite>) -> bool {
+        self.prof.set(site).is_ok()
+    }
+
+    /// The attached contention site, if any.
+    pub fn profiler(&self) -> Option<&Arc<LockSite>> {
+        self.prof.get()
+    }
+
+    /// Lock the shard owning `hash` and run `f` on it, routing through the
+    /// attached [`LockSite`] when one is present. All keyed operations
+    /// funnel here so instrumentation cannot miss an acquisition path.
     #[inline]
-    fn shard_for(&self, hash: u64) -> &Mutex<Shard<K, V>> {
-        &self.shards[(hash & self.mask) as usize]
+    fn run_locked<R>(&self, hash: u64, f: impl FnOnce(&mut Shard<K, V>) -> R) -> R {
+        let idx = (hash & self.mask) as usize;
+        let mutex = &self.shards[idx];
+        #[cfg(feature = "lock-prof")]
+        if let Some(site) = self.prof.get() {
+            return site.timed(idx, mutex, f);
+        }
+        let mut shard = mutex.lock();
+        f(&mut shard)
     }
 }
 
@@ -167,8 +205,7 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         Q: ShardKey + ?Sized,
     {
         let hash = key.shard_hash();
-        let mut shard = self.shard_for(hash).lock();
-        f(&mut shard)
+        self.run_locked(hash, f)
     }
 
     /// Insert, returning the previous value.
@@ -177,8 +214,8 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
     where
         K: ShardKey,
     {
-        let mut shard = self.shard_for(key.shard_hash()).lock();
-        shard.insert(key, value)
+        let hash = key.shard_hash();
+        self.run_locked(hash, |shard| shard.insert(key, value))
     }
 
     /// Remove, returning the value if present.
@@ -188,8 +225,7 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         K: Borrow<Q>,
         Q: ShardKey + Hash + Eq + ?Sized,
     {
-        let mut shard = self.shard_for(key.shard_hash()).lock();
-        shard.remove(key)
+        self.run_locked(key.shard_hash(), |shard| shard.remove(key))
     }
 
     /// Clone out the value for `key`, if present.
@@ -200,8 +236,7 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         Q: ShardKey + Hash + Eq + ?Sized,
         V: Clone,
     {
-        let shard = self.shard_for(key.shard_hash()).lock();
-        shard.get(key).cloned()
+        self.run_locked(key.shard_hash(), |shard| shard.get(key).cloned())
     }
 
     /// Whether `key` is present.
@@ -211,8 +246,7 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         K: Borrow<Q>,
         Q: ShardKey + Hash + Eq + ?Sized,
     {
-        let shard = self.shard_for(key.shard_hash()).lock();
-        shard.contains_key(key)
+        self.run_locked(key.shard_hash(), |shard| shard.contains_key(key))
     }
 
     /// Total entries across all shards (locks shards one at a time).
@@ -344,6 +378,326 @@ impl StripedCounter {
     }
 }
 
+/// Default hold-time sampling rate for a [`LockSite`]: one acquisition in
+/// this many (per thread) pays the two clock reads that bracket the
+/// critical section. Waits are never sampled — a wait only starts its
+/// clock after `try_lock` has already failed, so the uncontended path
+/// never reads a clock at all.
+pub const HOLD_SAMPLE_EVERY: u64 = 64;
+
+#[cfg(feature = "lock-prof")]
+thread_local! {
+    /// Per-thread acquisition tick driving hold-time sampling. Thread-local
+    /// so sampling needs no shared atomic (lock-order-free: recording never
+    /// takes a lock, so a profiled lock can never deadlock against the
+    /// profiler).
+    static HOLD_TICK: Cell<u64> = const { Cell::new(0) };
+}
+
+#[cfg(feature = "lock-prof")]
+#[inline]
+fn hold_sampled(mask: u64) -> bool {
+    HOLD_TICK.with(|t| {
+        let v = t.get().wrapping_add(1);
+        t.set(v);
+        v & mask == 0
+    })
+}
+
+/// Saturating nanosecond count of a [`Duration`].
+#[cfg(feature = "lock-prof")]
+#[inline]
+fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Contention instrumentation for one named lock site (one [`ShardedMap`],
+/// e.g. the broker's topic registry). Counts every acquisition, times
+/// every *contended* wait (`try_lock` miss → clock → blocking `lock`), and
+/// samples hold times one-in-[`HOLD_SAMPLE_EVERY`]. All recording is
+/// lock-order-free: striped counters, per-shard padded atomics, and an
+/// atomic histogram — the profiler can never introduce an ordering edge
+/// between the locks it watches.
+///
+/// Cost model (why this stays always-on): an uncontended acquisition pays
+/// one striped `fetch_add` plus (1/N of the time) two `Instant::now`
+/// reads; a contended one was already paying a blocking wait, so its two
+/// clock reads and histogram update are noise. The `lock-prof` cargo
+/// feature (default on) compiles even that out for builds that want the
+/// seed-identical hot path.
+pub struct LockSite {
+    name: String,
+    /// `hold_sample_every - 1`; sampling tests `tick & mask == 0`.
+    hold_sample_mask: u64,
+    acquisitions: StripedCounter,
+    contended: StripedCounter,
+    wait_nanos: StripedCounter,
+    hold_nanos: StripedCounter,
+    wait_us: Histogram,
+    hold_us: Histogram,
+    shard_wait: Box<[PaddedCell]>,
+    shard_hold: Box<[PaddedCell]>,
+}
+
+impl fmt::Debug for LockSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockSite")
+            .field("name", &self.name)
+            .field("acquisitions", &self.acquisitions.get())
+            .field("contended", &self.contended.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LockSite {
+    /// New site covering `shards` stripes, sampling hold times at the
+    /// default [`HOLD_SAMPLE_EVERY`] rate.
+    pub fn new(name: impl Into<String>, shards: usize) -> Arc<Self> {
+        Self::with_hold_sampling(name, shards, HOLD_SAMPLE_EVERY)
+    }
+
+    /// New site sampling hold times one-in-`every` (must be a power of
+    /// two; `1` measures every acquisition — useful in tests).
+    pub fn with_hold_sampling(name: impl Into<String>, shards: usize, every: u64) -> Arc<Self> {
+        assert!(every.is_power_of_two(), "hold sampling rate must be 2^k");
+        let shards = shards.max(1);
+        let mk = |n: usize| {
+            (0..n)
+                .map(|_| PaddedCell::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        Arc::new(Self {
+            name: name.into(),
+            hold_sample_mask: every - 1,
+            acquisitions: StripedCounter::new(),
+            contended: StripedCounter::new(),
+            wait_nanos: StripedCounter::new(),
+            hold_nanos: StripedCounter::new(),
+            wait_us: Histogram::new(),
+            hold_us: Histogram::new(),
+            shard_wait: mk(shards),
+            shard_hold: mk(shards),
+        })
+    }
+
+    /// Site name (the call site it labels, e.g. `pulsar.topics`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Acquire `mutex` (stripe `shard` of this site), timing the wait when
+    /// contended and the hold when sampled, then run `f` under the guard.
+    #[cfg(feature = "lock-prof")]
+    #[inline]
+    pub(crate) fn timed<T, R>(
+        &self,
+        shard: usize,
+        mutex: &Mutex<T>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        self.acquisitions.inc();
+        let mut guard = match mutex.try_lock() {
+            Some(g) => g,
+            None => {
+                // The clock starts only after we know we will block: the
+                // uncontended fast path never reads a clock for waits.
+                let t0 = Instant::now();
+                let g = mutex.lock();
+                let waited = t0.elapsed();
+                let ns = saturating_nanos(waited);
+                self.contended.inc();
+                self.wait_nanos.add(ns);
+                if let Some(cell) = self.shard_wait.get(shard) {
+                    cell.0.fetch_add(ns, Ordering::Relaxed);
+                }
+                self.wait_us.record_duration(waited);
+                g
+            }
+        };
+        if hold_sampled(self.hold_sample_mask) {
+            let t0 = Instant::now();
+            let out = f(&mut guard);
+            drop(guard);
+            let held = t0.elapsed();
+            let ns = saturating_nanos(held);
+            self.hold_nanos.add(ns);
+            if let Some(cell) = self.shard_hold.get(shard) {
+                cell.0.fetch_add(ns, Ordering::Relaxed);
+            }
+            self.hold_us.record_duration(held);
+            out
+        } else {
+            f(&mut guard)
+        }
+    }
+
+    /// Point-in-time snapshot for reporting.
+    pub fn snapshot(&self) -> LockSiteSnapshot {
+        LockSiteSnapshot {
+            name: self.name.clone(),
+            acquisitions: self.acquisitions.get(),
+            contended: self.contended.get(),
+            wait_total: Duration::from_nanos(self.wait_nanos.get()),
+            hold_sampled_total: Duration::from_nanos(self.hold_nanos.get()),
+            hold_sample_every: self.hold_sample_mask + 1,
+            wait_us: self.wait_us.snapshot(),
+            hold_us: self.hold_us.snapshot(),
+            shard_wait_nanos: self
+                .shard_wait
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .collect(),
+            shard_hold_nanos: self
+                .shard_hold
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Snapshot of one [`LockSite`]'s counters, timers, and histograms.
+#[derive(Debug, Clone)]
+pub struct LockSiteSnapshot {
+    /// Site name.
+    pub name: String,
+    /// Total acquisitions (contended or not).
+    pub acquisitions: u64,
+    /// Acquisitions that failed `try_lock` and blocked.
+    pub contended: u64,
+    /// Total time spent blocked across all contended acquisitions.
+    pub wait_total: Duration,
+    /// Total hold time of the *sampled* acquisitions (multiply by
+    /// `hold_sample_every` for an estimate of the true total; see
+    /// [`LockSiteSnapshot::hold_total_estimate`]).
+    pub hold_sampled_total: Duration,
+    /// One acquisition in this many had its hold time measured.
+    pub hold_sample_every: u64,
+    /// Wait-time distribution of contended acquisitions, microseconds.
+    pub wait_us: HistogramSnapshot,
+    /// Hold-time distribution of sampled acquisitions, microseconds.
+    pub hold_us: HistogramSnapshot,
+    /// Per-shard blocked-wait nanoseconds (index = shard index).
+    pub shard_wait_nanos: Vec<u64>,
+    /// Per-shard sampled-hold nanoseconds (index = shard index).
+    pub shard_hold_nanos: Vec<u64>,
+}
+
+impl LockSiteSnapshot {
+    /// Fraction of acquisitions that blocked, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Estimated total hold time: sampled total scaled by the sampling
+    /// rate.
+    pub fn hold_total_estimate(&self) -> Duration {
+        self.hold_sampled_total
+            .saturating_mul(u32::try_from(self.hold_sample_every).unwrap_or(u32::MAX))
+    }
+
+    /// The shard with the most blocked-wait time, if any waiting happened.
+    pub fn hottest_shard(&self) -> Option<(usize, Duration)> {
+        self.shard_wait_nanos
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, ns)| **ns)
+            .filter(|(_, ns)| **ns > 0)
+            .map(|(i, ns)| (i, Duration::from_nanos(*ns)))
+    }
+}
+
+#[derive(Default)]
+struct ProfilerInner {
+    sites: Mutex<Vec<Arc<LockSite>>>,
+    /// Per-site `[acquisitions, contended, wait_nanos]` at the last
+    /// [`ContentionProfiler::flush_to_sink`], so flushes emit deltas.
+    last_flush: Mutex<FnvHashMap<String, [u64; 3]>>,
+}
+
+/// Registry of [`LockSite`]s across a process: subsystems create sites
+/// here and attach them to their [`ShardedMap`]s; reporting planes read
+/// [`ContentionProfiler::snapshots`] or ship deltas through a
+/// [`TelemetrySink`]. Cheap to clone (clones share the registry).
+#[derive(Clone, Default)]
+pub struct ContentionProfiler {
+    inner: Arc<ProfilerInner>,
+}
+
+impl fmt::Debug for ContentionProfiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContentionProfiler")
+            .field("sites", &self.inner.sites.lock().len())
+            .finish()
+    }
+}
+
+impl ContentionProfiler {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a [`LockSite`] named `name` covering `shards` stripes and
+    /// register it.
+    pub fn site(&self, name: impl Into<String>, shards: usize) -> Arc<LockSite> {
+        let site = LockSite::new(name, shards);
+        self.register(&site);
+        site
+    }
+
+    /// Register an externally created site.
+    pub fn register(&self, site: &Arc<LockSite>) {
+        self.inner.sites.lock().push(Arc::clone(site));
+    }
+
+    /// All registered sites.
+    pub fn sites(&self) -> Vec<Arc<LockSite>> {
+        self.inner.sites.lock().clone()
+    }
+
+    /// Name-sorted snapshots of every registered site.
+    pub fn snapshots(&self) -> Vec<LockSiteSnapshot> {
+        let mut out: Vec<_> = self.sites().iter().map(|s| s.snapshot()).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Push per-site counter *deltas* since the previous flush onto a
+    /// telemetry sink as metric events (`lock.<site>.acquisitions`,
+    /// `.contended`, `.wait_ns`). Returns the number of events pushed;
+    /// zero-delta metrics are skipped, so an idle profiler ships nothing.
+    pub fn flush_to_sink(&self, sink: &TelemetrySink) -> usize {
+        let sites = self.sites();
+        let mut last = self.inner.last_flush.lock();
+        let mut pushed = 0;
+        for site in sites {
+            let snap = [
+                site.acquisitions.get(),
+                site.contended.get(),
+                site.wait_nanos.get(),
+            ];
+            let prev = last.entry(site.name.clone()).or_insert([0; 3]);
+            for (i, suffix) in ["acquisitions", "contended", "wait_ns"]
+                .into_iter()
+                .enumerate()
+            {
+                let delta = snap[i].saturating_sub(prev[i]);
+                if delta > 0 && sink.metric(&format!("lock.{}.{suffix}", site.name), delta) {
+                    pushed += 1;
+                }
+            }
+            *prev = snap;
+        }
+        pushed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +783,97 @@ mod tests {
             model.insert(k.clone(), *v);
         });
         assert_eq!(model.len(), 8 * 500);
+    }
+
+    #[cfg(feature = "lock-prof")]
+    #[test]
+    fn lock_site_counts_every_acquisition_path() {
+        let m: ShardedMap<String, u64> = ShardedMap::new();
+        let site = LockSite::new("test.map", m.shard_count());
+        assert!(m.attach_profiler(Arc::clone(&site)));
+        // Second attach is refused and leaves the first site in place.
+        assert!(!m.attach_profiler(LockSite::new("other", m.shard_count())));
+        assert_eq!(m.profiler().unwrap().name(), "test.map");
+
+        m.insert("a".to_string(), 1); // 1
+        m.with("a", |s| s.get("a").copied()); // 2
+        m.get_cloned("a"); // 3
+        m.contains_key("a"); // 4
+        m.remove("a"); // 5
+        let snap = site.snapshot();
+        assert_eq!(snap.acquisitions, 5);
+        assert_eq!(snap.contended, 0);
+        assert_eq!(snap.wait_total, Duration::ZERO);
+        assert_eq!(snap.shard_wait_nanos.len(), m.shard_count());
+        assert!(snap.hottest_shard().is_none());
+        assert_eq!(snap.contention_ratio(), 0.0);
+    }
+
+    #[cfg(feature = "lock-prof")]
+    #[test]
+    fn contended_acquisitions_record_wait_time() {
+        let m: Arc<ShardedMap<String, u64>> = Arc::new(ShardedMap::with_shards(1));
+        let site = LockSite::with_hold_sampling("hot", 1, 1);
+        m.attach_profiler(Arc::clone(&site));
+        // One thread camps on the only shard; others must block behind it.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        m.with("k", |shard| {
+                            *shard.entry("k".to_string()).or_insert(0) += 1;
+                            std::thread::sleep(Duration::from_micros(50));
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get_cloned("k"), Some(200));
+        let snap = site.snapshot();
+        // 200 writer acquisitions + the final read.
+        assert_eq!(snap.acquisitions, 201);
+        assert!(snap.contended > 0, "4 threads on 1 shard must contend");
+        assert!(snap.wait_total > Duration::ZERO);
+        assert!(snap.wait_us.count == snap.contended);
+        // Hold sampling at 1: every acquisition measured, and the holds
+        // include the deliberate 50µs sleeps.
+        assert_eq!(snap.hold_us.count, snap.acquisitions);
+        assert!(snap.hold_sampled_total >= Duration::from_micros(50) * 200);
+        assert_eq!(snap.hottest_shard().unwrap().0, 0);
+        assert!(snap.contention_ratio() > 0.0 && snap.contention_ratio() <= 1.0);
+        // hold_sample_every == 1 → estimate equals the sampled total.
+        assert_eq!(snap.hold_total_estimate(), snap.hold_sampled_total);
+    }
+
+    #[test]
+    fn profiler_registry_snapshots_and_flushes_deltas() {
+        use crate::trace::{TelemetryEvent, TelemetrySink};
+        let prof = ContentionProfiler::new();
+        let m: ShardedMap<String, u64> = ShardedMap::new();
+        m.attach_profiler(prof.site("z.site", m.shard_count()));
+        m.attach_profiler(prof.site("a.site", m.shard_count())); // refused
+        assert_eq!(prof.sites().len(), 2);
+        let names: Vec<_> = prof.snapshots().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.site".to_string(), "z.site".to_string()]);
+
+        m.insert("k".to_string(), 7);
+        m.get_cloned("k");
+        let sink = TelemetrySink::new(64);
+        let pushed = prof.flush_to_sink(&sink);
+        if cfg!(feature = "lock-prof") {
+            assert_eq!(pushed, 1, "only z.site.acquisitions moved");
+            let events = sink.drain(16);
+            match &events[0] {
+                TelemetryEvent::Metric { name, delta } => {
+                    assert_eq!(name, "lock.z.site.acquisitions");
+                    assert_eq!(*delta, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Idle profiler ships nothing on the next flush.
+        assert_eq!(prof.flush_to_sink(&sink), 0);
     }
 
     #[test]

@@ -75,6 +75,39 @@ pub struct SpanContext {
     pub span_id: SpanId,
 }
 
+impl SpanContext {
+    /// Encoded size of [`SpanContext::to_bytes`]: two little-endian u64s.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Fixed-width wire form (`trace_id` then `span_id`, little-endian).
+    /// This is what rides in Pulsar entry headers, DAG checkpoint frames,
+    /// and FaaS invocation envelopes so causality survives crossing a
+    /// queue, a ledger, or a spill file. The payload bytes themselves are
+    /// never touched — the context lives in the frame header, keeping the
+    /// zero-copy `Bytes::slice` decode paths intact.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace_id.0.to_le_bytes());
+        out[8..].copy_from_slice(&self.span_id.0.to_le_bytes());
+        out
+    }
+
+    /// Decode a context previously encoded with [`SpanContext::to_bytes`].
+    /// Returns `None` when `bytes` is not exactly [`SpanContext::WIRE_LEN`]
+    /// long (a framing error, not a valid empty context).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let trace = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let span = u64::from_le_bytes(bytes[8..].try_into().ok()?);
+        Some(Self {
+            trace_id: TraceId(trace),
+            span_id: SpanId(span),
+        })
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -626,6 +659,13 @@ impl Drop for SpanGuard {
             return;
         }
         open.record.end = inner.clock.now();
+        // A guard dropped during unwind did not complete its operation;
+        // without this the span would be indistinguishable from a normal
+        // completion and flame/critical-path views would attribute the
+        // aborted work as successful time.
+        if std::thread::panicking() {
+            open.record.attrs.push(("error", "panic".to_string()));
+        }
         // Snapshot the sink handle in its own statement so the sink-slot
         // lock drops immediately; the enqueue below then runs with no
         // tracer lock held. (The old `if let Some(sink) =
@@ -924,6 +964,124 @@ mod tests {
             TelemetryEvent::Span(s) => assert_eq!(s.name, "visible"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn span_context_wire_roundtrip() {
+        let ctx = SpanContext {
+            trace_id: TraceId(0x0123_4567_89ab_cdef),
+            span_id: SpanId(u64::MAX),
+        };
+        let bytes = ctx.to_bytes();
+        assert_eq!(bytes.len(), SpanContext::WIRE_LEN);
+        assert_eq!(SpanContext::from_bytes(&bytes), Some(ctx));
+        // Deterministic layout: trace_id LE then span_id LE.
+        assert_eq!(&bytes[..8], &0x0123_4567_89ab_cdefu64.to_le_bytes());
+        assert_eq!(&bytes[8..], &u64::MAX.to_le_bytes());
+        // Length errors are framing errors, not silent zeros.
+        assert_eq!(SpanContext::from_bytes(&bytes[..15]), None);
+        assert_eq!(SpanContext::from_bytes(&[]), None);
+        // A live guard's context survives the wire.
+        let (tracer, _clock) = virtual_tracer();
+        let g = tracer.span("sys", "op");
+        let live = g.context().unwrap();
+        assert_eq!(SpanContext::from_bytes(&live.to_bytes()), Some(live));
+    }
+
+    #[test]
+    fn panicking_drop_marks_span_as_error() {
+        let (tracer, _clock) = virtual_tracer();
+        let t2 = tracer.clone();
+        let joined = std::thread::spawn(move || {
+            let _g = t2.span("sys", "doomed");
+            panic!("handler exploded");
+        })
+        .join();
+        assert!(joined.is_err());
+        // A span closed normally right after must NOT carry the marker.
+        drop(tracer.span("sys", "fine"));
+        let spans = tracer.spans();
+        let doomed = spans.iter().find(|s| s.name == "doomed").unwrap();
+        assert!(
+            doomed
+                .attrs
+                .iter()
+                .any(|(k, v)| *k == "error" && v == "panic"),
+            "unwound span missing error=panic: {:?}",
+            doomed.attrs
+        );
+        let fine = spans.iter().find(|s| s.name == "fine").unwrap();
+        assert!(fine.attrs.iter().all(|(k, _)| *k != "error"));
+    }
+
+    #[test]
+    fn sink_backpressure_exact_drop_accounting_across_threads() {
+        // N producer threads race to overfill a small queue while a
+        // drainer pulls concurrently. Invariants: drain never blocks or
+        // invents events, and pushed == drained_total + still_queued +
+        // dropped() exactly — no event is both delivered and counted
+        // dropped, none vanish.
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 2_000;
+        let sink = TelemetrySink::new(64);
+        let accepted = AtomicU64::new(0);
+        let drained = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let mut producers = Vec::new();
+            for t in 0..THREADS {
+                let sink = &sink;
+                let accepted = &accepted;
+                producers.push(s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        if sink.metric(&format!("t{t}.m{i}"), 1) {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }));
+            }
+            // Concurrent drainer: keeps the queue moving so pushes keep
+            // succeeding after the first fill; exits once producers are
+            // done AND the queue is empty.
+            let drainer = s.spawn(|| loop {
+                let batch = sink.drain(32);
+                drained.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                if batch.is_empty() {
+                    if done.load(Ordering::Acquire) && sink.is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            for p in producers {
+                p.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            drainer.join().unwrap();
+        });
+        let total_pushed = THREADS * PER_THREAD;
+        let accepted = accepted.load(Ordering::Relaxed);
+        let drained_total = drained.load(Ordering::Relaxed);
+        assert_eq!(
+            accepted + sink.dropped(),
+            total_pushed,
+            "every push either accepted or counted dropped"
+        );
+        assert_eq!(
+            drained_total, accepted,
+            "drain loses or invents events: drained {drained_total}, accepted {accepted}"
+        );
+        assert!(sink.is_empty());
+        // Deterministic overflow coda: fill to capacity, then one more
+        // must be dropped and counted — exactly one.
+        let base_dropped = sink.dropped();
+        for _ in 0..sink.capacity() {
+            assert!(sink.metric("fill", 1));
+        }
+        assert!(!sink.metric("overflow", 1));
+        assert_eq!(sink.dropped(), base_dropped + 1);
+        assert_eq!(sink.drain(usize::MAX).len(), sink.capacity());
     }
 
     #[test]

@@ -43,6 +43,13 @@ const TRACE_SYSTEM: &str = "taureau-dag";
 const CKPT_INLINE: u8 = b'I';
 /// Checkpoint value tag: a Jiffy file path (UTF-8) follows.
 const CKPT_FILE: u8 = b'F';
+/// Ctx-carrying variants: a 16-byte [`SpanContext`] (the `dag.node` span
+/// that produced the value) sits between the tag and the classic body, so
+/// a later run restoring the checkpoint can link back into the original
+/// trace. Untraced runs keep emitting the classic tags bit-identically.
+const CKPT_INLINE_CTX: u8 = b'i';
+/// Ctx-carrying spilled-file variant; see [`CKPT_INLINE_CTX`].
+const CKPT_FILE_CTX: u8 = b'f';
 
 /// What a worker thread hands back for one node.
 type NodeResult = Result<(Stored, NodeOutcome), DagError>;
@@ -231,10 +238,20 @@ impl DagExecutor {
                 let Ok(Some(value)) = ckpt.get(node.name.as_bytes()) else {
                     continue;
                 };
-                let Some(stored) = decode_checkpoint(&value) else {
+                let Some((stored, origin)) = decode_checkpoint(&value) else {
                     continue;
                 };
                 self.metrics.counter("checkpoint_hits").inc();
+                // Restoring under a tracer links this run back into the
+                // trace of the run that produced the checkpoint: the
+                // `dag.restore` span is a child of the original `dag.node`
+                // span recovered from the frame header.
+                if origin.is_some() {
+                    let mut restore = tracer.span_child_of(TRACE_SYSTEM, "dag.restore", origin);
+                    restore.attr("node", &node.name);
+                    restore.attr("job", job);
+                    restore.attr("bytes", stored.len());
+                }
                 outcomes[i] = Some(NodeOutcome {
                     name: node.name.clone(),
                     function: node.function.clone(),
@@ -400,8 +417,11 @@ impl DagExecutor {
             && matches!(self.cfg.data_passing,
                 DataPassing::SizeBased { inline_max } if r.output.len() > inline_max);
         let stored = if spill {
+            let mut spill_span = tracer.span_child_of(TRACE_SYSTEM, "dag.spill", span.context());
             let store = self.state.as_ref().expect("state store attached");
             let path = format!("/dag-{job}/intermediate/{}", node.name);
+            spill_span.attr("node", &node.name);
+            spill_span.attr("bytes", r.output.len());
             let file = store
                 .open_file(path.as_str())
                 .or_else(|_| store.create_file(path.as_str()))?;
@@ -420,7 +440,10 @@ impl DagExecutor {
                 tracer.span_child_of(TRACE_SYSTEM, "dag.checkpoint", span.context());
             ckpt_span.attr("node", &node.name);
             ckpt_span.attr("bytes", stored.len());
-            ckpt.put(node.name.as_bytes(), &encode_checkpoint(&stored))?;
+            ckpt.put(
+                node.name.as_bytes(),
+                &encode_checkpoint(&stored, span.context()),
+            )?;
         }
 
         // Completion event — observability, not correctness: failures are
@@ -512,36 +535,55 @@ impl DagExecutor {
     }
 }
 
-/// Encode a [`Stored`] output as a checkpoint KV value.
-fn encode_checkpoint(stored: &Stored) -> Vec<u8> {
-    match stored {
-        Stored::Inline(b) => {
-            let mut v = Vec::with_capacity(1 + b.len());
-            v.push(CKPT_INLINE);
-            v.extend_from_slice(b);
-            v
+/// Encode a [`Stored`] output as a checkpoint KV value. A producing span
+/// context rides in the frame header (between tag and body); `None`
+/// produces the classic tags, bit-identical to pre-context checkpoints.
+fn encode_checkpoint(stored: &Stored, ctx: Option<SpanContext>) -> Vec<u8> {
+    let (plain_tag, ctx_tag) = match stored {
+        Stored::Inline(_) => (CKPT_INLINE, CKPT_INLINE_CTX),
+        Stored::Spilled { .. } => (CKPT_FILE, CKPT_FILE_CTX),
+    };
+    let mut v = Vec::with_capacity(1 + SpanContext::WIRE_LEN + 9 + stored.len());
+    match ctx {
+        Some(ctx) => {
+            v.push(ctx_tag);
+            v.extend_from_slice(&ctx.to_bytes());
         }
+        None => v.push(plain_tag),
+    }
+    match stored {
+        Stored::Inline(b) => v.extend_from_slice(b),
         Stored::Spilled { path, len } => {
-            let mut v = Vec::with_capacity(9 + path.len());
-            v.push(CKPT_FILE);
             v.extend_from_slice(&len.to_le_bytes());
             v.extend_from_slice(path.as_bytes());
-            v
         }
     }
+    v
 }
 
-/// Decode a checkpoint KV value; `None` if malformed.
-fn decode_checkpoint(value: &[u8]) -> Option<Stored> {
-    match value.split_first()? {
-        (&CKPT_INLINE, rest) => Some(Stored::Inline(Bytes::copy_from_slice(rest))),
-        (&CKPT_FILE, rest) => {
-            let len = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
-            let path = String::from_utf8(rest.get(8..)?.to_vec()).ok()?;
-            Some(Stored::Spilled { path, len })
+/// Decode a checkpoint KV value into the stored output and the context of
+/// the span that produced it (absent for classic frames); `None` if
+/// malformed.
+fn decode_checkpoint(value: &[u8]) -> Option<(Stored, Option<SpanContext>)> {
+    let (tag, mut rest) = value.split_first()?;
+    let ctx = match *tag {
+        CKPT_INLINE_CTX | CKPT_FILE_CTX => {
+            let ctx = SpanContext::from_bytes(rest.get(..SpanContext::WIRE_LEN)?)?;
+            rest = rest.get(SpanContext::WIRE_LEN..)?;
+            Some(ctx)
         }
         _ => None,
-    }
+    };
+    let stored = match *tag {
+        CKPT_INLINE | CKPT_INLINE_CTX => Stored::Inline(Bytes::copy_from_slice(rest)),
+        CKPT_FILE | CKPT_FILE_CTX => {
+            let len = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+            let path = String::from_utf8(rest.get(8..)?.to_vec()).ok()?;
+            Stored::Spilled { path, len }
+        }
+        _ => return None,
+    };
+    Some((stored, ctx))
 }
 
 #[cfg(test)]
@@ -724,6 +766,86 @@ mod tests {
         let report = exec.run(&dag, "ck", b"in").unwrap();
         assert_eq!(report.resumed, 0);
         assert_eq!(report.invocations, 5);
+    }
+
+    #[test]
+    fn checkpoint_frame_codec_roundtrips_span_context() {
+        use taureau_core::trace::{SpanId, TraceId};
+        let ctx = SpanContext {
+            trace_id: TraceId(11),
+            span_id: SpanId(22),
+        };
+        let inline = Stored::Inline(Bytes::from_static(b"out"));
+        let spilled = Stored::Spilled {
+            path: "/dag-j/intermediate/n".into(),
+            len: 7,
+        };
+        for stored in [&inline, &spilled] {
+            // Untraced: classic tag, and the frame decodes with no origin.
+            let classic = encode_checkpoint(stored, None);
+            assert!(classic[0] == CKPT_INLINE || classic[0] == CKPT_FILE);
+            let (got, origin) = decode_checkpoint(&classic).unwrap();
+            assert_eq!(origin, None);
+            assert_eq!(got.len(), stored.len());
+            // Traced: ctx rides in the header, body unchanged after it.
+            let traced = encode_checkpoint(stored, Some(ctx));
+            assert!(traced[0] == CKPT_INLINE_CTX || traced[0] == CKPT_FILE_CTX);
+            assert_eq!(&traced[1 + SpanContext::WIRE_LEN..], &classic[1..]);
+            let (got, origin) = decode_checkpoint(&traced).unwrap();
+            assert_eq!(origin, Some(ctx));
+            assert_eq!(got.len(), stored.len());
+        }
+        // Malformed frames are rejected, not misread.
+        assert!(decode_checkpoint(b"").is_none());
+        assert!(decode_checkpoint(&[CKPT_INLINE_CTX, 1, 2]).is_none());
+        assert!(decode_checkpoint(&[b'?', 0]).is_none());
+    }
+
+    #[test]
+    fn restore_links_back_into_the_producing_trace() {
+        let p = platform();
+        let tracer = Tracer::new(p.clock().clone());
+        p.set_tracer(tracer.clone());
+        let jiffy = Jiffy::new(JiffyConfig::default(), p.clock().clone());
+        let broken = Arc::new(AtomicU32::new(1));
+        let b = broken.clone();
+        p.register(FunctionSpec::new("fragile", "t", move |ctx| {
+            if b.load(Ordering::SeqCst) == 1 {
+                Err("crashed".into())
+            } else {
+                Ok(ctx.payload.to_vec())
+            }
+        }))
+        .unwrap();
+        let dag = Dag::chain(&[("a", "echo"), ("sink", "fragile")]).unwrap();
+        let exec = DagExecutor::new(&p)
+            .with_state(&jiffy)
+            .with_config(ExecutorConfig {
+                retry: RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                },
+                ..ExecutorConfig::default()
+            });
+        assert!(exec.run(&dag, "tr", b"x").is_err());
+        // The first run's dag.node span for "a" produced the checkpoint.
+        let producer = tracer
+            .spans()
+            .into_iter()
+            .find(|s| s.name == "dag.node" && s.attrs.iter().any(|(k, v)| *k == "node" && v == "a"))
+            .unwrap();
+        broken.store(0, Ordering::SeqCst);
+        let report = exec.run(&dag, "tr", b"x").unwrap();
+        assert_eq!(report.resumed, 1);
+        // The second run's restore span is a child of that span: one causal
+        // chain across two executor runs.
+        let restore = tracer
+            .spans()
+            .into_iter()
+            .find(|s| s.name == "dag.restore")
+            .unwrap();
+        assert_eq!(restore.trace_id, producer.trace_id);
+        assert_eq!(restore.parent, Some(producer.span_id));
     }
 
     #[test]

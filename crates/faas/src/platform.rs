@@ -13,7 +13,7 @@ use taureau_core::latency::{profiles, LatencyModel};
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::ratelimit::TokenBucket;
 use taureau_core::sync::ShardedMap;
-use taureau_core::trace::Tracer;
+use taureau_core::trace::{SpanContext, Tracer};
 
 use crate::billing::BillingMeter;
 use crate::error::{FaasError, Result};
@@ -265,7 +265,23 @@ impl FaasPlatform {
 
     /// Invoke a function synchronously.
     pub fn invoke(&self, function: &str, payload: impl Into<Bytes>) -> Result<InvocationResult> {
-        self.invoke_inner(function, payload.into(), 1)
+        self.invoke_inner(function, payload.into(), 1, None)
+    }
+
+    /// Invoke a function as a causal continuation of `parent`: the
+    /// `faas.invoke` span (and everything nested under it — admission,
+    /// startup, execute, billing) joins the parent's trace instead of
+    /// rooting a new one. This is how a message-triggered function links
+    /// back to the publish that produced it: pass the
+    /// [`SpanContext`] carried on `pulsar::Message::ctx`. With
+    /// `parent: None` this is exactly [`FaasPlatform::invoke`].
+    pub fn invoke_traced(
+        &self,
+        function: &str,
+        payload: impl Into<Bytes>,
+        parent: Option<SpanContext>,
+    ) -> Result<InvocationResult> {
+        self.invoke_inner(function, payload.into(), 1, parent)
     }
 
     /// Invoke with automatic re-execution on failure or timeout —
@@ -282,7 +298,7 @@ impl FaasPlatform {
         let payload = payload.into();
         let mut last_err = None;
         for attempt in 1..=max_attempts {
-            match self.invoke_inner(function, payload.clone(), attempt) {
+            match self.invoke_inner(function, payload.clone(), attempt, None) {
                 Ok(r) => return Ok(r),
                 Err(e @ (FaasError::ExecutionFailed { .. } | FaasError::Timeout { .. })) => {
                     self.inner.metrics.counter("retries").inc();
@@ -356,9 +372,10 @@ impl FaasPlatform {
         function: &str,
         payload: Bytes,
         attempt: u32,
+        parent: Option<SpanContext>,
     ) -> Result<InvocationResult> {
         let tracer = self.tracer();
-        let mut span = tracer.span(TRACE_SYSTEM, "faas.invoke");
+        let mut span = tracer.span_child_of(TRACE_SYSTEM, "faas.invoke", parent);
         span.attr("function", function);
         span.attr("attempt", attempt);
 
@@ -571,6 +588,38 @@ mod tests {
         assert_eq!(r.output, b"hi");
         assert_eq!(r.start, StartKind::Cold);
         assert!(r.cost > 0.0);
+    }
+
+    #[test]
+    fn invoke_traced_joins_parent_trace() {
+        use taureau_core::trace::{SpanContext, SpanId, TraceId};
+        let (p, clock) = platform();
+        let tracer = Tracer::new(clock);
+        p.set_tracer(tracer.clone());
+        p.register(FunctionSpec::new("f", "t", |_| Ok(vec![])))
+            .unwrap();
+        let parent = SpanContext {
+            trace_id: TraceId(0xCAFE),
+            span_id: SpanId(0xD00D),
+        };
+        p.invoke_traced("f", &[][..], Some(parent)).unwrap();
+        let spans = tracer.spans();
+        let invoke = spans.iter().find(|s| s.name == "faas.invoke").unwrap();
+        assert_eq!(invoke.trace_id, parent.trace_id);
+        assert_eq!(invoke.parent, Some(parent.span_id));
+        // Nested platform spans ride along in the adopted trace.
+        let exec = spans.iter().find(|s| s.name == "faas.execute").unwrap();
+        assert_eq!(exec.trace_id, parent.trace_id);
+        assert_eq!(exec.parent, Some(invoke.span_id));
+        // No parent: identical to plain invoke — a fresh root trace.
+        p.invoke_traced("f", &[][..], None).unwrap();
+        let root = tracer
+            .spans()
+            .into_iter()
+            .rfind(|s| s.name == "faas.invoke")
+            .unwrap();
+        assert_eq!(root.parent, None);
+        assert_ne!(root.trace_id, parent.trace_id);
     }
 
     #[test]

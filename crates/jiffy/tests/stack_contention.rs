@@ -13,6 +13,9 @@ use taureau_core::bytesize::ByteSize;
 use taureau_jiffy::pool::{BlockRef, MemoryPool};
 use taureau_jiffy::Jiffy;
 
+/// Per-thread grant log: app name plus the blocks it was handed.
+type GrantLog = Arc<Mutex<Vec<(String, Vec<BlockRef>)>>>;
+
 /// 8 threads allocate and free overlapping batches while registering every
 /// held block in a shared set: an insert that reports the block as already
 /// present means the pool handed the same block to two owners.
@@ -76,7 +79,7 @@ fn no_block_is_ever_owned_twice() {
 #[test]
 fn contended_exhaustion_is_all_or_nothing() {
     let pool = Arc::new(MemoryPool::new(2, 8, ByteSize::kb(4)));
-    let granted: Arc<Mutex<Vec<(String, Vec<BlockRef>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let granted: GrantLog = Arc::new(Mutex::new(Vec::new()));
     std::thread::scope(|s| {
         for t in 0..8usize {
             let pool = Arc::clone(&pool);

@@ -16,8 +16,9 @@
 //! a fresh ledger on a healthy ensemble.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -25,8 +26,8 @@ use taureau_core::clock::{SharedClock, WallClock};
 use taureau_core::hash::hash64;
 use taureau_core::id::LedgerId;
 use taureau_core::metrics::MetricsRegistry;
-use taureau_core::sync::ShardedMap;
-use taureau_core::trace::Tracer;
+use taureau_core::sync::{ContentionProfiler, LockSite, ShardedMap};
+use taureau_core::trace::{SpanContext, Tracer};
 
 use crate::bookie::Bookie;
 use crate::error::{PulsarError, Result};
@@ -115,6 +116,42 @@ impl SubscriptionMode {
 
 /// `key_len` sentinel marking the batched entry format.
 const BATCH_MARKER: u32 = u32::MAX;
+
+/// `key_len` sentinel marking a trace-context header: the next
+/// [`SpanContext::WIRE_LEN`] bytes carry the publish span's identity, and
+/// the rest of the buffer is a complete classic entry (unbatched *or*
+/// batched — the inner format keeps its own marker). Like
+/// [`BATCH_MARKER`], this value is impossible for a real key length, so
+/// pre-context entries decode unchanged. The context rides in the entry
+/// *header*, never the payload: decoded keys/payloads remain zero-copy
+/// slices of the one replicated buffer.
+const CTX_MARKER: u32 = u32::MAX - 1;
+
+/// Prefix `entry` with a trace-context header when `ctx` is present.
+/// Untraced publishes (`ctx: None`) produce bit-identical classic entries,
+/// so enabling tracing later never invalidates stored ledgers.
+fn with_ctx_header(ctx: Option<SpanContext>, entry: Bytes) -> Bytes {
+    let Some(ctx) = ctx else {
+        return entry;
+    };
+    let mut buf = BytesMut::with_capacity(4 + SpanContext::WIRE_LEN + entry.len());
+    buf.put_u32_le(CTX_MARKER);
+    buf.put_slice(&ctx.to_bytes());
+    buf.put_slice(&entry);
+    buf.freeze()
+}
+
+/// Strip a trace-context header, returning the carried context (if any)
+/// and the inner classic entry as a zero-copy slice.
+fn split_ctx(bytes: &Bytes) -> (Option<SpanContext>, Bytes) {
+    const HDR: usize = 4 + SpanContext::WIRE_LEN;
+    if bytes.len() >= HDR && bytes[0..4] == CTX_MARKER.to_le_bytes() {
+        if let Some(ctx) = SpanContext::from_bytes(&bytes[4..HDR]) {
+            return (Some(ctx), bytes.slice(HDR..));
+        }
+    }
+    (None, bytes.clone())
+}
 
 fn encode_entry(key: Option<&[u8]>, publish_nanos: u64, payload: &[u8]) -> Bytes {
     let key = key.unwrap_or(&[]);
@@ -276,10 +313,117 @@ struct ClusterInner {
     metrics: MetricsRegistry,
     tracer: Mutex<Tracer>,
     next_consumer: AtomicU64,
+    /// When set, `receive_scan` attributes its wall time across dispatch
+    /// phases (lock acquisition, cursor bookkeeping, entry reads, decode,
+    /// delivery) into the metrics registry. One relaxed load per scan when
+    /// off; see [`PulsarCluster::set_dispatch_profiling`].
+    dispatch_prof: AtomicBool,
     /// Optional cold tier for sealed segments (§4.3 "tiered storage").
     tier: Mutex<Option<crate::tiering::TierBackend>>,
     /// Per-tenant retained-entry quotas (§4.3 "multi-tenancy").
     quotas: Mutex<HashMap<String, u64>>,
+}
+
+/// Snapshot of dispatch-phase attribution: cumulative nanosecond totals
+/// per phase since the cluster was created (counters only advance while
+/// [`PulsarCluster::set_dispatch_profiling`] is on). `wall_ns` covers the
+/// whole `receive_scan` call; the five phases are measured directly
+/// against the same clock, so `wall_ns - explained_ns()` is the honest
+/// unattributed remainder (loop control, span bookkeeping, closure
+/// entry/exit) — it is *not* forced to zero by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchProfile {
+    /// `receive_scan` calls profiled.
+    pub scans: u64,
+    /// Messages delivered by profiled scans.
+    pub messages: u64,
+    /// Total wall time of profiled scans.
+    pub wall_ns: u64,
+    /// Topic-shard lock acquisition: entering the shard (hash, lock wait,
+    /// lazy topic rebuild). Cross-check against the `pulsar.topics`
+    /// [`LockSite`] wait histogram for the blocked component alone.
+    pub lock_ns: u64,
+    /// Cursor bookkeeping: read-position advance, acked-set and
+    /// mark-delete skip checks, partial-batch resume, segment-length
+    /// probes — the subscription-scan state machine.
+    pub cursor_ns: u64,
+    /// Ledger entry reads (bookie or cold tier).
+    pub read_ns: u64,
+    /// Entry decode and message construction (zero-copy slicing, ids,
+    /// per-message trace spans).
+    pub decode_ns: u64,
+    /// Delivery callback (`on_msg`) — consumer-side work.
+    pub deliver_ns: u64,
+}
+
+impl DispatchProfile {
+    /// Named phases, in pipeline order.
+    pub fn phases(&self) -> [(&'static str, u64); 5] {
+        [
+            ("topic_shard_lock", self.lock_ns),
+            ("cursor_bookkeeping", self.cursor_ns),
+            ("entry_read", self.read_ns),
+            ("decode", self.decode_ns),
+            ("deliver", self.deliver_ns),
+        ]
+    }
+
+    /// Sum of the directly measured phases.
+    pub fn explained_ns(&self) -> u64 {
+        self.phases().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Fraction of dispatch wall time the named phases account for.
+    pub fn explained_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            (self.explained_ns() as f64 / self.wall_ns as f64).min(1.0)
+        }
+    }
+
+    /// The most expensive phase — the dispatch-side bottleneck.
+    pub fn top_phase(&self) -> (&'static str, u64) {
+        self.phases()
+            .into_iter()
+            .max_by_key(|(_, ns)| *ns)
+            .unwrap_or(("none", 0))
+    }
+}
+
+/// Checkpoint clock for phase attribution: `tick` charges the time since
+/// the previous checkpoint to one accumulator. Inert (no clock reads)
+/// when constructed off.
+struct PhaseClock {
+    last: Option<Instant>,
+}
+
+impl PhaseClock {
+    fn start(on: bool) -> Self {
+        Self {
+            last: on.then(Instant::now),
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, acc: &mut u64) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            *acc += now.duration_since(last).as_nanos() as u64;
+            self.last = Some(now);
+        }
+    }
+}
+
+/// Per-scan phase accumulators, flushed to the metrics registry once per
+/// `receive_scan` (striped-counter adds; no per-message registry lookups).
+#[derive(Default)]
+struct DispatchAcc {
+    lock_ns: u64,
+    cursor_ns: u64,
+    read_ns: u64,
+    decode_ns: u64,
+    deliver_ns: u64,
 }
 
 /// A Pulsar cluster: brokers + bookies + metadata, in process.
@@ -308,6 +452,7 @@ impl PulsarCluster {
                 metrics: MetricsRegistry::new(),
                 tracer: Mutex::new(Tracer::disabled()),
                 next_consumer: AtomicU64::new(0),
+                dispatch_prof: AtomicBool::new(false),
                 tier: Mutex::new(None),
                 quotas: Mutex::new(HashMap::new()),
             }),
@@ -343,6 +488,49 @@ impl PulsarCluster {
     /// Direct BookKeeper access (used by benches).
     pub fn bookkeeper(&self) -> &BookKeeper {
         &self.inner.bk
+    }
+
+    /// Attach a contention [`LockSite`] named `pulsar.topics` to the
+    /// broker's topic-shard map and register it with `prof`: every
+    /// `with_topic` acquisition (publish, dispatch, ack, cursor and
+    /// subscription maintenance) then reports per-shard wait/hold timings.
+    /// Idempotent: a second call returns the already-attached site.
+    pub fn enable_contention_profiling(&self, prof: &ContentionProfiler) -> Arc<LockSite> {
+        if let Some(site) = self.inner.topics.profiler() {
+            return Arc::clone(site);
+        }
+        let site = prof.site("pulsar.topics", self.inner.topics.shard_count());
+        if !self.inner.topics.attach_profiler(Arc::clone(&site)) {
+            // Raced another caller; use whoever won.
+            return Arc::clone(self.inner.topics.profiler().expect("just attached"));
+        }
+        site
+    }
+
+    /// Toggle dispatch-phase attribution: when on, every `receive_scan`
+    /// splits its wall time into `pulsar.dispatch.*_ns` counters (wall,
+    /// lock acquisition, cursor bookkeeping, entry read, decode,
+    /// delivery) readable from [`PulsarCluster::metrics`] and summarized
+    /// by [`PulsarCluster::dispatch_profile`]. Costs a handful of clock
+    /// reads per delivered message while on; one relaxed atomic load per
+    /// scan while off.
+    pub fn set_dispatch_profiling(&self, on: bool) {
+        self.inner.dispatch_prof.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the dispatch-phase attribution counters.
+    pub fn dispatch_profile(&self) -> DispatchProfile {
+        let c = |name: &str| self.inner.metrics.counter(name).get();
+        DispatchProfile {
+            scans: c("pulsar.dispatch.scans"),
+            messages: c("pulsar.dispatch.messages"),
+            wall_ns: c("pulsar.dispatch.wall_ns"),
+            lock_ns: c("pulsar.dispatch.lock_ns"),
+            cursor_ns: c("pulsar.dispatch.cursor_ns"),
+            read_ns: c("pulsar.dispatch.read_ns"),
+            decode_ns: c("pulsar.dispatch.decode_ns"),
+            deliver_ns: c("pulsar.dispatch.deliver_ns"),
+        }
     }
 
     /// Configure a cold tier: sealed segments can now be offloaded to the
@@ -738,7 +926,10 @@ impl PulsarCluster {
                 }
             };
             span.attr("partition", p);
-            let entry_bytes = encode_entry(key, now.as_nanos() as u64, payload);
+            let entry_bytes = with_ctx_header(
+                span.context(),
+                encode_entry(key, now.as_nanos() as u64, payload),
+            );
             let (lid, entry) = Self::append_with_rollover(
                 inner,
                 &tracer,
@@ -795,7 +986,10 @@ impl PulsarCluster {
             t.rr = t.rr.wrapping_add(1);
             let p = (t.rr as usize) % nparts;
             span.attr("partition", p);
-            let entry_bytes = encode_batch_entry(now.as_nanos() as u64, payloads);
+            let entry_bytes = with_ctx_header(
+                span.context(),
+                encode_batch_entry(now.as_nanos() as u64, payloads),
+            );
             span.attr("bytes", entry_bytes.len());
             let (lid, entry) = Self::append_with_rollover(
                 inner,
@@ -888,7 +1082,16 @@ impl PulsarCluster {
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.dispatch");
         span.attr("topic", topic);
         span.attr("subscription", subscription);
-        self.with_topic(topic, |inner, t| {
+        let prof = self.inner.dispatch_prof.load(Ordering::Relaxed);
+        let wall_start = prof.then(Instant::now);
+        let mut acc = DispatchAcc::default();
+        let result = self.with_topic(topic, |inner, t| {
+            let mut clk = PhaseClock::start(prof);
+            if let (Some(t0), Some(t1)) = (wall_start, clk.last) {
+                // Outside-the-lock to inside-the-lock: topic hash, shard
+                // lock wait, and any lazy topic rebuild.
+                acc.lock_ns += t1.duration_since(t0).as_nanos() as u64;
+            }
             let nparts = t.partitions.len();
             let sub = t
                 .subs
@@ -946,8 +1149,13 @@ impl PulsarCluster {
                             continue;
                         }
                     }
+                    clk.tick(&mut acc.cursor_ns);
                     let raw = Self::read_entry_any(inner, lid, pos.entry)?;
-                    let msg = if let Some(n) = batch_count(&raw) {
+                    clk.tick(&mut acc.read_ns);
+                    // Peel the producer's trace context off the entry header
+                    // (no-op slice for pre-context entries).
+                    let (pub_ctx, raw) = split_ctx(&raw);
+                    let mut msg = if let Some(n) = batch_count(&raw) {
                         // Resume inside the entry, skipping indices already
                         // acked through the partial-batch set.
                         let mut idx = pos.batch;
@@ -982,6 +1190,7 @@ impl PulsarCluster {
                             key: None,
                             payload,
                             publish_time: std::time::Duration::from_nanos(ts),
+                            ctx: None,
                         }
                     } else {
                         let (key, ts, payload) =
@@ -996,8 +1205,22 @@ impl PulsarCluster {
                             key,
                             payload,
                             publish_time: std::time::Duration::from_nanos(ts),
+                            ctx: None,
                         }
                     };
+                    // Join the publisher's trace: a per-message dispatch span
+                    // child-of the publish span when the broker is traced,
+                    // else pass the publish context through verbatim so a
+                    // traced consumer can still link up.
+                    let msg_span = pub_ctx.map(|pc| {
+                        let mut g =
+                            tracer.span_child_of(TRACE_SYSTEM, "pulsar.dispatch_msg", Some(pc));
+                        g.attr("partition", p);
+                        g.attr("entry", pos.entry);
+                        g
+                    });
+                    msg.ctx = msg_span.as_ref().and_then(|g| g.context()).or(pub_ctx);
+                    clk.tick(&mut acc.decode_ns);
                     *start_part = (p + 1) % nparts;
                     inner.metrics.counter("messages_delivered").inc();
                     span.attr("partition", p);
@@ -1005,10 +1228,30 @@ impl PulsarCluster {
                     span.attr("entry", pos.entry);
                     delivered += 1;
                     on_msg(msg);
+                    drop(msg_span);
+                    clk.tick(&mut acc.deliver_ns);
                 }
             }
+            // Loop-termination probes since the last delivery are cursor
+            // scan work.
+            clk.tick(&mut acc.cursor_ns);
             Ok(delivered)
-        })
+        });
+        if let Some(t0) = wall_start {
+            let m = &self.inner.metrics;
+            m.counter("pulsar.dispatch.scans").inc();
+            if let Ok(n) = &result {
+                m.counter("pulsar.dispatch.messages").add(*n as u64);
+            }
+            m.counter("pulsar.dispatch.wall_ns")
+                .add(t0.elapsed().as_nanos() as u64);
+            m.counter("pulsar.dispatch.lock_ns").add(acc.lock_ns);
+            m.counter("pulsar.dispatch.cursor_ns").add(acc.cursor_ns);
+            m.counter("pulsar.dispatch.read_ns").add(acc.read_ns);
+            m.counter("pulsar.dispatch.decode_ns").add(acc.decode_ns);
+            m.counter("pulsar.dispatch.deliver_ns").add(acc.deliver_ns);
+        }
+        result
     }
 
     fn receive_from(
@@ -1468,6 +1711,177 @@ mod tests {
         let plain = encode_entry(Some(b"key"), 7, b"payload");
         assert!(!is_batch_entry(&plain));
         assert_eq!(batch_count(&plain), None);
+    }
+
+    #[test]
+    fn ctx_header_codec_roundtrip() {
+        use taureau_core::trace::{SpanId, TraceId};
+        let ctx = SpanContext {
+            trace_id: TraceId(0xfeed),
+            span_id: SpanId(0xbeef),
+        };
+        // Untraced publishes stay bit-identical to the classic format.
+        let plain = encode_entry(Some(b"k"), 42, b"payload");
+        assert_eq!(with_ctx_header(None, plain.clone()), plain);
+        let (got, inner) = split_ctx(&plain);
+        assert_eq!(got, None);
+        assert_eq!(inner, plain);
+        // Traced entry: header peels off, classic entry decodes unchanged.
+        let wrapped = with_ctx_header(Some(ctx), plain.clone());
+        assert_eq!(wrapped.len(), plain.len() + 4 + SpanContext::WIRE_LEN);
+        let (got, inner) = split_ctx(&wrapped);
+        assert_eq!(got, Some(ctx));
+        let (k, ts, p) = decode_entry(&inner).unwrap();
+        assert_eq!(
+            (k.as_deref(), ts, &p[..]),
+            (Some(&b"k"[..]), 42, &b"payload"[..])
+        );
+        // A batched entry keeps its own marker inside the ctx header, and
+        // the peeled slice is still zero-copy into the wrapped buffer.
+        let batch = encode_batch_entry(7, &[b"a".as_slice(), b"bb"]);
+        let (got, inner) = split_ctx(&with_ctx_header(Some(ctx), batch.clone()));
+        assert_eq!(got, Some(ctx));
+        assert_eq!(batch_count(&inner), Some(2));
+        assert_eq!(inner, batch);
+    }
+
+    #[test]
+    fn dispatch_links_messages_into_publish_trace() {
+        let c = small_cluster();
+        let tracer = Tracer::new(WallClock::shared());
+        c.set_tracer(tracer.clone());
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        p.send(b"solo").unwrap();
+        p.send_batch(&[b"b0".as_slice(), b"b1"]).unwrap();
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let got = consumer.drain().unwrap();
+        assert_eq!(got.len(), 3);
+        let spans = tracer.spans();
+        let publishes: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "pulsar.publish" || s.name == "pulsar.publish_batch")
+            .collect();
+        assert_eq!(publishes.len(), 2);
+        // Every delivered message carries the per-message dispatch span,
+        // which lives in the *publisher's* trace as a child of its publish
+        // span — not in the dispatch scan's own trace.
+        for m in &got {
+            let ctx = m.ctx.expect("traced broker must stamp msg ctx");
+            let rec = spans
+                .iter()
+                .find(|s| s.span_id == ctx.span_id)
+                .expect("msg ctx names a recorded span");
+            assert_eq!(rec.name, "pulsar.dispatch_msg");
+            let publisher = publishes
+                .iter()
+                .find(|s| s.trace_id == ctx.trace_id)
+                .expect("dispatch_msg joins a publish trace");
+            assert_eq!(rec.parent, Some(publisher.span_id));
+        }
+        let batch_traces: std::collections::HashSet<_> =
+            got[1..].iter().map(|m| m.ctx.unwrap().trace_id).collect();
+        assert_eq!(batch_traces.len(), 1, "one batch, one publish trace");
+        assert_ne!(got[0].ctx.unwrap().trace_id, got[1].ctx.unwrap().trace_id);
+    }
+
+    #[test]
+    fn untraced_broker_passes_publish_ctx_verbatim() {
+        let c = small_cluster();
+        let tracer = Tracer::new(WallClock::shared());
+        c.set_tracer(tracer.clone());
+        c.create_topic("t", 1).unwrap();
+        c.producer("t").unwrap().send(b"x").unwrap();
+        // Broker loses its tracer before dispatch: the publish context
+        // recovered from the entry header flows through unchanged.
+        c.set_tracer(Tracer::disabled());
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let m = consumer.receive().unwrap().unwrap();
+        let publish = tracer
+            .spans()
+            .into_iter()
+            .find(|s| s.name == "pulsar.publish")
+            .unwrap();
+        assert_eq!(
+            m.ctx,
+            Some(SpanContext {
+                trace_id: publish.trace_id,
+                span_id: publish.span_id,
+            })
+        );
+        // And a fully untraced publish yields no context at all.
+        let c2 = small_cluster();
+        c2.create_topic("t", 1).unwrap();
+        c2.producer("t").unwrap().send(b"y").unwrap();
+        let mut consumer2 = c2.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        assert_eq!(consumer2.receive().unwrap().unwrap().ctx, None);
+    }
+
+    #[test]
+    fn dispatch_profile_attributes_scan_time() {
+        let c = small_cluster();
+        c.create_topic("t", 2).unwrap();
+        let p = c.producer("t").unwrap();
+        for i in 0..10u64 {
+            p.send(&i.to_le_bytes()).unwrap();
+        }
+        // Off by default: dispatch leaves the counters untouched.
+        let mut consumer = c.subscribe("t", "s", SubscriptionMode::Exclusive).unwrap();
+        let _ = consumer.receive_batch(4).unwrap();
+        assert_eq!(c.dispatch_profile(), DispatchProfile::default());
+        // On: every scan splits its wall time into the named phases.
+        c.set_dispatch_profiling(true);
+        let mut rest = 0;
+        loop {
+            let chunk = consumer.receive_batch(100).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            rest += chunk.len();
+        }
+        assert_eq!(rest, 6);
+        let prof = c.dispatch_profile();
+        assert!(
+            prof.scans >= 2,
+            "drain plus final empty scan: {}",
+            prof.scans
+        );
+        assert_eq!(prof.messages, 6);
+        assert!(prof.wall_ns > 0);
+        assert!(prof.explained_ns() > 0);
+        // Checkpoints partition the scan window, so the named phases can
+        // never sum past the wall clock that contains them.
+        assert!(prof.explained_ns() <= prof.wall_ns);
+        assert_eq!(prof.phases().len(), 5);
+        let (top, ns) = prof.top_phase();
+        assert!(ns > 0, "top phase {top} must have time attributed");
+        // Off again: counters freeze.
+        c.set_dispatch_profiling(false);
+        let _ = consumer.receive_batch(100).unwrap();
+        assert_eq!(c.dispatch_profile(), prof);
+    }
+
+    #[test]
+    fn contention_profiling_times_topic_shard_lock() {
+        let c = small_cluster();
+        let prof = ContentionProfiler::new();
+        let site = c.enable_contention_profiling(&prof);
+        assert_eq!(site.name(), "pulsar.topics");
+        // Idempotent: a second call returns the same site, not a new one.
+        assert!(Arc::ptr_eq(&site, &c.enable_contention_profiling(&prof)));
+        c.create_topic("t", 1).unwrap();
+        let p = c.producer("t").unwrap();
+        for _ in 0..5 {
+            p.send(b"x").unwrap();
+        }
+        let snap = site.snapshot();
+        // taureau-core's default `lock-prof` feature is on in this build,
+        // so every shard acquisition is counted.
+        assert!(
+            snap.acquisitions >= 5,
+            "publishes acquire the topic shard: {}",
+            snap.acquisitions
+        );
     }
 
     #[test]

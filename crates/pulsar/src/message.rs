@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use taureau_core::id::LedgerId;
+use taureau_core::trace::SpanContext;
 
 /// A message's durable address: which ledger segment and entry it was
 /// persisted as, plus the partition it belongs to. Totally ordered within a
@@ -77,6 +78,15 @@ pub struct Message {
     pub payload: Bytes,
     /// Publish timestamp (clock time at the broker).
     pub publish_time: std::time::Duration,
+    /// Causal trace context carried through the broker: the dispatch
+    /// span's identity when the broker is traced (itself a child of the
+    /// producer's publish span, recovered from the entry header), or the
+    /// publish span's identity verbatim when only the producer side is
+    /// traced. `None` for untraced publishes and pre-context entries.
+    /// Consumers hand this to `Tracer::span_child_of` (or
+    /// `FaasPlatform::invoke_traced`) so the processing hop joins the
+    /// publisher's trace instead of rooting a new one.
+    pub ctx: Option<SpanContext>,
 }
 
 impl Message {
@@ -118,6 +128,7 @@ mod tests {
             key: None,
             payload: Bytes::from_static(b"hello"),
             publish_time: std::time::Duration::ZERO,
+            ctx: None,
         };
         assert_eq!(m.payload_str(), Some("hello"));
         let bin = Message {

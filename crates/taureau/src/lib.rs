@@ -16,6 +16,7 @@
 //! | [`orchestration`] | function composition (Lopez et al. properties) |
 //! | [`dag`] | parallel, fault-tolerant DAG workflow engine |
 //! | [`monitor`] | self-hosted SLO monitoring, alerts, flight recorder |
+//! | [`prof`] | causal trace analysis: critical paths, contention reports |
 //! | [`sim`] | cluster-scale cost/scaling simulator |
 //! | [`apps`] | the paper's application workloads |
 //! | [`baas`] | Backend-as-a-Service substrates (blob store, transactional DB) |
@@ -34,6 +35,7 @@ pub use taureau_faas as faas;
 pub use taureau_jiffy as jiffy;
 pub use taureau_monitor as monitor;
 pub use taureau_orchestration as orchestration;
+pub use taureau_prof as prof;
 pub use taureau_pulsar as pulsar;
 pub use taureau_secure as secure;
 pub use taureau_sim as sim;
@@ -50,6 +52,7 @@ pub mod prelude {
     pub use taureau_jiffy::{Jiffy, JiffyConfig};
     pub use taureau_monitor::{HealthReport, Monitor, MonitorConfig, SloPolicy, TelemetryPump};
     pub use taureau_orchestration::{Composition, Orchestrator};
+    pub use taureau_prof::{ContentionReport, CriticalPath, TraceGraph};
     pub use taureau_pulsar::{
         FunctionConfig, FunctionRuntime, PulsarCluster, PulsarConfig, SubscriptionMode,
     };
