@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use taureau_baas::BlobStore;
 use taureau_bench::{fmt_dur, fmt_usd, Table};
+use taureau_cluster::{ClusterStack, ClusterStackConfig, LinkFaults};
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, VirtualClock, WallClock};
 use taureau_core::cost::VmPricing;
@@ -100,7 +101,7 @@ fn alloc_delta(f: impl FnOnce()) -> (u64, u64) {
 
 const KNOWN: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
-    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27",
+    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28",
 ];
 
 /// Default path for the machine-readable benchmark numbers E25 (and E24's
@@ -235,6 +236,9 @@ fn main() {
     }
     if want("e27") {
         e27_observability_pipeline(&mut bench_parts);
+    }
+    if want("e28") {
+        e28_cluster_failover(&mut bench_parts);
     }
     // E25 always persists its numbers (the CI scaling gate reads them);
     // other fragments (E24's overhead coda, E26's batching numbers) ride
@@ -2879,4 +2883,240 @@ fn e27_observability_pipeline(bench: &mut Vec<(String, String)>) {
     );
     println!("bench JSON written to {BENCH_E27_PATH}");
     bench.push(("e27".to_string(), fragment));
+}
+
+const BENCH_E28_PATH: &str = "BENCH_e28.json";
+
+/// E28 — the multi-node cluster fabric under rolling failures: 5 brokers
+/// behind a lossy simulated network serve a publish → dispatch → invoke
+/// loop while one broker at a time is killed (rolling, at most 1-of-5
+/// down) and one bookie dies permanently mid-run. Reports virtual-time
+/// tail latency (the p99/max capture failover windows), end-to-end
+/// operation availability (gate: ≥99%), background re-replication
+/// converging back to the replication factor before the run ends, one
+/// causal trace spanning the failover, and an elastic Jiffy leave with
+/// no data loss.
+fn e28_cluster_failover(bench: &mut Vec<(String, String)>) {
+    banner(
+        "E28",
+        "cluster fabric: ≥99% op availability and bounded tails under rolling 1-of-5 broker kills; re-replication restores the replication factor before the run ends",
+    );
+
+    const REQUESTS: usize = 300;
+    const KILL_EVERY: usize = 60; // broker kills at 60/120/180/240
+    const BOOKIE_KILL_AT: usize = 150;
+
+    let mut s = ClusterStack::new(ClusterStackConfig {
+        seed: 0xE28,
+        brokers: 5,
+        ..ClusterStackConfig::default()
+    });
+    s.fabric().net().set_default_faults(LinkFaults {
+        latency: Duration::from_micros(500),
+        jitter: Duration::from_micros(200),
+        drop_p: 0.005,
+        dup_p: 0.005,
+    });
+    s.create_topic("e28", 1).expect("topic");
+    s.register_function(FunctionSpec::new("handle", "e28", |ctx| {
+        Ok(ctx.payload.to_vec())
+    }))
+    .expect("register");
+    let tracer = s.fabric().tracer().clone();
+
+    let mut e2e: Vec<Duration> = Vec::with_capacity(REQUESTS);
+    let mut publish_lat: Vec<Duration> = Vec::with_capacity(REQUESTS);
+    let mut attempts = 0u64;
+    let mut successes = 0u64;
+    let mut broker_kills = 0u32;
+    let mut bookie_kills = 0u32;
+    let mut killed: Vec<taureau_core::id::NodeId> = Vec::new();
+    // The request fired immediately after the first broker kill is traced:
+    // its publish retries through detection and lands on the new owner, so
+    // one trace should span the failover across nodes and subsystems.
+    let mut sentinel_trace: Option<taureau_core::trace::TraceId> = None;
+    let mut underreplicated_peak = 0usize;
+
+    for i in 0..REQUESTS {
+        if i > 0 && i % KILL_EVERY == 0 {
+            // Rolling: restore the previous victim, then kill the current
+            // topic owner — at most one broker of five is ever down.
+            if let Some(prev) = killed.last().copied() {
+                s.revive(prev);
+            }
+            let owner = s.pulsar().owner("e28").expect("owner");
+            s.kill(owner);
+            killed.push(owner);
+            broker_kills += 1;
+        }
+        if i == BOOKIE_KILL_AT {
+            // Permanent bookie loss: the spare is activated and ledger
+            // repair runs in the background from here on.
+            let victim = s.pulsar().bookie_nodes()[0];
+            s.kill(victim);
+            bookie_kills += 1;
+            underreplicated_peak = s.pulsar().underreplicated();
+        }
+
+        let ctx = if i > 0 && i % KILL_EVERY == 0 {
+            let mut root = tracer.span("taureau-bench", "e28.request");
+            root.attr("request", i);
+            let c = root.context();
+            if sentinel_trace.is_none() {
+                sentinel_trace = c.map(|c| c.trace_id);
+            }
+            c
+        } else {
+            None
+        };
+
+        let t0 = s.now();
+        attempts += 1;
+        let published = s.publish("e28", &(i as u64).to_le_bytes(), ctx);
+        let publish_ok = published.is_ok();
+        if publish_ok {
+            successes += 1;
+            publish_lat.push(s.now() - t0);
+        }
+
+        // Drain until the entry just published is dispatched (duplicates
+        // from earlier retried publishes may arrive first), invoke on it,
+        // ack everything seen.
+        let mut dispatched_and_invoked = false;
+        'drain: for _ in 0..50 {
+            attempts += 1;
+            let msgs = match s.consume("e28", "s", 32, ctx) {
+                Ok(m) => {
+                    successes += 1;
+                    m
+                }
+                Err(_) => break 'drain,
+            };
+            if msgs.is_empty() && dispatched_and_invoked {
+                break 'drain;
+            }
+            for m in msgs {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&m.payload[..8]);
+                let v = u64::from_le_bytes(b) as usize;
+                if v == i && !dispatched_and_invoked {
+                    attempts += 1;
+                    if s.invoke("handle", &m.payload, m.ctx).is_ok() {
+                        successes += 1;
+                        dispatched_and_invoked = true;
+                    }
+                }
+                attempts += 1;
+                if s.ack("e28", "s", m.id, ctx).is_ok() {
+                    successes += 1;
+                }
+            }
+        }
+        if publish_ok && dispatched_and_invoked {
+            e2e.push(s.now() - t0);
+        }
+    }
+
+    // -- background re-replication converges before the experiment ends --
+    let repair_rounds = s.repair_until_replicated(2_000);
+    let underreplicated_end = s.pulsar().underreplicated();
+
+    // -- elastic Jiffy membership rides the same fabric ------------------
+    let kv = s.jiffy().jiffy().create_kv("/e28/state", 2).expect("kv");
+    for i in 0..32u64 {
+        kv.put(&i.to_le_bytes(), &[7u8; 64]).expect("put");
+    }
+    s.join_memory_node();
+    let leaving = s.jiffy().memory_nodes()[0];
+    let migration = s.leave_memory_node(leaving).expect("leave");
+    let jiffy_intact = (0..32u64).all(|i| {
+        kv.get(&i.to_le_bytes())
+            .ok()
+            .flatten()
+            .is_some_and(|v| v == [7u8; 64])
+    });
+
+    // -- one causal trace spans the failover -----------------------------
+    let sentinel = sentinel_trace.expect("sentinel trace recorded");
+    let spans = tracer.spans();
+    let in_trace: Vec<_> = spans.iter().filter(|sp| sp.trace_id == sentinel).collect();
+    let systems: std::collections::BTreeSet<&str> = in_trace.iter().map(|sp| sp.system).collect();
+    let cross_failover_trace_ok =
+        systems.contains("taureau-pulsar") && systems.contains("taureau-faas");
+    let dropped = tracer.dropped_spans();
+
+    let pct = |sorted: &[Duration], q: f64| -> Duration {
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    };
+    let mut e2e_sorted = e2e.clone();
+    e2e_sorted.sort();
+    let mut pub_sorted = publish_lat.clone();
+    pub_sorted.sort();
+    let availability = successes as f64 / attempts.max(1) as f64;
+
+    let mut t = Table::new(["stage (virtual time)", "p50", "p99", "max"]);
+    t.row([
+        "publish".into(),
+        fmt_dur(pct(&pub_sorted, 0.50)),
+        fmt_dur(pct(&pub_sorted, 0.99)),
+        fmt_dur(pub_sorted.last().copied().unwrap_or_default()),
+    ]);
+    t.row([
+        "publish→dispatch→invoke".into(),
+        fmt_dur(pct(&e2e_sorted, 0.50)),
+        fmt_dur(pct(&e2e_sorted, 0.99)),
+        fmt_dur(e2e_sorted.last().copied().unwrap_or_default()),
+    ]);
+    t.print();
+    println!(
+        "{REQUESTS} requests, {broker_kills} rolling broker kills + {bookie_kills} bookie loss: \
+         {successes}/{attempts} ops succeeded ({:.3}% availability, gate ≥99%)",
+        100.0 * availability
+    );
+    println!(
+        "re-replication: {underreplicated_peak} under-replicated ledgers after bookie loss → \
+         {underreplicated_end} after {repair_rounds} maintenance rounds (gate: 0)"
+    );
+    println!(
+        "cross-failover trace: {} spans across {:?} (pulsar+faas required: {}); \
+         jiffy leave moved {} blocks, data intact: {jiffy_intact}",
+        in_trace.len(),
+        systems,
+        cross_failover_trace_ok,
+        migration.blocks_moved
+    );
+
+    let fragment = format!(
+        "{{\n    \"requests\": {REQUESTS},\n    \"broker_kills\": {broker_kills},\n    \
+         \"bookie_kills\": {bookie_kills},\n    \"ops_attempted\": {attempts},\n    \
+         \"ops_succeeded\": {successes},\n    \"availability\": {availability:.5},\n    \
+         \"publish_p50_us\": {},\n    \"publish_p99_us\": {},\n    \"publish_max_us\": {},\n    \
+         \"e2e_p50_us\": {},\n    \"e2e_p99_us\": {},\n    \"e2e_max_us\": {},\n    \
+         \"underreplicated_peak\": {underreplicated_peak},\n    \
+         \"underreplicated_end\": {underreplicated_end},\n    \
+         \"repair_rounds\": {repair_rounds},\n    \
+         \"cross_failover_trace_ok\": {cross_failover_trace_ok},\n    \
+         \"trace_spans\": {},\n    \"dropped_spans\": {dropped},\n    \
+         \"jiffy_blocks_moved\": {},\n    \"jiffy_data_intact\": {jiffy_intact}\n  }}",
+        pct(&pub_sorted, 0.50).as_micros(),
+        pct(&pub_sorted, 0.99).as_micros(),
+        pub_sorted.last().copied().unwrap_or_default().as_micros(),
+        pct(&e2e_sorted, 0.50).as_micros(),
+        pct(&e2e_sorted, 0.99).as_micros(),
+        e2e_sorted.last().copied().unwrap_or_default().as_micros(),
+        in_trace.len(),
+        migration.blocks_moved,
+    );
+    std::fs::write(BENCH_E28_PATH, format!("{{\n  \"e28\": {fragment}\n}}\n")).unwrap_or_else(
+        |e| {
+            eprintln!("failed to write {BENCH_E28_PATH}: {e}");
+            std::process::exit(1);
+        },
+    );
+    println!("bench JSON written to {BENCH_E28_PATH}");
+    bench.push(("e28".to_string(), fragment));
 }

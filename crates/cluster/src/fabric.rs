@@ -1,0 +1,349 @@
+//! The cluster fabric: nodes, roles, and the virtual-time tick loop that
+//! glues transport, membership, and the control plane together.
+//!
+//! The fabric owns the shared [`VirtualClock`] and the [`SimNet`] and
+//! advances them in lock-step, so service-observed latency (clock reads)
+//! and network delivery (net schedule) agree on what "now" means. Each
+//! `tick`:
+//!
+//! 1. every live node's [`MemberAgent`] heartbeats if due,
+//! 2. the net advances, delivering due envelopes,
+//! 3. delivered envelopes are routed — heartbeats into the receiving
+//!    agent, everything else into the node's service mailbox,
+//! 4. the observer's membership view feeds the [`ControlPlane`], bumping
+//!    the cluster epoch on change.
+//!
+//! Killing a node stops its heartbeats and discards its mail (crashed
+//! processes do not drain sockets); the rest of the cluster finds out the
+//! only way it can — silence past the failure timeout.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use taureau_core::clock::{Clock, SharedClock, VirtualClock};
+use taureau_core::id::NodeId;
+use taureau_core::trace::{SpanContext, Tracer};
+
+use crate::membership::{ControlPlane, MemberAgent, MembershipConfig, HEARTBEAT_KIND};
+use crate::transport::{Envelope, SimNet};
+
+/// What a node does for a living. Roles drive lease candidacy (topics go
+/// to brokers) and the stack's crash side effects (killing a bookie node
+/// crashes its `Bookie`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Pulsar broker (stateless serving layer; lease candidate).
+    Broker,
+    /// BookKeeper storage node.
+    Bookie,
+    /// Jiffy memory node.
+    Memory,
+    /// FaaS worker host.
+    Worker,
+    /// Client / load generator.
+    Client,
+}
+
+struct NodeInfo {
+    role: NodeRole,
+    alive: bool,
+    agent: MemberAgent,
+    mail: VecDeque<Envelope>,
+}
+
+/// The simulated cluster of nodes. Single-threaded driver over virtual
+/// time; deterministic given the seed and the kill/fault schedule.
+pub struct ClusterFabric {
+    clock: Arc<VirtualClock>,
+    net: SimNet,
+    mcfg: MembershipConfig,
+    nodes: Vec<NodeInfo>,
+    control: Arc<Mutex<ControlPlane>>,
+    tracer: Tracer,
+}
+
+impl ClusterFabric {
+    /// Empty fabric with the default failure detector.
+    pub fn new(seed: u64) -> Self {
+        Self::with_membership(seed, MembershipConfig::default())
+    }
+
+    /// Empty fabric with explicit failure-detector tuning.
+    pub fn with_membership(seed: u64, mcfg: MembershipConfig) -> Self {
+        let clock = VirtualClock::shared();
+        let shared: SharedClock = clock.clone();
+        let tracer = Tracer::new(shared);
+        Self {
+            clock,
+            net: SimNet::new(seed),
+            mcfg,
+            nodes: Vec::new(),
+            control: Arc::new(Mutex::new(ControlPlane::new())),
+            tracer,
+        }
+    }
+
+    /// The shared virtual clock (hand this to services so their latency
+    /// measurements live in fabric time).
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        self.clock.clone()
+    }
+
+    /// The network, for fault injection.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// The shared control plane (lease table + authoritative view).
+    pub fn control(&self) -> Arc<Mutex<ControlPlane>> {
+        self.control.clone()
+    }
+
+    /// The fabric-wide tracer. All services share it so one trace can
+    /// cross nodes.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Add a node. It knows every existing node as a peer (full-mesh
+    /// heartbeating) and vice versa.
+    pub fn add_node(&mut self, role: NodeRole) -> NodeId {
+        let id = NodeId(self.nodes.len() as u64);
+        let now = self.now();
+        let mut agent = MemberAgent::new(id, self.mcfg);
+        let peers: Vec<NodeId> = (0..self.nodes.len() as u64).map(NodeId).collect();
+        agent.set_peers(peers, now);
+        self.nodes.push(NodeInfo {
+            role,
+            alive: true,
+            agent,
+            mail: VecDeque::new(),
+        });
+        let all: Vec<NodeId> = (0..self.nodes.len() as u64).map(NodeId).collect();
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            let peers: Vec<NodeId> = all
+                .iter()
+                .copied()
+                .filter(|&p| p != NodeId(i as u64))
+                .collect();
+            n.agent.set_peers(peers, now);
+        }
+        id
+    }
+
+    /// All nodes with a role, in id order.
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role == role)
+            .map(|(i, _)| NodeId(i as u64))
+            .collect()
+    }
+
+    /// A node's role.
+    pub fn role(&self, node: NodeId) -> Option<NodeRole> {
+        self.nodes.get(node.raw() as usize).map(|n| n.role)
+    }
+
+    /// Whether the node is actually up (ground truth — the failure
+    /// detector's *belief* lives in the control plane view).
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(node.raw() as usize).is_some_and(|n| n.alive)
+    }
+
+    /// Crash a node: heartbeats stop, queued and in-flight mail to it is
+    /// lost, services must stop answering for it. Detection is *not*
+    /// instantaneous — peers notice after the failure timeout.
+    pub fn kill(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.raw() as usize) {
+            n.alive = false;
+            n.mail.clear();
+        }
+        self.net.clear_inbox(node);
+    }
+
+    /// Bring a crashed node back (a replacement process on the same
+    /// address). Peers re-admit it as soon as heartbeats resume.
+    pub fn revive(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.raw() as usize) {
+            n.alive = true;
+        }
+    }
+
+    /// Send a service message from one node to another. Dead senders
+    /// cannot send. Returns whether the network accepted it (a partition
+    /// refuses at the edge; drops downstream are invisible here).
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        req: u64,
+        kind: impl Into<String>,
+        body: Bytes,
+        ctx: Option<SpanContext>,
+    ) -> bool {
+        if !self.is_alive(from) {
+            return false;
+        }
+        self.net.send(from, to, req, kind, body, ctx).is_some()
+    }
+
+    /// Drain a node's service mailbox (dead nodes yield nothing).
+    pub fn mail(&mut self, node: NodeId) -> Vec<Envelope> {
+        match self.nodes.get_mut(node.raw() as usize) {
+            Some(n) if n.alive => n.mail.drain(..).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Advance the cluster by `dt`: heartbeats, network delivery, mail
+    /// routing, membership + epoch maintenance. Returns `true` when the
+    /// authoritative view changed this tick.
+    pub fn tick(&mut self, dt: Duration) -> bool {
+        let now = self.now();
+        for n in self.nodes.iter_mut() {
+            if n.alive {
+                n.agent.maybe_heartbeat(now, &self.net);
+            }
+        }
+        self.clock.advance(dt);
+        self.net.advance(dt);
+        let now = self.now();
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u64);
+            let delivered = self.net.drain(id);
+            let n = &mut self.nodes[i];
+            if !n.alive {
+                continue; // a dead node's NIC drops everything on the floor
+            }
+            for env in delivered {
+                // Any traffic proves the sender was alive when it sent.
+                n.agent.observe(env.from, now);
+                if env.kind != HEARTBEAT_KIND {
+                    n.mail.push_back(env);
+                }
+            }
+        }
+        // The authoritative view is the union of what live nodes see of
+        // each other: node X is in the view iff some live node heard from
+        // it recently (X's own vote does not keep it alive — a partitioned
+        // node always believes in itself).
+        let mut view: BTreeSet<NodeId> = BTreeSet::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            let id = NodeId(i as u64);
+            for p in n.agent.view(now) {
+                if p != id {
+                    view.insert(p);
+                }
+            }
+            view.insert(id); // live nodes are candidates for others to confirm
+        }
+        // Intersect with "someone else heard from it" for clusters > 1.
+        if self.nodes.iter().filter(|n| n.alive).count() > 1 {
+            let mut confirmed: BTreeSet<NodeId> = BTreeSet::new();
+            for (i, n) in self.nodes.iter().enumerate() {
+                if !n.alive {
+                    continue;
+                }
+                let id = NodeId(i as u64);
+                for p in n.agent.view(now) {
+                    if p != id {
+                        confirmed.insert(p);
+                    }
+                }
+            }
+            view = confirmed;
+        }
+        self.control.lock().update_view(view)
+    }
+
+    /// Run `tick` repeatedly with the given step until `total` has
+    /// elapsed.
+    pub fn run_for(&mut self, total: Duration, step: Duration) {
+        let end = self.now() + total;
+        while self.now() < end {
+            self.tick(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn heartbeats_converge_to_full_view() {
+        let mut f = ClusterFabric::new(1);
+        for _ in 0..4 {
+            f.add_node(NodeRole::Broker);
+        }
+        f.run_for(ms(200), ms(5));
+        let cp = f.control();
+        let view = cp.lock().view().clone();
+        assert_eq!(view.len(), 4, "view: {view:?}");
+    }
+
+    #[test]
+    fn kill_is_detected_after_timeout_and_revive_readmits() {
+        let mut f = ClusterFabric::new(2);
+        let nodes: Vec<NodeId> = (0..3).map(|_| f.add_node(NodeRole::Broker)).collect();
+        f.run_for(ms(200), ms(5));
+        f.kill(nodes[1]);
+        // Not yet detected: view still includes the corpse briefly.
+        f.tick(ms(5));
+        f.run_for(ms(300), ms(5));
+        assert!(!f.control().lock().is_alive(nodes[1]));
+        assert!(f.control().lock().is_alive(nodes[0]));
+        let epoch_after_death = f.control().lock().epoch();
+        f.revive(nodes[1]);
+        f.run_for(ms(200), ms(5));
+        assert!(f.control().lock().is_alive(nodes[1]));
+        assert!(f.control().lock().epoch() > epoch_after_death);
+    }
+
+    #[test]
+    fn service_mail_routes_and_dies_with_the_node() {
+        let mut f = ClusterFabric::new(3);
+        let a = f.add_node(NodeRole::Client);
+        let b = f.add_node(NodeRole::Broker);
+        assert!(f.send(a, b, 7, "pub", Bytes::from_static(b"x"), None));
+        f.run_for(ms(10), ms(1));
+        let mail = f.mail(b);
+        assert_eq!(mail.len(), 1);
+        assert_eq!(mail[0].req, 7);
+        assert_eq!(mail[0].kind, "pub");
+        // Mail sent to a node killed before delivery is lost.
+        assert!(f.send(a, b, 8, "pub", Bytes::new(), None));
+        f.kill(b);
+        f.run_for(ms(10), ms(1));
+        assert!(f.mail(b).is_empty());
+        // Dead nodes cannot send.
+        assert!(!f.send(b, a, 9, "resp", Bytes::new(), None));
+    }
+
+    #[test]
+    fn virtual_clock_and_net_move_together() {
+        let mut f = ClusterFabric::new(4);
+        f.add_node(NodeRole::Client);
+        let before = f.now();
+        f.tick(ms(25));
+        assert_eq!(f.now(), before + ms(25));
+        assert_eq!(f.net().now(), f.now());
+    }
+}

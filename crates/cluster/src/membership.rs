@@ -1,0 +1,304 @@
+//! Membership and placement: heartbeat failure detection plus
+//! epoch-fenced ownership leases.
+//!
+//! Each node runs a [`MemberAgent`] that gossips heartbeats over the
+//! [`crate::transport::SimNet`] and judges peers by silence: a peer
+//! unheard for longer than [`MembershipConfig::failure_timeout`] is
+//! suspected dead. The fabric feeds a designated observer's view into the
+//! [`ControlPlane`], which owns the resource→node lease table.
+//!
+//! Fencing is the core safety idea (it is how real BookKeeper + Pulsar
+//! avoid split-brain): every lease carries an **epoch** that bumps on
+//! each reassignment. A deposed owner — dead, partitioned away, or merely
+//! slow — may still believe it owns the resource, but its epoch is stale,
+//! and both the broker-level fence check and the bookie-level ledger
+//! fence reject its writes. Detection can be wrong (a slow node looks
+//! dead); fencing makes wrong detection safe rather than fatal.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
+
+use bytes::Bytes;
+use taureau_core::hash::fnv;
+use taureau_core::id::NodeId;
+
+use crate::transport::SimNet;
+
+/// Envelope kind used by heartbeats.
+pub const HEARTBEAT_KIND: &str = "hb";
+
+/// Failure-detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// How often each node heartbeats every peer.
+    pub heartbeat_every: Duration,
+    /// Silence longer than this marks a peer dead.
+    pub failure_timeout: Duration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_every: Duration::from_millis(20),
+            failure_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One node's view of the cluster, driven by heartbeats it receives.
+#[derive(Debug)]
+pub struct MemberAgent {
+    node: NodeId,
+    cfg: MembershipConfig,
+    peers: Vec<NodeId>,
+    last_heard: HashMap<NodeId, Duration>,
+    last_beat: Option<Duration>,
+}
+
+impl MemberAgent {
+    /// Agent for `node` with no peers yet.
+    pub fn new(node: NodeId, cfg: MembershipConfig) -> Self {
+        Self {
+            node,
+            cfg,
+            peers: Vec::new(),
+            last_heard: HashMap::new(),
+            last_beat: None,
+        }
+    }
+
+    /// This agent's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Replace the peer set (the fabric calls this as nodes join). New
+    /// peers start with a full grace period: they are "heard" now, so a
+    /// join does not instantly read as a death.
+    pub fn set_peers(&mut self, peers: Vec<NodeId>, now: Duration) {
+        for &p in &peers {
+            self.last_heard.entry(p).or_insert(now);
+        }
+        self.peers = peers;
+    }
+
+    /// Send a round of heartbeats if one is due.
+    pub fn maybe_heartbeat(&mut self, now: Duration, net: &SimNet) {
+        let due = match self.last_beat {
+            None => true,
+            Some(t) => now >= t + self.cfg.heartbeat_every,
+        };
+        if !due {
+            return;
+        }
+        self.last_beat = Some(now);
+        for &p in &self.peers {
+            net.send(self.node, p, 0, HEARTBEAT_KIND, Bytes::new(), None);
+        }
+    }
+
+    /// Record a heartbeat (or any traffic — all traffic proves liveness)
+    /// from a peer.
+    pub fn observe(&mut self, from: NodeId, now: Duration) {
+        self.last_heard.insert(from, now);
+    }
+
+    /// Peers this node currently believes are alive, plus itself.
+    pub fn view(&self, now: Duration) -> BTreeSet<NodeId> {
+        let mut v: BTreeSet<NodeId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.last_heard
+                    .get(p)
+                    .is_some_and(|&t| now.saturating_sub(t) <= self.cfg.failure_timeout)
+            })
+            .collect();
+        v.insert(self.node);
+        v
+    }
+}
+
+/// An ownership lease: who owns a resource, fenced by which epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Current owner.
+    pub owner: NodeId,
+    /// Fencing epoch — bumped on every reassignment. Anything stamped
+    /// with an older epoch is a zombie and must be rejected.
+    pub epoch: u64,
+}
+
+/// The placement service: the lease table plus the authoritative view.
+///
+/// Modeled as a single logical service (real deployments put this in
+/// ZooKeeper/etcd; its internal consensus is out of scope for the paper's
+/// serverless-stack argument, so it is reliable here by construction).
+#[derive(Debug, Default)]
+pub struct ControlPlane {
+    epoch: u64,
+    view: BTreeSet<NodeId>,
+    leases: HashMap<String, Lease>,
+}
+
+impl ControlPlane {
+    /// Empty control plane at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current cluster epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The authoritative membership view.
+    pub fn view(&self) -> &BTreeSet<NodeId> {
+        &self.view
+    }
+
+    /// Install a new membership view. Returns `true` when it differs from
+    /// the previous one (which bumps the cluster epoch).
+    pub fn update_view(&mut self, view: BTreeSet<NodeId>) -> bool {
+        if view == self.view {
+            return false;
+        }
+        self.view = view;
+        self.epoch += 1;
+        true
+    }
+
+    /// Whether the authoritative view considers a node alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.view.contains(&node)
+    }
+
+    /// Ensure `resource` has a live owner among `candidates`, reassigning
+    /// (with an epoch bump) if the current owner is dead or missing.
+    /// Placement is deterministic: the resource name hashes to a slot in
+    /// the sorted live-candidate list, so different resources spread over
+    /// the fleet but every caller computes the same owner.
+    pub fn ensure_lease(&mut self, resource: &str, candidates: &[NodeId]) -> Option<Lease> {
+        if let Some(l) = self.leases.get(resource) {
+            if self.view.contains(&l.owner) && candidates.contains(&l.owner) {
+                return Some(*l);
+            }
+        }
+        let mut live: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|c| self.view.contains(c))
+            .collect();
+        if live.is_empty() {
+            self.leases.remove(resource);
+            return None;
+        }
+        live.sort_unstable();
+        let pick = live[(fnv(resource.as_bytes()) as usize) % live.len()];
+        self.epoch += 1;
+        let lease = Lease {
+            owner: pick,
+            epoch: self.epoch,
+        };
+        self.leases.insert(resource.to_string(), lease);
+        Some(lease)
+    }
+
+    /// The current lease for a resource, if any.
+    pub fn lease(&self, resource: &str) -> Option<Lease> {
+        self.leases.get(resource).copied()
+    }
+
+    /// Whether `node` holds the live lease on `resource`. This is what
+    /// broker fence checks consult: a deposed owner fails it even if its
+    /// local state still says otherwise.
+    pub fn holds(&self, resource: &str, node: NodeId) -> bool {
+        self.leases
+            .get(resource)
+            .is_some_and(|l| l.owner == node && self.view.contains(&node))
+    }
+
+    /// Resources currently leased, sorted (for deterministic iteration).
+    pub fn resources(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.leases.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn silence_marks_peer_dead_and_traffic_revives() {
+        let cfg = MembershipConfig::default();
+        let mut a = MemberAgent::new(n(0), cfg);
+        a.set_peers(vec![n(1), n(2)], ms(0));
+        a.observe(n(1), ms(0));
+        a.observe(n(2), ms(0));
+        assert_eq!(a.view(ms(50)).len(), 3);
+        // Only node 1 keeps talking.
+        a.observe(n(1), ms(120));
+        let v = a.view(ms(150));
+        assert!(v.contains(&n(0)) && v.contains(&n(1)) && !v.contains(&n(2)));
+        // Node 2 comes back.
+        a.observe(n(2), ms(200));
+        assert_eq!(a.view(ms(210)).len(), 3);
+    }
+
+    #[test]
+    fn lease_reassignment_bumps_epoch_and_deposes_old_owner() {
+        let mut cp = ControlPlane::new();
+        cp.update_view([n(0), n(1), n(2)].into_iter().collect());
+        let brokers = [n(0), n(1), n(2)];
+        let l1 = cp.ensure_lease("topic/a", &brokers).unwrap();
+        assert!(cp.holds("topic/a", l1.owner));
+        // Owner dies: view shrinks, lease moves, epoch strictly grows.
+        cp.update_view(brokers.into_iter().filter(|&b| b != l1.owner).collect());
+        assert!(!cp.holds("topic/a", l1.owner), "dead owner must not hold");
+        let l2 = cp.ensure_lease("topic/a", &brokers).unwrap();
+        assert_ne!(l2.owner, l1.owner);
+        assert!(l2.epoch > l1.epoch);
+        assert!(cp.holds("topic/a", l2.owner));
+        // The old owner reappearing does not get the lease back.
+        cp.update_view(brokers.into_iter().collect());
+        let l3 = cp.ensure_lease("topic/a", &brokers).unwrap();
+        assert_eq!(l3, l2);
+    }
+
+    #[test]
+    fn no_live_candidates_leaves_resource_unowned() {
+        let mut cp = ControlPlane::new();
+        cp.update_view([n(5)].into_iter().collect());
+        assert!(cp.ensure_lease("topic/x", &[n(0), n(1)]).is_none());
+        assert!(cp.lease("topic/x").is_none());
+    }
+
+    #[test]
+    fn placement_spreads_resources_deterministically() {
+        let mut cp = ControlPlane::new();
+        cp.update_view([n(0), n(1), n(2), n(3)].into_iter().collect());
+        let brokers = [n(0), n(1), n(2), n(3)];
+        let owners: BTreeSet<NodeId> = (0..32)
+            .map(|i| {
+                cp.ensure_lease(&format!("topic/t{i}"), &brokers)
+                    .unwrap()
+                    .owner
+            })
+            .collect();
+        assert!(owners.len() > 1, "32 topics should spread past one broker");
+        // Re-asking is stable.
+        let again = cp.ensure_lease("topic/t0", &brokers).unwrap();
+        assert_eq!(again, cp.ensure_lease("topic/t0", &brokers).unwrap());
+    }
+}

@@ -1,0 +1,600 @@
+//! The composed multi-node deployment a client talks to through the
+//! network.
+//!
+//! [`ClusterStack`] wires every tier onto one [`ClusterFabric`]: brokers
+//! and bookies ([`ClusterPulsar`]), FaaS workers ([`ClusterFaas`]),
+//! Jiffy memory nodes ([`JiffyFabric`]), plus one client node. All
+//! client operations are real RPCs: a request envelope crosses the
+//! simulated network, a service node handles it, a response envelope
+//! comes back — or doesn't, and the deadline fires. The pump loop
+//! ([`ClusterStack::rpc`]) is the discrete-event scheduler: it ticks the
+//! fabric, lets services drain their mailboxes, and watches the client
+//! mailbox for the correlated response.
+//!
+//! Failure handling is end-to-end at-least-once: a timed-out or fenced
+//! request triggers a maintenance round (failure detection has had time
+//! to fire by then — the RPC deadline exceeds the membership timeout)
+//! and a retry against the freshly-leased owner. Retried publishes can
+//! duplicate (exactly like real Pulsar producers after an ownership
+//! move); subscriptions absorb that as redelivery, never as loss.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use taureau_core::id::NodeId;
+use taureau_core::trace::SpanContext;
+use taureau_faas::{FunctionSpec, PlatformConfig};
+use taureau_jiffy::{JiffyConfig, MigrationReport};
+use taureau_pulsar::broker::PulsarConfig;
+use taureau_pulsar::message::MessageId;
+
+use crate::error::{ClusterError, Result};
+use crate::faas_cluster::ClusterFaas;
+use crate::fabric::{ClusterFabric, NodeRole};
+use crate::jiffy_cluster::JiffyFabric;
+use crate::membership::MembershipConfig;
+use crate::pulsar_cluster::{ClusterPulsar, MaintenanceReport};
+use crate::transport::Envelope;
+use crate::wire;
+
+/// Sizing and tuning for a full deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterStackConfig {
+    /// Transport fault-stream seed (the whole run is deterministic in it).
+    pub seed: u64,
+    /// Broker node count.
+    pub brokers: usize,
+    /// Spare (cold standby) bookies beyond `pulsar.bookies`.
+    pub spare_bookies: usize,
+    /// FaaS worker node count.
+    pub workers: usize,
+    /// Pulsar tier config; `bookies` is the in-service bookie count.
+    pub pulsar: PulsarConfig,
+    /// FaaS tier config.
+    pub faas: PlatformConfig,
+    /// Jiffy tier config; `memory_nodes` fabric nodes are created.
+    pub jiffy: JiffyConfig,
+    /// Failure-detector tuning.
+    pub membership: MembershipConfig,
+    /// Pump tick granularity.
+    pub tick: Duration,
+    /// Per-attempt RPC deadline. Must exceed
+    /// `membership.failure_timeout`, so that by the time an attempt
+    /// gives up, detection has had a chance to notice a dead peer.
+    pub rpc_timeout: Duration,
+    /// Attempts per client operation (1 = no retry).
+    pub rpc_attempts: u32,
+}
+
+impl Default for ClusterStackConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            brokers: 3,
+            spare_bookies: 1,
+            workers: 2,
+            pulsar: PulsarConfig::default(),
+            faas: PlatformConfig::deterministic(),
+            jiffy: JiffyConfig::default(),
+            membership: MembershipConfig::default(),
+            tick: Duration::from_millis(1),
+            rpc_timeout: Duration::from_millis(250),
+            rpc_attempts: 4,
+        }
+    }
+}
+
+/// A message as the client sees it after a `consume` RPC.
+#[derive(Debug, Clone)]
+pub struct ClusterMessage {
+    /// Durable identity (pass back to [`ClusterStack::ack`]).
+    pub id: MessageId,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// The publish-side trace context recovered from the entry header —
+    /// survives broker failover because it is stored with the entry.
+    pub ctx: Option<SpanContext>,
+}
+
+/// The composed deployment.
+pub struct ClusterStack {
+    cfg: ClusterStackConfig,
+    fabric: ClusterFabric,
+    pulsar: ClusterPulsar,
+    faas: ClusterFaas,
+    jiffy: JiffyFabric,
+    client: NodeId,
+    next_req: u64,
+    responses: HashMap<u64, Envelope>,
+    worker_rr: usize,
+}
+
+impl ClusterStack {
+    /// Deploy and run the fabric until membership converges (every node
+    /// confirmed by heartbeats), so the first client op sees a settled
+    /// view.
+    pub fn new(cfg: ClusterStackConfig) -> Self {
+        let mut fabric = ClusterFabric::with_membership(cfg.seed, cfg.membership);
+        let pulsar = ClusterPulsar::new(
+            &mut fabric,
+            cfg.brokers,
+            cfg.spare_bookies,
+            cfg.pulsar.clone(),
+        );
+        let faas = ClusterFaas::new(&mut fabric, cfg.workers, cfg.faas.clone());
+        let jiffy = JiffyFabric::new(&mut fabric, cfg.jiffy.clone());
+        let client = fabric.add_node(NodeRole::Client);
+        let warmup = cfg.membership.failure_timeout * 2;
+        fabric.run_for(warmup, cfg.tick);
+        Self {
+            cfg,
+            fabric,
+            pulsar,
+            faas,
+            jiffy,
+            client,
+            next_req: 1,
+            responses: HashMap::new(),
+            worker_rr: 0,
+        }
+    }
+
+    // -- accessors -----------------------------------------------------------
+
+    /// The underlying fabric (fault injection, clock, tracer).
+    pub fn fabric(&self) -> &ClusterFabric {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (partitions, link faults).
+    pub fn fabric_mut(&mut self) -> &mut ClusterFabric {
+        &mut self.fabric
+    }
+
+    /// The Pulsar tier.
+    pub fn pulsar(&self) -> &ClusterPulsar {
+        &self.pulsar
+    }
+
+    /// The FaaS tier.
+    pub fn faas(&self) -> &ClusterFaas {
+        &self.faas
+    }
+
+    /// The Jiffy tier.
+    pub fn jiffy(&self) -> &JiffyFabric {
+        &self.jiffy
+    }
+
+    /// Mutable Jiffy tier (join/leave).
+    pub fn jiffy_mut(&mut self) -> &mut JiffyFabric {
+        &mut self.jiffy
+    }
+
+    /// The client's fabric node.
+    pub fn client_node(&self) -> NodeId {
+        self.client
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.fabric.now()
+    }
+
+    // -- lifecycle -----------------------------------------------------------
+
+    /// Kill a node, with role side effects (a bookie node's death crashes
+    /// its bookie). Detection still takes the failure timeout.
+    pub fn kill(&mut self, node: NodeId) {
+        self.pulsar.on_kill(node);
+        self.fabric.kill(node);
+    }
+
+    /// Revive a node, with role side effects (a bookie restarts with its
+    /// surviving — and possibly fenced — ledger data).
+    pub fn revive(&mut self, node: NodeId) {
+        self.pulsar.on_revive(node);
+        self.fabric.revive(node);
+    }
+
+    /// One maintenance round (failover + replacement + repair chunk).
+    pub fn maintain(&mut self) -> MaintenanceReport {
+        self.pulsar.maintain(&mut self.fabric)
+    }
+
+    /// Run maintenance rounds (interleaved with fabric time) until no
+    /// ledger is under-replicated, or `max_rounds` elapse. Returns the
+    /// rounds used.
+    pub fn repair_until_replicated(&mut self, max_rounds: usize) -> usize {
+        for round in 0..max_rounds {
+            if self.pulsar.underreplicated() == 0 {
+                return round;
+            }
+            self.step();
+            self.maintain();
+        }
+        max_rounds
+    }
+
+    /// Advance one tick: fabric time + network, then let every service
+    /// node drain its mailbox. Client responses land in the correlation
+    /// table.
+    pub fn step(&mut self) {
+        self.fabric.tick(self.cfg.tick);
+        let roles: Vec<(NodeId, NodeRole)> = (0..)
+            .map(NodeId)
+            .map_while(|n| self.fabric.role(n).map(|r| (n, r)))
+            .collect();
+        for (node, role) in roles {
+            if !self.fabric.is_alive(node) {
+                continue;
+            }
+            let mail = self.fabric.mail(node);
+            for env in mail {
+                match role {
+                    NodeRole::Broker => self.pulsar.handle(&self.fabric, &env),
+                    NodeRole::Worker => self.faas.handle(&self.fabric, &env),
+                    NodeRole::Memory => self.jiffy.handle(&self.fabric, &env),
+                    NodeRole::Client => {
+                        if env.kind == "resp" {
+                            self.responses.insert(env.req, env);
+                        }
+                    }
+                    NodeRole::Bookie => {} // bookie I/O is modeled in-process
+                }
+            }
+        }
+    }
+
+    /// Run the pump for a duration without issuing requests.
+    pub fn run_for(&mut self, d: Duration) {
+        let end = self.now() + d;
+        while self.now() < end {
+            self.step();
+        }
+    }
+
+    // -- RPC core ------------------------------------------------------------
+
+    /// One request/response exchange with a service node. Returns the
+    /// decoded `ok` frames, [`ClusterError::Remote`] for a service `err`,
+    /// or [`ClusterError::Unreachable`] on deadline.
+    pub fn rpc(
+        &mut self,
+        to: NodeId,
+        kind: &str,
+        frames: &[Bytes],
+        ctx: Option<SpanContext>,
+    ) -> Result<Vec<Bytes>> {
+        let req = self.next_req;
+        self.next_req += 1;
+        if !self
+            .fabric
+            .send(self.client, to, req, kind, wire::enc(frames), ctx)
+        {
+            return Err(ClusterError::Unreachable(to));
+        }
+        let deadline = self.now() + self.cfg.rpc_timeout;
+        loop {
+            self.step();
+            if let Some(env) = self.responses.remove(&req) {
+                let mut frames = wire::dec(&env.body)?;
+                if frames.is_empty() {
+                    return Err(ClusterError::Wire("empty response".into()));
+                }
+                let status = frames.remove(0);
+                return match &status[..] {
+                    b"ok" => Ok(frames),
+                    b"err" => Err(ClusterError::Remote(
+                        frames
+                            .first()
+                            .map(|f| String::from_utf8_lossy(f).to_string())
+                            .unwrap_or_default(),
+                    )),
+                    _ => Err(ClusterError::Wire("bad status frame".into())),
+                };
+            }
+            if self.now() >= deadline {
+                return Err(ClusterError::Unreachable(to));
+            }
+        }
+    }
+
+    /// Whether an error should trigger maintenance + retry (the owner
+    /// died or was deposed) rather than surfacing to the caller.
+    fn is_failover_error(e: &ClusterError) -> bool {
+        match e {
+            ClusterError::Unreachable(_) => true,
+            ClusterError::Remote(msg) => msg.contains("fenced"),
+            _ => false,
+        }
+    }
+
+    fn with_owner_retry<T>(
+        &mut self,
+        topic: &str,
+        mut op: impl FnMut(&mut Self, NodeId) -> Result<T>,
+    ) -> Result<T> {
+        let mut last = ClusterError::NoCandidates(topic.to_string());
+        for _ in 0..self.cfg.rpc_attempts.max(1) {
+            self.maintain();
+            let owner = match self.pulsar.owner(topic) {
+                Ok(o) => o,
+                Err(e) => {
+                    last = e;
+                    self.run_for(self.cfg.membership.failure_timeout);
+                    continue;
+                }
+            };
+            match op(self, owner) {
+                Ok(v) => return Ok(v),
+                Err(e) if Self::is_failover_error(&e) => {
+                    last = e;
+                    // Give detection time to catch up before re-leasing.
+                    self.run_for(self.cfg.membership.failure_timeout);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    // -- client operations ---------------------------------------------------
+
+    /// Create a topic (metadata write through any live broker).
+    pub fn create_topic(&mut self, topic: &str, partitions: u32) -> Result<()> {
+        self.pulsar.create_topic(&self.fabric, topic, partitions)
+    }
+
+    /// Register a function on every FaaS worker.
+    pub fn register_function(&self, spec: FunctionSpec) -> Result<()> {
+        self.faas.register(spec)
+    }
+
+    /// Publish to a topic through its owning broker, failing over (and
+    /// possibly duplicating — at-least-once) when the owner dies mid-op.
+    pub fn publish(
+        &mut self,
+        topic: &str,
+        payload: &[u8],
+        ctx: Option<SpanContext>,
+    ) -> Result<MessageId> {
+        let topic_f = Bytes::copy_from_slice(topic.as_bytes());
+        let payload = Bytes::copy_from_slice(payload);
+        self.with_owner_retry(topic, |this, owner| {
+            let frames = this.rpc(owner, "pub", &[topic_f.clone(), payload.clone()], ctx)?;
+            wire::dec_msg_id(
+                frames
+                    .first()
+                    .ok_or_else(|| ClusterError::Wire("publish response missing id".into()))?,
+            )
+        })
+    }
+
+    /// Receive up to `max` messages from a subscription through the
+    /// owning broker.
+    pub fn consume(
+        &mut self,
+        topic: &str,
+        sub: &str,
+        max: usize,
+        ctx: Option<SpanContext>,
+    ) -> Result<Vec<ClusterMessage>> {
+        let topic_f = Bytes::copy_from_slice(topic.as_bytes());
+        let sub_f = Bytes::copy_from_slice(sub.as_bytes());
+        let frames = self.with_owner_retry(topic, |this, owner| {
+            this.rpc(
+                owner,
+                "recv",
+                &[
+                    topic_f.clone(),
+                    sub_f.clone(),
+                    Bytes::copy_from_slice(&wire::u64_frame(max as u64)),
+                ],
+                ctx,
+            )
+        })?;
+        if frames.len() % 3 != 0 {
+            return Err(ClusterError::Wire("recv frames not a multiple of 3".into()));
+        }
+        frames
+            .chunks(3)
+            .map(|c| {
+                Ok(ClusterMessage {
+                    id: wire::dec_msg_id(&c[0])?,
+                    payload: c[1].clone(),
+                    ctx: SpanContext::from_bytes(&c[2]),
+                })
+            })
+            .collect()
+    }
+
+    /// Acknowledge one message on a subscription.
+    pub fn ack(
+        &mut self,
+        topic: &str,
+        sub: &str,
+        id: MessageId,
+        ctx: Option<SpanContext>,
+    ) -> Result<()> {
+        let topic_f = Bytes::copy_from_slice(topic.as_bytes());
+        let sub_f = Bytes::copy_from_slice(sub.as_bytes());
+        let id_f = Bytes::copy_from_slice(&wire::enc_msg_id(&id));
+        self.with_owner_retry(topic, |this, owner| {
+            this.rpc(
+                owner,
+                "ack",
+                &[topic_f.clone(), sub_f.clone(), id_f.clone()],
+                ctx,
+            )
+            .map(|_| ())
+        })
+    }
+
+    /// Invoke a function on a live worker, walking the worker ring on
+    /// unreachability.
+    pub fn invoke(
+        &mut self,
+        function: &str,
+        payload: &[u8],
+        ctx: Option<SpanContext>,
+    ) -> Result<Bytes> {
+        let fn_f = Bytes::copy_from_slice(function.as_bytes());
+        let payload = Bytes::copy_from_slice(payload);
+        self.worker_rr = self.worker_rr.wrapping_add(1);
+        let route = self.faas.route(&self.fabric, self.worker_rr);
+        if route.is_empty() {
+            return Err(ClusterError::NoCandidates(format!("fn/{function}")));
+        }
+        let mut last = ClusterError::NoCandidates(format!("fn/{function}"));
+        for worker in route {
+            match self.rpc(worker, "invoke", &[fn_f.clone(), payload.clone()], ctx) {
+                Ok(frames) => {
+                    return Ok(frames.into_iter().next().unwrap_or_default());
+                }
+                Err(e) if Self::is_failover_error(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Gracefully remove a memory node (controller migration + modeled
+    /// transfer traffic + node kill).
+    pub fn leave_memory_node(&mut self, node: NodeId) -> Result<MigrationReport> {
+        self.jiffy.leave(&mut self.fabric, node)
+    }
+
+    /// Add a memory node to the Jiffy pool.
+    pub fn join_memory_node(&mut self) -> NodeId {
+        self.jiffy.join(&mut self.fabric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn stack() -> ClusterStack {
+        ClusterStack::new(ClusterStackConfig::default())
+    }
+
+    #[test]
+    fn publish_consume_ack_invoke_end_to_end() {
+        let mut s = stack();
+        s.create_topic("orders", 1).unwrap();
+        s.register_function(FunctionSpec::new("echo", "tenant-a", |ctx| {
+            Ok(ctx.payload.to_vec())
+        }))
+        .unwrap();
+        let mut ids = Vec::new();
+        for i in 0..10u64 {
+            ids.push(s.publish("orders", &i.to_le_bytes(), None).unwrap());
+        }
+        let msgs = s.consume("orders", "workers", 16, None).unwrap();
+        assert_eq!(msgs.len(), 10);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(&m.payload[..], &(i as u64).to_le_bytes());
+            let out = s.invoke("echo", &m.payload, m.ctx).unwrap();
+            assert_eq!(&out[..], &m.payload[..]);
+            s.ack("orders", "workers", m.id, None).unwrap();
+        }
+        assert!(s.consume("orders", "workers", 16, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rpc_latency_is_virtual_network_time() {
+        let mut s = stack();
+        s.create_topic("t", 1).unwrap();
+        let before = s.now();
+        s.publish("t", b"x", None).unwrap();
+        let elapsed = s.now() - before;
+        // At least one round trip of the default 500us link latency, and
+        // nowhere near the rpc timeout.
+        assert!(elapsed >= Duration::from_micros(1000), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(50), "{elapsed:?}");
+    }
+
+    #[test]
+    fn broker_kill_fails_over_without_entry_loss() {
+        let mut s = stack();
+        s.create_topic("stream", 1).unwrap();
+        let mut published = Vec::new();
+        for i in 0..20u64 {
+            s.publish("stream", &i.to_le_bytes(), None).unwrap();
+            published.push(i);
+        }
+        let owner = s.pulsar.owner("stream").unwrap();
+        s.kill(owner);
+        // Keep publishing through the failover: retries ride out detection.
+        for i in 20..40u64 {
+            s.publish("stream", &i.to_le_bytes(), None).unwrap();
+            published.push(i);
+        }
+        let new_owner = s.pulsar.owner("stream").unwrap();
+        assert_ne!(new_owner, owner, "lease must have moved");
+        // Every published value arrives at least once (dups allowed).
+        let mut got = BTreeSet::new();
+        loop {
+            let msgs = s.consume("stream", "s", 64, None).unwrap();
+            if msgs.is_empty() {
+                break;
+            }
+            for m in msgs {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&m.payload[..8]);
+                got.insert(u64::from_le_bytes(b));
+                s.ack("stream", "s", m.id, None).unwrap();
+            }
+        }
+        for v in published {
+            assert!(got.contains(&v), "entry {v} lost in failover");
+        }
+    }
+
+    #[test]
+    fn bookie_kill_triggers_replacement_and_repair() {
+        let mut s = stack();
+        s.create_topic("t", 1).unwrap();
+        for i in 0..50u64 {
+            s.publish("t", &i.to_le_bytes(), None).unwrap();
+        }
+        let bookie_node = s.pulsar.bookie_nodes()[0];
+        s.kill(bookie_node);
+        assert!(
+            s.pulsar.underreplicated() > 0,
+            "kill must create repair debt"
+        );
+        let rounds = s.repair_until_replicated(200);
+        assert!(rounds < 200, "repair never converged");
+        assert_eq!(s.pulsar.underreplicated(), 0);
+        // The stream still reads back completely.
+        let msgs = s.consume("t", "s", 64, None).unwrap();
+        assert_eq!(msgs.len(), 50);
+    }
+
+    #[test]
+    fn memory_node_leaves_with_data_intact() {
+        let mut s = stack();
+        let kv = s.jiffy().jiffy().create_kv("/app/state", 2).unwrap();
+        for i in 0..16u64 {
+            kv.put(&i.to_le_bytes(), &[9u8; 32]).unwrap();
+        }
+        let joined = s.join_memory_node();
+        let leaving = s.jiffy().memory_nodes()[0];
+        let report = s.leave_memory_node(leaving).unwrap();
+        assert!(report.freed_blocks + report.blocks_moved > 0);
+        assert!(!s.fabric().is_alive(leaving));
+        assert!(s.fabric().is_alive(joined));
+        // Transfer traffic reached the survivors.
+        s.run_for(Duration::from_millis(20));
+        for i in 0..16u64 {
+            assert_eq!(
+                kv.get(&i.to_le_bytes()).unwrap().as_deref(),
+                Some(&[9u8; 32][..])
+            );
+        }
+    }
+}

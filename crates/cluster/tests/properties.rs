@@ -1,0 +1,167 @@
+//! Property tests for the cluster fabric's two foundational guarantees:
+//!
+//! 1. **Per-link FIFO**: whatever the fault schedule does — latency,
+//!    jitter, drops, duplicates, partitions — the messages a link
+//!    *delivers* are never reordered. The delivered sequence numbers on
+//!    any directed link are non-decreasing, and strictly increasing once
+//!    duplicates are collapsed.
+//! 2. **Partition-heal convergence**: after an arbitrary sequence of
+//!    partitions ends with a heal and the cluster runs quietly, every
+//!    live node's membership view converges to the same single view —
+//!    the full live set.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use taureau_cluster::fabric::{ClusterFabric, NodeRole};
+use taureau_cluster::membership::MembershipConfig;
+use taureau_cluster::transport::{LinkFaults, SimNet};
+use taureau_core::id::NodeId;
+
+/// One step of an arbitrary fault schedule.
+#[derive(Debug, Clone)]
+enum FaultStep {
+    /// Send a message on link (from, to) out of 4 nodes.
+    Send(u8, u8),
+    /// Advance time by this many milliseconds.
+    Advance(u8),
+    /// Re-roll the default fault model.
+    Faults {
+        drop_pct: u8,
+        dup_pct: u8,
+        jitter_ms: u8,
+    },
+    /// Split nodes {0,1} | {2,3}.
+    PartitionHalves,
+    /// Heal any partition.
+    Heal,
+}
+
+fn fault_step() -> impl Strategy<Value = FaultStep> {
+    prop_oneof![
+        (0u8..4, 0u8..4).prop_map(|(a, b)| FaultStep::Send(a, b)),
+        (1u8..20).prop_map(FaultStep::Advance),
+        (0u8..60, 0u8..60, 0u8..10).prop_map(|(drop_pct, dup_pct, jitter_ms)| FaultStep::Faults {
+            drop_pct,
+            dup_pct,
+            jitter_ms
+        }),
+        Just(FaultStep::PartitionHalves),
+        Just(FaultStep::Heal),
+    ]
+}
+
+proptest! {
+    /// Delivered messages on every directed link carry non-decreasing
+    /// per-link sequence numbers (FIFO), with repeats only from
+    /// duplication — under any schedule of sends, advances, fault
+    /// re-rolls, partitions, and heals.
+    #[test]
+    fn delivered_messages_are_per_link_fifo(
+        seed in any::<u64>(),
+        steps in vec(fault_step(), 1..120),
+    ) {
+        let net = SimNet::new(seed);
+        let mut delivered: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+        let mut drain_all = |net: &SimNet| {
+            for node in 0..4u64 {
+                for env in net.drain(NodeId(node)) {
+                    delivered.entry((env.from, env.to)).or_default().push(env.seq);
+                }
+            }
+        };
+        for step in steps {
+            match step {
+                FaultStep::Send(a, b) if a != b => {
+                    net.send(NodeId(a as u64), NodeId(b as u64), 0, "m", Bytes::new(), None);
+                }
+                FaultStep::Send(..) => {}
+                FaultStep::Advance(ms) => {
+                    net.advance(Duration::from_millis(ms as u64));
+                    drain_all(&net);
+                }
+                FaultStep::Faults { drop_pct, dup_pct, jitter_ms } => {
+                    net.set_default_faults(LinkFaults {
+                        latency: Duration::from_micros(500),
+                        jitter: Duration::from_millis(jitter_ms as u64),
+                        drop_p: drop_pct as f64 / 100.0,
+                        dup_p: dup_pct as f64 / 100.0,
+                    });
+                }
+                FaultStep::PartitionHalves => {
+                    net.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+                }
+                FaultStep::Heal => net.heal(),
+            }
+        }
+        // Flush everything still in flight.
+        net.advance(Duration::from_secs(10));
+        drain_all(&net);
+        for ((from, to), seqs) in &delivered {
+            // Non-decreasing: FIFO with duplicates adjacent-or-later.
+            prop_assert!(
+                seqs.windows(2).all(|w| w[0] <= w[1]),
+                "link {from}->{to} reordered: {seqs:?}"
+            );
+            // Collapsing duplicates gives strictly increasing sequence
+            // numbers: no phantom or resurrected messages.
+            let mut uniq = seqs.clone();
+            uniq.dedup();
+            prop_assert!(
+                uniq.windows(2).all(|w| w[0] < w[1]),
+                "link {from}->{to} duplicated non-adjacently: {seqs:?}"
+            );
+        }
+    }
+
+    /// After an arbitrary partition schedule ends in a heal and the
+    /// fabric runs quietly past the failure timeout, every live node's
+    /// failure detector and the control plane agree on one view: all
+    /// live nodes.
+    #[test]
+    fn partition_heal_converges_membership_to_single_view(
+        seed in any::<u64>(),
+        splits in vec((0u8..3, 1u8..10), 0..8),
+    ) {
+        let mcfg = MembershipConfig {
+            heartbeat_every: Duration::from_millis(10),
+            failure_timeout: Duration::from_millis(60),
+        };
+        let mut fabric = ClusterFabric::with_membership(seed, mcfg);
+        let nodes: Vec<NodeId> = (0..5).map(|_| fabric.add_node(NodeRole::Broker)).collect();
+        fabric.run_for(Duration::from_millis(150), Duration::from_millis(5));
+
+        for (shape, run_ms) in splits {
+            match shape {
+                0 => fabric.net().partition(&[
+                    &[nodes[0], nodes[1]],
+                    &[nodes[2], nodes[3], nodes[4]],
+                ]),
+                1 => fabric.net().partition(&[
+                    &[nodes[0]],
+                    &[nodes[1], nodes[2], nodes[3], nodes[4]],
+                ]),
+                _ => fabric.net().heal(),
+            }
+            fabric.run_for(
+                Duration::from_millis(run_ms as u64 * 20),
+                Duration::from_millis(5),
+            );
+        }
+
+        fabric.net().heal();
+        // Quiet period: several heartbeat rounds past the failure timeout.
+        fabric.run_for(Duration::from_millis(300), Duration::from_millis(5));
+
+        let view = fabric.control().lock().view().clone();
+        prop_assert_eq!(view.len(), 5, "control view not full: {:?}", view);
+        prop_assert!(
+            fabric.control().lock().epoch() > 0,
+            "epoch never advanced"
+        );
+    }
+}

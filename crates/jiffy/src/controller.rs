@@ -22,6 +22,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, WallClock};
+use taureau_core::id::NodeId;
 use taureau_core::metrics::MetricsRegistry;
 use taureau_core::sync::ShardedMap;
 use taureau_core::trace::Tracer;
@@ -62,6 +63,20 @@ impl Default for JiffyConfig {
             app_quota_blocks: None,
         }
     }
+}
+
+/// What a graceful memory-node decommission moved (returned by
+/// [`Jiffy::decommission_memory_node`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Free blocks drained straight off the node (no data to copy).
+    pub freed_blocks: u64,
+    /// Allocated blocks copied onto surviving nodes.
+    pub blocks_moved: u64,
+    /// Resident application bytes carried by those copies.
+    pub bytes_moved: u64,
+    /// Data objects that had at least one block on the node.
+    pub objects_touched: u64,
 }
 
 /// One application's slice of controller state: its namespace sub-tree
@@ -166,6 +181,72 @@ impl Jiffy {
             self.inner.pool.stats().peak_allocated_blocks,
             self.inner.pool.sum_of_app_peaks(),
         )
+    }
+
+    /// Add a memory node (sized per `cfg.blocks_per_node`) to the pool — a
+    /// node joining the cluster. It serves allocations immediately.
+    pub fn add_memory_node(&self) -> NodeId {
+        let id = self.inner.pool.add_node(self.inner.cfg.blocks_per_node);
+        self.inner.metrics.counter("memory_nodes_joined").inc();
+        id
+    }
+
+    /// Gracefully remove a memory node: drain its free blocks, migrate
+    /// every application block it still hosts onto the survivors, then
+    /// retire it. Applications keep running throughout — only their
+    /// objects' backing [`crate::pool::BlockRef`]s change.
+    ///
+    /// # Errors
+    /// [`JiffyError::NodeUnavailable`] if the node is unknown, already
+    /// leaving, or the last one; [`JiffyError::PoolExhausted`] if the
+    /// survivors cannot absorb its data (the node is left draining — a
+    /// subsequent join can complete the evacuation).
+    pub fn decommission_memory_node(&self, node: NodeId) -> Result<MigrationReport> {
+        let tracer = self.tracer();
+        let mut span = tracer.span(TRACE_SYSTEM, "jiffy.decommission");
+        span.attr("node", node.raw());
+        let freed_blocks = self.inner.pool.begin_decommission(node)?;
+        let mut report = MigrationReport {
+            freed_blocks,
+            blocks_moved: 0,
+            bytes_moved: 0,
+            objects_touched: 0,
+        };
+        let mut failure: Option<JiffyError> = None;
+        self.inner.apps.for_each_mut(|_, st| {
+            if failure.is_some() {
+                return;
+            }
+            let res = st.tree.for_each_object_mut(|obj| {
+                let (blocks, bytes) = obj.migrate_off_node(&self.inner.pool, node)?;
+                if blocks > 0 {
+                    report.blocks_moved += blocks;
+                    report.bytes_moved += bytes;
+                    report.objects_touched += 1;
+                }
+                Ok(())
+            });
+            if let Err(e) = res {
+                failure = Some(e);
+            }
+        });
+        if let Some(e) = failure {
+            span.attr("outcome", "exhausted");
+            return Err(e);
+        }
+        self.inner.pool.finish_decommission(node);
+        self.inner.metrics.counter("memory_nodes_left").inc();
+        self.inner
+            .metrics
+            .counter("blocks_migrated")
+            .add(report.blocks_moved);
+        self.inner
+            .metrics
+            .counter("bytes_migrated")
+            .add(report.bytes_moved);
+        span.attr("blocks_moved", report.blocks_moved);
+        span.attr("bytes_moved", report.bytes_moved);
+        Ok(report)
     }
 
     fn app_lease_path(path: &JPath) -> Option<JPath> {
@@ -921,6 +1002,46 @@ mod tests {
         // Moved bytes are bounded by app a's own footprint.
         let a_bytes: u64 = 20 * (8 + 8 + 16);
         assert!(moved <= a_bytes, "moved {moved} > a's footprint {a_bytes}");
+    }
+
+    #[test]
+    fn node_join_then_graceful_leave_preserves_data() {
+        let (j, _) = deployment();
+        let kv = j.create_kv("/app/state", 4).unwrap();
+        let q = j.create_queue("/app/work").unwrap();
+        for i in 0..32u64 {
+            kv.put(&i.to_le_bytes(), &[7u8; 64]).unwrap();
+            q.push(&i.to_le_bytes()).unwrap();
+        }
+        let before = j.pool_stats();
+        let joined = j.add_memory_node();
+        assert_eq!(
+            j.pool_stats().capacity_blocks,
+            before.capacity_blocks + j.config().blocks_per_node
+        );
+
+        // Retire node 0 — every block it hosts must land on a survivor.
+        let node0 = taureau_core::id::NodeId(0);
+        let report = j.decommission_memory_node(node0).unwrap();
+        assert!(report.freed_blocks + report.blocks_moved > 0);
+        let stats = j.pool_stats();
+        assert_eq!(stats.allocated_blocks, before.allocated_blocks);
+
+        // All data survives the migration, readable through old handles.
+        for i in 0..32u64 {
+            assert_eq!(
+                kv.get(&i.to_le_bytes()).unwrap().as_deref(),
+                Some(&[7u8; 64][..])
+            );
+            assert_eq!(q.pop().unwrap().as_deref(), Some(&i.to_le_bytes()[..]));
+        }
+
+        // The retired node refuses further decommission; the joined one works.
+        assert!(matches!(
+            j.decommission_memory_node(node0),
+            Err(JiffyError::NodeUnavailable(_))
+        ));
+        j.decommission_memory_node(joined).unwrap();
     }
 
     #[test]

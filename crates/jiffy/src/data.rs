@@ -20,6 +20,7 @@ use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 use taureau_core::hash::hash64;
+use taureau_core::id::NodeId;
 
 use crate::error::{JiffyError, Result};
 use crate::pool::{BlockRef, MemoryPool};
@@ -61,6 +62,51 @@ impl ObjectState {
             ObjectState::File(_) => "file",
         }
     }
+
+    /// Move every block this object holds on `node` to an active node
+    /// (the node is draining — see [`MemoryPool::begin_decommission`]).
+    /// Returns `(blocks_moved, bytes_moved)`. Object contents don't change;
+    /// only the backing block references do.
+    pub fn migrate_off_node(&mut self, pool: &MemoryPool, node: NodeId) -> Result<(u64, u64)> {
+        match self {
+            ObjectState::Kv(o) => {
+                let mut blocks = 0u64;
+                let mut bytes = 0u64;
+                for part in o.partitions.iter_mut() {
+                    if part.block.node == node {
+                        part.block = pool.migrate_block(&o.app, part.block)?;
+                        blocks += 1;
+                        bytes += part.used;
+                    }
+                }
+                Ok((blocks, bytes))
+            }
+            ObjectState::Queue(o) => migrate_block_list(pool, &o.app, &mut o.blocks, node, o.used),
+            ObjectState::File(o) => migrate_block_list(pool, &o.app, &mut o.blocks, node, o.len),
+        }
+    }
+}
+
+/// Migrate the matching entries of a flat block list, attributing resident
+/// bytes evenly across the object's blocks for the transfer report.
+fn migrate_block_list(
+    pool: &MemoryPool,
+    app: &str,
+    blocks: &mut [BlockRef],
+    node: NodeId,
+    resident: u64,
+) -> Result<(u64, u64)> {
+    let per_block = resident / blocks.len().max(1) as u64;
+    let mut moved = 0u64;
+    let mut bytes = 0u64;
+    for b in blocks.iter_mut() {
+        if b.node == node {
+            *b = pool.migrate_block(app, *b)?;
+            moved += 1;
+            bytes += per_block;
+        }
+    }
+    Ok((moved, bytes))
 }
 
 fn entry_size(key: &[u8], value: &[u8]) -> u64 {

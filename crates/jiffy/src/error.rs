@@ -1,5 +1,7 @@
 //! Jiffy error types.
 
+use taureau_core::id::NodeId;
+
 use crate::path::JPath;
 
 /// Errors surfaced by the Jiffy controller and data structures.
@@ -49,6 +51,8 @@ pub enum JiffyError {
     Empty(JPath),
     /// Attempted an operation on a path component that is not a directory.
     NotADirectory(JPath),
+    /// The memory node is unknown, draining, or retired.
+    NodeUnavailable(NodeId),
 }
 
 impl std::fmt::Display for JiffyError {
@@ -84,6 +88,7 @@ impl std::fmt::Display for JiffyError {
             ),
             JiffyError::Empty(p) => write!(f, "no data at {p}"),
             JiffyError::NotADirectory(p) => write!(f, "{p} is not a directory"),
+            JiffyError::NodeUnavailable(n) => write!(f, "memory node {n} unavailable"),
         }
     }
 }

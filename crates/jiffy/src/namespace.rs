@@ -34,6 +34,21 @@ impl NsNode {
         }
     }
 
+    /// Visit every object in this sub-tree mutably (depth-first), stopping
+    /// at the first error.
+    pub fn for_each_object_mut(
+        &mut self,
+        f: &mut dyn FnMut(&mut ObjectState) -> Result<()>,
+    ) -> Result<()> {
+        if let Some(obj) = &mut self.object {
+            f(obj)?;
+        }
+        for child in self.children.values_mut() {
+            child.for_each_object_mut(f)?;
+        }
+        Ok(())
+    }
+
     /// Drain all objects out of this sub-tree (for block reclamation).
     pub fn drain_objects(&mut self, out: &mut Vec<ObjectState>) {
         if let Some(obj) = self.object.take() {
@@ -133,6 +148,14 @@ impl NamespaceTree {
         let mut out = Vec::new();
         node.objects(path, &mut out);
         Ok(out)
+    }
+
+    /// Visit every object in the tree mutably, stopping at the first error.
+    pub fn for_each_object_mut(
+        &mut self,
+        mut f: impl FnMut(&mut ObjectState) -> Result<()>,
+    ) -> Result<()> {
+        self.root.for_each_object_mut(&mut f)
     }
 
     /// List immediate children of a namespace.

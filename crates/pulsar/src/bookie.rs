@@ -25,6 +25,7 @@ pub struct Bookie {
     pub index: usize,
     alive: AtomicBool,
     ledgers: ShardedMap<LedgerId, BTreeMap<u64, Bytes>>,
+    fenced: ShardedMap<LedgerId, ()>,
 }
 
 impl Bookie {
@@ -34,6 +35,7 @@ impl Bookie {
             index,
             alive: AtomicBool::new(true),
             ledgers: ShardedMap::new(),
+            fenced: ShardedMap::new(),
         }
     }
 
@@ -53,8 +55,22 @@ impl Bookie {
         self.alive.store(true, Ordering::SeqCst);
     }
 
-    /// Store an entry. Returns `false` if the bookie is down.
+    /// Store an entry. Returns `false` if the bookie is down or the ledger
+    /// has been fenced here by a recovering writer.
     pub fn add_entry(&self, ledger: LedgerId, entry: u64, data: Bytes) -> bool {
+        if !self.is_alive() || self.is_fenced(ledger) {
+            return false;
+        }
+        self.ledgers.with(&ledger, |shard| {
+            shard.entry(ledger).or_default().insert(entry, data);
+        });
+        true
+    }
+
+    /// Store an entry copied by the re-replication worker. Unlike
+    /// [`Bookie::add_entry`] this ignores the fence mark: fencing stops
+    /// *writers*, while repair copies entries of an already-closed ledger.
+    pub fn store_recovered(&self, ledger: LedgerId, entry: u64, data: Bytes) -> bool {
         if !self.is_alive() {
             return false;
         }
@@ -62,6 +78,21 @@ impl Bookie {
             shard.entry(ledger).or_default().insert(entry, data);
         });
         true
+    }
+
+    /// Fence a ledger: reject all future appends for it on this bookie.
+    ///
+    /// Recovery fences the ensemble *before* reading the tail, so a deposed
+    /// writer that still believes it owns the ledger can no longer reach the
+    /// ack quorum. The mark survives crashes (it lives in the journal, like
+    /// BookKeeper's fence bit) and is only cleared by ledger deletion.
+    pub fn fence(&self, ledger: LedgerId) {
+        self.fenced.insert(ledger, ());
+    }
+
+    /// Whether appends to this ledger are fenced off on this bookie.
+    pub fn is_fenced(&self, ledger: LedgerId) -> bool {
+        self.fenced.contains_key(&ledger)
     }
 
     /// Read an entry. `None` if down or absent.
@@ -86,6 +117,14 @@ impl Bookie {
     /// Drop all entries of a ledger (ledger deletion).
     pub fn delete_ledger(&self, ledger: LedgerId) {
         self.ledgers.remove(&ledger);
+        self.fenced.remove(&ledger);
+    }
+
+    /// Ids of all ledgers with entries stored on this bookie (journal scan;
+    /// works even when crashed — re-replication reads the survivors, not
+    /// the corpse, but the repair planner may still enumerate it).
+    pub fn ledger_ids(&self) -> Vec<LedgerId> {
+        self.ledgers.keys()
     }
 
     /// Number of entries stored for a ledger (test/metrics hook; works even
@@ -133,6 +172,20 @@ mod tests {
         assert_eq!(b.last_entry(LedgerId(1)), None);
         b.restart();
         assert_eq!(b.read_entry(LedgerId(1), 0), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn fence_rejects_appends_but_serves_reads() {
+        let b = Bookie::new(0);
+        assert!(b.add_entry(LedgerId(1), 0, Bytes::from_static(b"x")));
+        b.fence(LedgerId(1));
+        assert!(!b.add_entry(LedgerId(1), 1, Bytes::from_static(b"y")));
+        assert_eq!(b.read_entry(LedgerId(1), 0), Some(Bytes::from_static(b"x")));
+        // Other ledgers are unaffected.
+        assert!(b.add_entry(LedgerId(2), 0, Bytes::from_static(b"z")));
+        // Deletion clears the fence mark.
+        b.delete_ledger(LedgerId(1));
+        assert!(!b.is_fenced(LedgerId(1)));
     }
 
     #[test]

@@ -299,12 +299,22 @@ struct Topic {
     rr: u64,
 }
 
+/// Ownership check installed by a cluster layer: returns `true` while this
+/// broker instance may serve the named topic. Consulted on every publish,
+/// dispatch, ack, and subscribe, so a broker deposed by a newer ownership
+/// epoch fails fast with [`PulsarError::Fenced`] instead of serving (or
+/// corrupting) state it no longer owns.
+pub type FenceCheck = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
 struct ClusterInner {
     clock: SharedClock,
     cfg: PulsarConfig,
     bk: BookKeeper,
     bookies: Arc<Vec<Arc<Bookie>>>,
     meta: Arc<MetadataStore>,
+    /// Topic-ownership fence installed by the cluster layer (standalone
+    /// brokers leave it unset and serve everything).
+    fence_check: Mutex<Option<FenceCheck>>,
     /// Broker-side topic state, sharded by topic-name hash so operations on
     /// different topics never serialize on one broker-wide lock. Lock
     /// ordering: topic shard → metadata shard → tier/quotas mutex; nothing
@@ -440,6 +450,23 @@ impl PulsarCluster {
         let bookies: Arc<Vec<Arc<Bookie>>> =
             Arc::new((0..cfg.bookies).map(|i| Arc::new(Bookie::new(i))).collect());
         let meta = Arc::new(MetadataStore::new());
+        Self::with_shared(cfg, clock, bookies, meta)
+    }
+
+    /// Create a broker instance over *shared* bookies and metadata.
+    ///
+    /// This is the multi-broker entry point: each simulated broker node
+    /// gets its own `PulsarCluster` (its own in-memory topic state), while
+    /// the bookie fleet and the metadata store are shared — exactly the
+    /// stateless-broker split of §4.3. A topic's surviving state after a
+    /// broker death is whatever lives in the shared layers, which is what
+    /// the new owner's lazy `load_topic` rebuilds from.
+    pub fn with_shared(
+        cfg: PulsarConfig,
+        clock: SharedClock,
+        bookies: Arc<Vec<Arc<Bookie>>>,
+        meta: Arc<MetadataStore>,
+    ) -> Self {
         let bk = BookKeeper::new(bookies.clone(), meta.clone());
         Self {
             inner: Arc::new(ClusterInner {
@@ -448,6 +475,7 @@ impl PulsarCluster {
                 bk,
                 bookies,
                 meta,
+                fence_check: Mutex::new(None),
                 topics: ShardedMap::new(),
                 metrics: MetricsRegistry::new(),
                 tracer: Mutex::new(Tracer::disabled()),
@@ -457,6 +485,31 @@ impl PulsarCluster {
                 quotas: Mutex::new(HashMap::new()),
             }),
         }
+    }
+
+    /// Install a topic-ownership fence (see [`FenceCheck`]). The cluster
+    /// layer points this at its epoch-fenced lease table; operations on
+    /// topics the check rejects fail with [`PulsarError::Fenced`].
+    pub fn set_fence_check(&self, check: FenceCheck) {
+        *self.inner.fence_check.lock() = Some(check);
+    }
+
+    /// Shared metadata store (cluster layer + tests).
+    pub fn metadata(&self) -> &Arc<MetadataStore> {
+        &self.inner.meta
+    }
+
+    fn check_fence(&self, topic: &str) -> Result<()> {
+        // Clone the hook out of the lock: the check may consult the
+        // cluster control plane, which must not nest inside broker locks.
+        let check = self.inner.fence_check.lock().clone();
+        if let Some(check) = check {
+            if !check(topic) {
+                self.inner.metrics.counter("fenced_rejections").inc();
+                return Err(PulsarError::Fenced(topic.to_string()));
+            }
+        }
+        Ok(())
     }
 
     /// Default 3-bookie cluster on a wall clock.
@@ -661,6 +714,7 @@ impl PulsarCluster {
         subscription: &str,
         mode: SubscriptionMode,
     ) -> Result<Consumer> {
+        self.check_fence(topic)?;
         let nparts = self.partitions(topic)? as usize;
         let cid = self.with_topic(topic, |inner, t| {
             let sub = t
@@ -767,12 +821,20 @@ impl PulsarCluster {
                     .and_then(|v| decode_cursor(&v.data));
                 let pos = match md {
                     Some(id) => {
-                        let seg = partitions[p as usize]
+                        match partitions[p as usize]
                             .segments
                             .iter()
                             .position(|&l| l == id.ledger)
-                            .unwrap_or(0);
-                        ReadPos::at(seg, id.entry + 1)
+                        {
+                            Some(seg) => ReadPos::at(seg, id.entry + 1),
+                            // The cursor's segment was trimmed after the
+                            // mark-delete advanced past it: everything it
+                            // covered is gone, so resume at the start of
+                            // what survives. (Treating the first surviving
+                            // segment as the cursor's would silently skip
+                            // its unconsumed prefix — entry loss.)
+                            None => ReadPos::START,
+                        }
                     }
                     None => ReadPos::START,
                 };
@@ -804,6 +866,14 @@ impl PulsarCluster {
     /// claim of §4.3.
     pub fn restart_broker(&self) {
         self.inner.topics.clear();
+    }
+
+    /// Drop one topic's in-memory state (its ownership moved to another
+    /// broker). The next local operation — if the fence readmits it —
+    /// rebuilds from shared metadata, same as after
+    /// [`PulsarCluster::restart_broker`].
+    pub fn unload_topic(&self, name: &str) {
+        self.inner.topics.remove(name);
     }
 
     fn persist_segments(inner: &ClusterInner, topic: &str, p: usize, segs: &[LedgerId]) {
@@ -904,6 +974,7 @@ impl PulsarCluster {
     }
 
     fn publish(&self, topic: &str, key: Option<&[u8]>, payload: &[u8]) -> Result<MessageId> {
+        self.check_fence(topic)?;
         let tracer = self.tracer();
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish");
         span.attr("topic", topic);
@@ -970,6 +1041,7 @@ impl PulsarCluster {
                 .publish(topic, None, payloads[0].as_ref())
                 .map(|id| vec![id]);
         }
+        self.check_fence(topic)?;
         let tracer = self.tracer();
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.publish_batch");
         span.attr("topic", topic);
@@ -1078,6 +1150,7 @@ impl PulsarCluster {
         if max == 0 {
             return Ok(0);
         }
+        self.check_fence(topic)?;
         let tracer = self.tracer();
         let mut span = tracer.span(TRACE_SYSTEM, "pulsar.dispatch");
         span.attr("topic", topic);
@@ -1138,15 +1211,14 @@ impl PulsarCluster {
                     // Also skip anything the mark-delete cursor already covers
                     // (individual acks get folded into mark-delete and leave
                     // the acked set).
+                    // When md's segment was trimmed, nothing that survives
+                    // is covered by it, so no skip applies.
                     if let Some(md) = sub.mark_delete[p] {
-                        let md_seg = part
-                            .segments
-                            .iter()
-                            .position(|&l| l == md.ledger)
-                            .unwrap_or(0);
-                        if (pos.seg, pos.entry) <= (md_seg, md.entry) {
-                            sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
-                            continue;
+                        if let Some(md_seg) = part.segments.iter().position(|&l| l == md.ledger) {
+                            if (pos.seg, pos.entry) <= (md_seg, md.entry) {
+                                sub.read[p] = ReadPos::at(pos.seg, pos.entry + 1);
+                                continue;
+                            }
                         }
                     }
                     clk.tick(&mut acc.cursor_ns);
@@ -1291,6 +1363,7 @@ impl PulsarCluster {
     }
 
     fn ack(&self, topic: &str, subscription: &str, id: MessageId) -> Result<()> {
+        self.check_fence(topic)?;
         self.with_topic(topic, |inner, t| {
             let sub = t
                 .subs
@@ -1318,6 +1391,17 @@ impl PulsarCluster {
                 sub.partial.remove(&canonical);
                 canonical
             } else {
+                // Same idempotence guard for unbatched ids: re-acking a
+                // message the mark-delete already covers (e.g. a failover
+                // redelivery acked twice) must not park the id in `acked`
+                // forever — the fold loop below only matches ids *above*
+                // the cursor, so a stale insert would never drain.
+                let covered = sub.acked.contains(&id)
+                    || sub.mark_delete[id.partition as usize]
+                        .is_some_and(|md| (md.ledger, md.entry) >= (id.ledger, id.entry));
+                if covered {
+                    return Ok(());
+                }
                 id
             };
             sub.acked.insert(id);
@@ -1336,18 +1420,27 @@ impl PulsarCluster {
                     Some(md) => {
                         // Position after md: next entry, or first entry of the
                         // next segment.
-                        let seg_idx = part
-                            .segments
-                            .iter()
-                            .position(|&l| l == md.ledger)
-                            .unwrap_or(0);
-                        let seg_len = Self::segment_len(inner, part, seg_idx);
-                        if md.entry + 1 < seg_len {
-                            MessageId::new(id.partition, md.ledger, md.entry + 1)
-                        } else if seg_idx + 1 < part.segments.len() {
-                            MessageId::new(id.partition, part.segments[seg_idx + 1], 0)
-                        } else {
-                            break;
+                        match part.segments.iter().position(|&l| l == md.ledger) {
+                            Some(seg_idx) => {
+                                let seg_len = Self::segment_len(inner, part, seg_idx);
+                                if md.entry + 1 < seg_len {
+                                    MessageId::new(id.partition, md.ledger, md.entry + 1)
+                                } else if seg_idx + 1 < part.segments.len() {
+                                    MessageId::new(id.partition, part.segments[seg_idx + 1], 0)
+                                } else {
+                                    break;
+                                }
+                            }
+                            // md's segment was trimmed away: the next
+                            // ackable position is the first entry of the
+                            // oldest surviving segment. (The old
+                            // `unwrap_or(0)` built the next id from the
+                            // trimmed ledger, which never matches a real
+                            // ack — the cursor would stall forever.)
+                            None => match part.segments.first() {
+                                Some(&l) => MessageId::new(id.partition, l, 0),
+                                None => break,
+                            },
                         }
                     }
                 };
@@ -1379,14 +1472,17 @@ impl PulsarCluster {
             for p in 0..t.partitions.len() {
                 let pos = match sub.mark_delete[p] {
                     None => ReadPos::START,
-                    Some(md) => {
-                        let seg = t.partitions[p]
-                            .segments
-                            .iter()
-                            .position(|&l| l == md.ledger)
-                            .unwrap_or(0);
-                        ReadPos::at(seg, md.entry + 1)
-                    }
+                    Some(md) => match t.partitions[p]
+                        .segments
+                        .iter()
+                        .position(|&l| l == md.ledger)
+                    {
+                        Some(seg) => ReadPos::at(seg, md.entry + 1),
+                        // md's segment was trimmed: rewind to the start of
+                        // what survives rather than skipping into the
+                        // first segment's unconsumed prefix.
+                        None => ReadPos::START,
+                    },
                 };
                 sub.read[p] = pos;
             }

@@ -49,6 +49,8 @@ pub enum PulsarError {
     FunctionExists(String),
     /// Function not found.
     FunctionNotFound(String),
+    /// The broker no longer owns this topic (a newer epoch fenced it out).
+    Fenced(String),
 }
 
 impl std::fmt::Display for PulsarError {
@@ -82,6 +84,7 @@ impl std::fmt::Display for PulsarError {
             }
             PulsarError::FunctionExists(n) => write!(f, "function already registered: {n}"),
             PulsarError::FunctionNotFound(n) => write!(f, "function not found: {n}"),
+            PulsarError::Fenced(t) => write!(f, "broker fenced off topic {t}"),
         }
     }
 }

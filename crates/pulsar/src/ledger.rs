@@ -208,10 +208,17 @@ impl BookKeeper {
 
     /// Fence and close a ledger whose writer crashed: record the highest
     /// entry visible on the ensemble as the final length.
+    ///
+    /// The ensemble is fenced *before* the recovery read, so a deposed
+    /// writer that is still running cannot reach its ack quorum after the
+    /// new owner has decided the ledger's final length.
     pub fn recover_and_close(&self, id: LedgerId) -> Result<Option<u64>> {
         let mut meta = self.ledger_meta(id)?;
         if meta.closed {
             return Ok(meta.last_entry);
+        }
+        for &i in &meta.ensemble {
+            self.bookies[i].fence(id);
         }
         let last = meta
             .ensemble
@@ -233,6 +240,102 @@ impl BookKeeper {
         }
         self.meta.delete(&meta_key(id));
         Ok(())
+    }
+
+    /// Ids of every ledger known to the metadata store.
+    pub fn all_ledgers(&self) -> Vec<LedgerId> {
+        let prefix = "/ledgers/";
+        let mut ids: Vec<LedgerId> = self
+            .meta
+            .list_prefix(prefix)
+            .into_iter()
+            .filter_map(|k| k[prefix.len()..].parse().ok().map(LedgerId))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ledgers whose ensemble includes the given bookie index.
+    pub fn ledgers_on(&self, bookie: usize) -> Vec<LedgerId> {
+        self.all_ledgers()
+            .into_iter()
+            .filter(|&id| {
+                self.ledger_meta(id)
+                    .map(|m| m.ensemble.contains(&bookie))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Ledgers that currently have at least one dead bookie in their
+    /// ensemble — i.e. entries stored below the replication factor. The
+    /// re-replication worker drains this to zero.
+    pub fn underreplicated_ledgers(&self) -> Vec<LedgerId> {
+        self.all_ledgers()
+            .into_iter()
+            .filter(|&id| {
+                self.ledger_meta(id)
+                    .map(|m| m.ensemble.iter().any(|&i| !self.bookies[i].is_alive()))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Repair one ledger after a bookie failure: copy every entry the dead
+    /// bookie was a replica for onto `target`, then swap `dead` → `target`
+    /// in the ensemble metadata.
+    ///
+    /// The ledger is fenced and closed first (its writer, if any, has lost
+    /// its quorum anyway), so the entry set being copied is final. Swapping
+    /// by ensemble *position* preserves the round-robin placement function:
+    /// `replicas_for` keeps mapping each entry to the same slots, with the
+    /// new bookie standing in the dead one's slot.
+    pub fn rereplicate_ledger(&self, id: LedgerId, dead: usize, target: usize) -> Result<u64> {
+        let mut meta = self.ledger_meta(id)?;
+        if !meta.ensemble.contains(&dead) {
+            return Ok(0);
+        }
+        if !meta.closed {
+            self.recover_and_close(id)?;
+            meta = self.ledger_meta(id)?;
+        }
+        let mut copied = 0u64;
+        if let Some(last) = meta.last_entry {
+            for entry in 0..=last {
+                if !Self::replicas_for(&meta, entry).any(|i| i == dead) {
+                    continue;
+                }
+                // Read from any surviving replica; the dead bookie simply
+                // returns None so the iteration skips it.
+                let data = self.read_entry(id, entry)?;
+                if !self.bookies[target].store_recovered(id, entry, data) {
+                    return Err(PulsarError::QuorumUnavailable { needed: 1, got: 0 });
+                }
+                copied += 1;
+            }
+        }
+        // The ledger is closed: fence the replacement too so a zombie
+        // writer cannot append through the new replica.
+        self.bookies[target].fence(id);
+        for slot in meta.ensemble.iter_mut() {
+            if *slot == dead {
+                *slot = target;
+            }
+        }
+        self.meta.put(&meta_key(id), meta.encode());
+        Ok(copied)
+    }
+
+    /// Re-replicate every ledger that had `dead` in its ensemble onto
+    /// `target`. Returns `(ledgers_repaired, entries_copied)`.
+    pub fn rereplicate_from(&self, dead: usize, target: usize) -> Result<(usize, u64)> {
+        let mut ledgers = 0usize;
+        let mut entries = 0u64;
+        for id in self.ledgers_on(dead) {
+            entries += self.rereplicate_ledger(id, dead, target)?;
+            ledgers += 1;
+        }
+        Ok((ledgers, entries))
     }
 }
 
@@ -304,6 +407,15 @@ impl LedgerWriter {
             return Ok(());
         }
         self.closed = true;
+        // Recovery (a new topic owner, or bookie-failure re-replication)
+        // fences the ensemble and closes the metadata behind a writer that
+        // is still running; the writer only notices on its next append.
+        // That recovered state — the final length, possibly a repaired
+        // ensemble — must win: overwriting it here would put a dead bookie
+        // back into the ensemble and silently undo the re-replication.
+        if matches!(self.bk.ledger_meta(self.id), Ok(m) if m.closed) {
+            return Ok(());
+        }
         let meta = LedgerMeta {
             ensemble: self.ensemble.clone(),
             write_quorum: self.cfg.write_quorum,
@@ -364,6 +476,36 @@ mod tests {
             let data = bk.read_entry(w.id(), i).unwrap();
             assert_eq!(data, Bytes::from(i.to_le_bytes().to_vec()));
         }
+    }
+
+    #[test]
+    fn fenced_writer_close_cannot_clobber_recovered_meta() {
+        let (bk, bookies) = cluster(4);
+        let mut w = bk.create_ledger(LedgerConfig::default()).unwrap();
+        for i in 0..6u64 {
+            w.append(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        // A bookie in the ensemble dies; repair fences + closes the open
+        // tail and swaps the dead slot for the spare — all while the
+        // original writer is still open and unaware.
+        let meta_before = bk.ledger_meta(w.id()).unwrap();
+        let dead = meta_before.ensemble[0];
+        let spare = (0..4).find(|i| !meta_before.ensemble.contains(i)).unwrap();
+        bookies[dead].crash();
+        bk.rereplicate_ledger(w.id(), dead, spare).unwrap();
+        let repaired = bk.ledger_meta(w.id()).unwrap();
+        assert!(repaired.closed);
+        assert!(!repaired.ensemble.contains(&dead));
+
+        // The deposed writer notices only on its next append (fenced),
+        // and seals. Its stale view must NOT overwrite the repair.
+        assert!(matches!(
+            w.append(Bytes::from_static(b"zombie")),
+            Err(PulsarError::QuorumUnavailable { .. })
+        ));
+        w.close().unwrap();
+        assert_eq!(bk.ledger_meta(w.id()).unwrap(), repaired);
+        assert!(bk.underreplicated_ledgers().is_empty());
     }
 
     #[test]
@@ -499,6 +641,65 @@ mod tests {
                 alive: 2
             })
         ));
+    }
+
+    #[test]
+    fn recovery_fences_out_deposed_writer() {
+        let (bk, _) = cluster(3);
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        w.append(Bytes::from_static(b"before")).unwrap();
+        // New owner recovers the ledger while the old writer still runs.
+        assert_eq!(bk.recover_and_close(w.id()).unwrap(), Some(0));
+        // The zombie writer can no longer reach its ack quorum.
+        assert!(matches!(
+            w.append(Bytes::from_static(b"zombie")),
+            Err(PulsarError::QuorumUnavailable { .. })
+        ));
+        assert_eq!(bk.last_entry(w.id()).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn rereplication_restores_replication_factor() {
+        let bookies: Arc<Vec<Arc<Bookie>>> =
+            Arc::new((0..4).map(|i| Arc::new(Bookie::new(i))).collect());
+        bookies[3].crash(); // spare, not yet provisioned
+        let meta = Arc::new(MetadataStore::new());
+        let bk = BookKeeper::new(bookies.clone(), meta);
+        let cfg = LedgerConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        };
+        let mut w = bk.create_ledger(cfg).unwrap();
+        for i in 0..30u64 {
+            w.append(Bytes::from(vec![i as u8])).unwrap();
+        }
+        w.close().unwrap();
+        let id = w.id();
+        let dead = 1usize;
+        bookies[dead].crash();
+        assert_eq!(bk.underreplicated_ledgers(), vec![id]);
+        // Provision the spare and repair onto it.
+        bookies[3].restart();
+        let (ledgers, entries) = bk.rereplicate_from(dead, 3).unwrap();
+        assert_eq!(ledgers, 1);
+        // write_quorum=2 over a 3-ensemble: the dead slot held 2/3 of entries.
+        assert_eq!(entries, 20);
+        assert!(bk.underreplicated_ledgers().is_empty());
+        // Every entry is back at full replication on live bookies.
+        let m = bk.ledger_meta(id).unwrap();
+        assert!(!m.ensemble.contains(&dead));
+        for entry in 0..30u64 {
+            let copies = BookKeeper::replicas_for(&m, entry)
+                .filter(|&i| bookies[i].read_entry(id, entry).is_some())
+                .count();
+            assert_eq!(copies, 2, "entry {entry} below replication factor");
+        }
     }
 
     #[test]

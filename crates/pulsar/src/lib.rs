@@ -41,7 +41,7 @@ pub mod message;
 pub mod metadata;
 pub mod tiering;
 
-pub use broker::{Consumer, Producer, PulsarCluster, PulsarConfig, SubscriptionMode};
+pub use broker::{Consumer, FenceCheck, Producer, PulsarCluster, PulsarConfig, SubscriptionMode};
 pub use error::PulsarError;
 pub use functions::{Context, FunctionConfig, FunctionRuntime};
 pub use geo::GeoReplicator;

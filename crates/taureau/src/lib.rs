@@ -29,6 +29,7 @@
 
 pub use taureau_apps as apps;
 pub use taureau_baas as baas;
+pub use taureau_cluster as cluster;
 pub use taureau_core as core;
 pub use taureau_dag as dag;
 pub use taureau_faas as faas;
@@ -43,6 +44,7 @@ pub use taureau_sketches as sketches;
 
 /// The most common entry points, for `use taureau::prelude::*`.
 pub mod prelude {
+    pub use taureau_cluster::{ClusterStack, ClusterStackConfig};
     pub use taureau_core::bytesize::ByteSize;
     pub use taureau_core::clock::{Clock, SharedClock, VirtualClock, WallClock};
     pub use taureau_core::metrics::MetricsRegistry;
