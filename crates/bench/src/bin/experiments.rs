@@ -23,7 +23,9 @@ use std::time::{Duration, Instant};
 
 use taureau_baas::BlobStore;
 use taureau_bench::{fmt_dur, fmt_usd, Table};
-use taureau_cluster::{ClusterStack, ClusterStackConfig, LinkFaults};
+use taureau_cluster::{
+    ClusterStack, ClusterStackConfig, IncidentKind, IncidentSpec, LinkFaults, OutagePhase,
+};
 use taureau_core::bytesize::ByteSize;
 use taureau_core::clock::{SharedClock, VirtualClock, WallClock};
 use taureau_core::cost::VmPricing;
@@ -101,7 +103,7 @@ fn alloc_delta(f: impl FnOnce()) -> (u64, u64) {
 
 const KNOWN: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e16", "e17",
-    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28",
+    "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28", "e29",
 ];
 
 /// Default path for the machine-readable benchmark numbers E25 (and E24's
@@ -239,6 +241,9 @@ fn main() {
     }
     if want("e28") {
         e28_cluster_failover(&mut bench_parts);
+    }
+    if want("e29") {
+        e29_cluster_observability(&mut bench_parts);
     }
     // E25 always persists its numbers (the CI scaling gate reads them);
     // other fragments (E24's overhead coda, E26's batching numbers) ride
@@ -3119,4 +3124,301 @@ fn e28_cluster_failover(bench: &mut Vec<(String, String)>) {
     );
     println!("bench JSON written to {BENCH_E28_PATH}");
     bench.push(("e28".to_string(), fragment));
+}
+
+const BENCH_E29_PATH: &str = "BENCH_e29.json";
+
+/// E29 — the cluster observability plane under rolling failures: 5
+/// brokers serve 8 topics over a lossy network while one broker is made
+/// grey-slow (client links only — heartbeats unaffected), three rolling
+/// owner kills and one permanent bookie loss are injected, and the
+/// collector — fed exclusively by telemetry that rode the same faulty
+/// wire — reconstructs every incident. Reports per-incident MTTD/MTTR
+/// with phase attribution (gate: explained ≥90% of each unavailability
+/// window), grey-detector lead time and precision (gates: zero false
+/// positives on the healthy phase, grey broker flagged while heartbeats
+/// still vouch for it), and exact telemetry loss accounting (gate:
+/// sent = received + detected-dropped after sync).
+fn e29_cluster_observability(bench: &mut Vec<(String, String)>) {
+    banner(
+        "E29",
+        "observability plane: MTTD/MTTR attribution explains ≥90% of every outage window; grey broker flagged before any heartbeat suspicion; telemetry loss accounting exact under drops",
+    );
+
+    const TOPICS: usize = 8;
+    const HEALTHY_ROUNDS: usize = 30;
+    const GREY_ROUNDS: usize = 60;
+    const BROKER_KILLS: usize = 3;
+
+    let mut s = ClusterStack::new(ClusterStackConfig {
+        seed: 0xE29,
+        brokers: 5,
+        observability: true,
+        ..ClusterStackConfig::default()
+    });
+    let lossy = LinkFaults {
+        latency: Duration::from_micros(500),
+        jitter: Duration::from_micros(200),
+        drop_p: 0.005,
+        dup_p: 0.005,
+    };
+    s.fabric().net().set_default_faults(lossy);
+    let topics: Vec<String> = (0..TOPICS).map(|i| format!("t{i}")).collect();
+    for t in &topics {
+        s.create_topic(t, 1).expect("topic");
+    }
+    let client = s.client_node();
+
+    // -- phase 1: healthy baseline — the grey detector must stay silent --
+    for round in 0..HEALTHY_ROUNDS {
+        for t in &topics {
+            let _ = s.publish(t, &(round as u64).to_le_bytes(), None);
+        }
+    }
+    s.run_for(Duration::from_millis(50));
+    let healthy_false_positives = s.obs().expect("plane").collector().grey_flags().len();
+
+    // -- phase 2: one grey-slow broker ----------------------------------
+    // Slow only the client<->grey links: broker<->broker heartbeats keep
+    // flowing at normal latency, so the membership detector never fires —
+    // the classic grey failure heartbeats cannot see.
+    let t0_owner = s.pulsar().owner("t0").expect("owner");
+    let grey_topic = topics
+        .iter()
+        .skip(1)
+        .find(|t| s.pulsar().owner(t).ok() != Some(t0_owner))
+        .cloned()
+        .expect("8 topics over 5 brokers must use >1 owner");
+    let grey = s.pulsar().owner(&grey_topic).expect("owner");
+    let slow = LinkFaults {
+        latency: Duration::from_millis(8),
+        jitter: Duration::from_micros(200),
+        drop_p: 0.005,
+        dup_p: 0.0,
+    };
+    s.fabric().net().set_link_faults(client, grey, slow);
+    s.fabric().net().set_link_faults(grey, client, slow);
+    let grey_injected_at = s.now();
+    let mut grey_flag_at: Option<Duration> = None;
+    let mut control_alive_at_flag = false;
+    for round in 0..GREY_ROUNDS {
+        for t in &topics {
+            let _ = s.publish(t, &(round as u64).to_le_bytes(), None);
+        }
+        if grey_flag_at.is_none() {
+            if let Some(&at) = s
+                .obs()
+                .expect("plane")
+                .collector()
+                .grey_flags()
+                .get(&grey.raw())
+            {
+                grey_flag_at = Some(at);
+                // Heartbeats still vouch for the grey broker: detection
+                // beat the failure detector (which never fires at all).
+                control_alive_at_flag = s.fabric().control().lock().view().contains(&grey);
+                break;
+            }
+        }
+    }
+    s.fabric().net().set_link_faults(client, grey, lossy);
+    s.fabric().net().set_link_faults(grey, client, lossy);
+    let grey_lead = grey_flag_at.map(|at| at.saturating_sub(grey_injected_at));
+
+    // -- phase 3: rolling owner kills — MTTD/MTTR per incident -----------
+    let mut specs: Vec<IncidentSpec> = Vec::new();
+    let mut killed: Vec<taureau_core::id::NodeId> = Vec::new();
+    for k in 0..BROKER_KILLS {
+        if let Some(prev) = killed.last().copied() {
+            s.revive(prev);
+            s.run_for(Duration::from_millis(30));
+        }
+        let owner = s.pulsar().owner("t0").expect("owner");
+        let fault_at = s.now();
+        s.kill(owner);
+        killed.push(owner);
+        // Client-side ground truth: the window closes when a publish AND
+        // a consume (subscription rebuilt on the new owner) both succeed.
+        s.publish("t0", b"probe", None).expect("probe publish");
+        let msgs = s.consume("t0", "s", 64, None).expect("probe consume");
+        let recovered_at = s.now();
+        for m in msgs {
+            let _ = s.ack("t0", "s", m.id, None);
+        }
+        specs.push(IncidentSpec {
+            id: format!("kill-{}", k + 1),
+            node: owner,
+            kind: IncidentKind::Broker,
+            fault_at,
+            recovered_at,
+        });
+    }
+
+    // -- phase 4: permanent bookie loss — re-replication drain -----------
+    let bookie = s.pulsar().bookie_nodes()[0];
+    let bookie_fault_at = s.now();
+    s.kill(bookie);
+    s.publish("t0", b"probe-bookie", None)
+        .expect("publish during repair");
+    let repair_rounds = s.repair_until_replicated(2_000);
+    let bookie_recovered_at = s.now();
+    specs.push(IncidentSpec {
+        id: "bookie-1".to_string(),
+        node: bookie,
+        kind: IncidentKind::Bookie,
+        fault_at: bookie_fault_at,
+        recovered_at: bookie_recovered_at,
+    });
+
+    // -- drain: revive the last victim so every agent can sync ------------
+    if let Some(prev) = killed.last().copied() {
+        s.revive(prev);
+    }
+    let synced = s.drain_telemetry(Duration::from_secs(10));
+    let loss = s.obs().expect("plane").loss_accounting();
+    let timeline = s.obs().expect("plane").timeline(&specs);
+    let report = s.health_report().expect("plane");
+    let blackbox_dumps = s
+        .jiffy()
+        .jiffy()
+        .list("/blackbox")
+        .map(|entries| entries.len())
+        .unwrap_or(0);
+    let flagged: Vec<u64> = s
+        .obs()
+        .expect("plane")
+        .collector()
+        .grey_flags()
+        .keys()
+        .copied()
+        .collect();
+    let grey_precision = if flagged.is_empty() {
+        0.0
+    } else {
+        flagged.iter().filter(|&&n| n == grey.raw()).count() as f64 / flagged.len() as f64
+    };
+
+    // -- report -----------------------------------------------------------
+    let mut t = Table::new([
+        "incident",
+        "MTTD",
+        "MTTR",
+        "detect",
+        "re-lease",
+        "rebuild",
+        "drain",
+        "unattrib",
+        "explained",
+    ]);
+    for inc in &timeline.incidents {
+        t.row([
+            inc.id.clone(),
+            inc.mttd().map(fmt_dur).unwrap_or_else(|| "n/a".into()),
+            fmt_dur(inc.mttr()),
+            fmt_dur(inc.phase(OutagePhase::Detection)),
+            fmt_dur(inc.phase(OutagePhase::Release)),
+            fmt_dur(inc.phase(OutagePhase::SubscriptionRebuild)),
+            fmt_dur(inc.phase(OutagePhase::RereplicationDrain)),
+            fmt_dur(inc.phase(OutagePhase::Unattributed)),
+            format!("{:.1}%", inc.explained_fraction() * 100.0),
+        ]);
+    }
+    t.print();
+    let min_explained = timeline.min_explained_fraction();
+    println!(
+        "attribution: worst incident explains {:.1}% of its window (gate ≥90%); \
+         mean MTTD {} mean MTTR {}",
+        min_explained * 100.0,
+        timeline
+            .mean_mttd()
+            .map(fmt_dur)
+            .unwrap_or_else(|| "n/a".into()),
+        timeline
+            .mean_mttr()
+            .map(fmt_dur)
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    println!(
+        "grey detector: broker n{} flagged {} after injection (heartbeats still vouching: {}); \
+         healthy-phase false positives: {healthy_false_positives} (gate 0); precision {:.2}",
+        grey.raw(),
+        grey_lead.map(fmt_dur).unwrap_or_else(|| "NEVER".into()),
+        control_alive_at_flag,
+        grey_precision,
+    );
+    println!(
+        "telemetry: {} sent, {} received, {} detected-dropped, {} died-with-process \
+         (synced: {synced}, books exact: {})",
+        loss.sent,
+        loss.received,
+        loss.dropped,
+        loss.pending_lost,
+        loss.exact(),
+    );
+    println!(
+        "collector: {} per-(op,node) rows, {} active alerts, {blackbox_dumps} blackbox dump(s); \
+         repair converged in {repair_rounds} rounds",
+        report.ops.len(),
+        report.active_alerts.len(),
+    );
+
+    let incidents_json = timeline
+        .incidents
+        .iter()
+        .map(|inc| {
+            format!(
+                "{{\n      \"id\": \"{}\",\n      \"kind\": \"{}\",\n      \
+                 \"mttd_us\": {},\n      \"mttr_us\": {},\n      \"wall_us\": {},\n      \
+                 \"detection_us\": {},\n      \"release_us\": {},\n      \
+                 \"rebuild_us\": {},\n      \"drain_us\": {},\n      \
+                 \"unattributed_us\": {},\n      \"explained_fraction\": {:.5}\n    }}",
+                inc.id,
+                match inc.kind {
+                    IncidentKind::Broker => "broker",
+                    IncidentKind::Bookie => "bookie",
+                },
+                inc.mttd().map(|d| d.as_micros()).unwrap_or(0),
+                inc.mttr().as_micros(),
+                inc.wall().as_micros(),
+                inc.phase(OutagePhase::Detection).as_micros(),
+                inc.phase(OutagePhase::Release).as_micros(),
+                inc.phase(OutagePhase::SubscriptionRebuild).as_micros(),
+                inc.phase(OutagePhase::RereplicationDrain).as_micros(),
+                inc.phase(OutagePhase::Unattributed).as_micros(),
+                inc.explained_fraction(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let fragment = format!(
+        "{{\n    \"incidents\": [\n    {incidents_json}\n    ],\n    \
+         \"attribution_min_fraction\": {min_explained:.5},\n    \
+         \"mean_mttd_us\": {},\n    \"mean_mttr_us\": {},\n    \
+         \"grey_flagged\": {},\n    \"grey_lead_ms\": {:.3},\n    \
+         \"grey_control_alive_at_flag\": {control_alive_at_flag},\n    \
+         \"grey_precision\": {grey_precision:.3},\n    \
+         \"healthy_false_positives\": {healthy_false_positives},\n    \
+         \"telemetry_sent\": {},\n    \"telemetry_received\": {},\n    \
+         \"telemetry_dropped\": {},\n    \"telemetry_pending_lost\": {},\n    \
+         \"telemetry_synced\": {synced},\n    \"loss_exact\": {},\n    \
+         \"blackbox_dumps\": {blackbox_dumps},\n    \
+         \"repair_rounds\": {repair_rounds}\n  }}",
+        timeline.mean_mttd().map(|d| d.as_micros()).unwrap_or(0),
+        timeline.mean_mttr().map(|d| d.as_micros()).unwrap_or(0),
+        grey_flag_at.is_some(),
+        grey_lead.map(|d| d.as_secs_f64() * 1e3).unwrap_or(-1.0),
+        loss.sent,
+        loss.received,
+        loss.dropped,
+        loss.pending_lost,
+        loss.exact(),
+    );
+    std::fs::write(BENCH_E29_PATH, format!("{{\n  \"e29\": {fragment}\n}}\n")).unwrap_or_else(
+        |e| {
+            eprintln!("failed to write {BENCH_E29_PATH}: {e}");
+            std::process::exit(1);
+        },
+    );
+    println!("bench JSON written to {BENCH_E29_PATH}");
+    bench.push(("e29".to_string(), fragment));
 }

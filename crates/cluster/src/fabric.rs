@@ -45,6 +45,8 @@ pub enum NodeRole {
     Worker,
     /// Client / load generator.
     Client,
+    /// Telemetry collector (the observability plane's sink node).
+    Collector,
 }
 
 struct NodeInfo {
@@ -195,6 +197,21 @@ impl ClusterFabric {
             return false;
         }
         self.net.send(from, to, req, kind, body, ctx).is_some()
+    }
+
+    /// Each live node's current *local* membership view — the peers it
+    /// believes alive right now, from its own heartbeat evidence. This is
+    /// per-node belief, not the authoritative control-plane view: the
+    /// observability agents diff it tick to tick to report membership
+    /// transitions as each node sees them.
+    pub fn member_views(&self) -> Vec<(NodeId, BTreeSet<NodeId>)> {
+        let now = self.now();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (NodeId(i as u64), n.agent.view(now)))
+            .collect()
     }
 
     /// Drain a node's service mailbox (dead nodes yield nothing).

@@ -28,12 +28,18 @@
 //! - [`stack`]: [`stack::ClusterStack`] — the composed deployment a
 //!   client talks to through the network, used by experiment e28 and the
 //!   `stack_cluster` integration tests.
+//! - [`obs`]: the cluster observability plane — per-node telemetry
+//!   agents shipping HLC-stamped batches over the faulty network to a
+//!   collector node, failure-timeline reconstruction with MTTD/MTTR
+//!   phase attribution, grey-failure detection, and exact telemetry
+//!   loss accounting. Used by experiment e29.
 
 pub mod error;
 pub mod faas_cluster;
 pub mod fabric;
 pub mod jiffy_cluster;
 pub mod membership;
+pub mod obs;
 pub mod pulsar_cluster;
 pub mod stack;
 pub mod transport;
@@ -44,6 +50,10 @@ pub use faas_cluster::ClusterFaas;
 pub use fabric::{ClusterFabric, NodeRole};
 pub use jiffy_cluster::JiffyFabric;
 pub use membership::{ControlPlane, Lease, MemberAgent, MembershipConfig};
-pub use pulsar_cluster::{ClusterPulsar, MaintenanceReport};
+pub use obs::{
+    ClusterObs, Collector, FailureTimeline, GreyVerdict, Incident, IncidentKind, IncidentSpec,
+    LossAccounting, ObsConfig, ObsEvent, OutagePhase, StampedEvent, TelemetryAgent,
+};
+pub use pulsar_cluster::{ClusterPulsar, MaintenanceReport, PulsarObsEvent};
 pub use stack::{ClusterMessage, ClusterStack, ClusterStackConfig};
 pub use transport::{Envelope, LinkFaults, NetStats, SimNet};

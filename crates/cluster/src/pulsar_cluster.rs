@@ -59,6 +59,56 @@ pub struct MaintenanceReport {
     pub repair_backlog: u64,
 }
 
+/// Control/data-plane happenings the observability plane ships to the
+/// collector: lease moves, consumer rebuilds, fence rejections, bookie
+/// replacement, and re-replication progress. [`ClusterPulsar`] appends
+/// them as they happen; [`ClusterPulsar::drain_obs_events`] hands them to
+/// the telemetry agents, which stamp and batch them like any other event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PulsarObsEvent {
+    /// A lease was (re)assigned: `resource` now owned by `owner` at
+    /// `epoch` (the fence token).
+    LeaseMoved {
+        /// Lease-table key, e.g. `topic/jobs`.
+        resource: String,
+        /// New owner broker.
+        owner: NodeId,
+        /// Fencing epoch of the new lease.
+        epoch: u64,
+    },
+    /// A broker (re)built a consumer handle for a subscription — after
+    /// failover this is the subscription-rebuild phase completing.
+    ConsumerRebuilt {
+        /// Topic subscribed.
+        topic: String,
+        /// Broker that built the handle.
+        node: NodeId,
+    },
+    /// A broker's request was rejected by the lease fence.
+    Fenced {
+        /// Topic the stale broker tried to serve.
+        topic: String,
+        /// The fenced (stale) broker.
+        node: NodeId,
+    },
+    /// A dead bookie was swapped for a spare.
+    BookieReplaced {
+        /// Fabric node of the dead bookie.
+        dead: NodeId,
+        /// Fabric node of the activated spare.
+        target: NodeId,
+    },
+    /// One maintenance round of background re-replication.
+    RepairProgress {
+        /// Ledgers re-replicated this round.
+        ledgers: u64,
+        /// Entries copied this round.
+        entries: u64,
+        /// Ledgers still queued after this round.
+        backlog: u64,
+    },
+}
+
 /// An in-progress bookie replacement.
 struct RepairJob {
     dead: usize,
@@ -88,6 +138,8 @@ pub struct ClusterPulsar {
     pub repair_chunk: usize,
     /// Broker-side consumer handles, rebuilt lazily after failover.
     consumers: HashMap<(NodeId, String, String), Consumer>,
+    /// Pending observability events (drained by the telemetry plane).
+    obs_events: Vec<PulsarObsEvent>,
 }
 
 impl ClusterPulsar {
@@ -153,7 +205,13 @@ impl ClusterPulsar {
             repair: None,
             repair_chunk: 4,
             consumers: HashMap::new(),
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Take the observability events accumulated since the last drain.
+    pub fn drain_obs_events(&mut self) -> Vec<PulsarObsEvent> {
+        std::mem::take(&mut self.obs_events)
     }
 
     /// Broker fabric nodes, in creation order.
@@ -250,7 +308,20 @@ impl ClusterPulsar {
             }
             Err(e) => {
                 span.attr("outcome", "error");
-                wire::enc(&[Bytes::from_static(b"err"), Bytes::from(e.to_string())])
+                let msg = e.to_string();
+                // A fence rejection is a first-class incident signal: the
+                // topic (first request frame) was served by a deposed
+                // broker. Stale-lease windows show up on the timeline.
+                if msg.to_ascii_lowercase().contains("fenced") {
+                    if let Some(topic) = wire::dec(&env.body)
+                        .ok()
+                        .and_then(|f| f.into_iter().next())
+                        .and_then(|f| wire::as_str(&f).ok())
+                    {
+                        self.obs_events.push(PulsarObsEvent::Fenced { topic, node });
+                    }
+                }
+                wire::enc(&[Bytes::from_static(b"err"), Bytes::from(msg)])
             }
         };
         fabric.send(node, env.from, env.req, "resp", body, span.context());
@@ -273,6 +344,10 @@ impl ClusterPulsar {
                 .subscribe(topic, sub, SubscriptionMode::Shared)
                 .map_err(|e| ClusterError::Remote(e.to_string()))?;
             self.consumers.insert(key.clone(), c);
+            self.obs_events.push(PulsarObsEvent::ConsumerRebuilt {
+                topic: topic.to_string(),
+                node,
+            });
         }
         Ok(self.consumers.get_mut(&key).expect("just inserted"))
     }
@@ -327,7 +402,7 @@ impl ClusterPulsar {
         // gets a new owner (epoch bump — the fence). The old owner's
         // cached topic state is stale by construction; drop every
         // non-owner's cache so a bounced broker reloads from metadata.
-        let moved: Vec<(String, NodeId)> = {
+        let moved: Vec<(String, NodeId, u64)> = {
             let mut cp = self.control.lock();
             let resources: Vec<String> = cp
                 .resources()
@@ -340,16 +415,21 @@ impl ClusterPulsar {
                     let prev = cp.lease(&res);
                     let next = cp.ensure_lease(&res, &self.broker_order);
                     match (prev, next) {
-                        (Some(p), Some(n)) if p != n => Some((res, n.owner)),
-                        (None, Some(n)) => Some((res, n.owner)),
+                        (Some(p), Some(n)) if p != n => Some((res, n.owner, n.epoch)),
+                        (None, Some(n)) => Some((res, n.owner, n.epoch)),
                         _ => None,
                     }
                 })
                 .collect()
         };
-        for (res, new_owner) in moved {
+        for (res, new_owner, epoch) in moved {
             let topic = res.trim_start_matches("topic/").to_string();
             report.topics_failed_over += 1;
+            self.obs_events.push(PulsarObsEvent::LeaseMoved {
+                resource: res.clone(),
+                owner: new_owner,
+                epoch,
+            });
             for (&node, broker) in &self.brokers {
                 if node != new_owner {
                     broker.unload_topic(&topic);
@@ -377,6 +457,10 @@ impl ClusterPulsar {
                     self.retired.insert(dead_idx);
                     self.active.insert(target);
                     report.bookies_replaced += 1;
+                    self.obs_events.push(PulsarObsEvent::BookieReplaced {
+                        dead: self.bookie_nodes[dead_idx],
+                        target: target_node,
+                    });
                     self.repair = Some(RepairJob {
                         dead: dead_idx,
                         target,
@@ -409,6 +493,11 @@ impl ClusterPulsar {
             if job.queue.is_empty() {
                 self.repair = None;
             }
+            self.obs_events.push(PulsarObsEvent::RepairProgress {
+                ledgers: report.ledgers_repaired,
+                entries: report.entries_recopied,
+                backlog: report.repair_backlog,
+            });
         }
         report
     }

@@ -29,11 +29,14 @@ use taureau_jiffy::{JiffyConfig, MigrationReport};
 use taureau_pulsar::broker::PulsarConfig;
 use taureau_pulsar::message::MessageId;
 
+use taureau_monitor::HealthReport;
+
 use crate::error::{ClusterError, Result};
 use crate::faas_cluster::ClusterFaas;
 use crate::fabric::{ClusterFabric, NodeRole};
 use crate::jiffy_cluster::JiffyFabric;
 use crate::membership::MembershipConfig;
+use crate::obs::{ClusterObs, ObsConfig};
 use crate::pulsar_cluster::{ClusterPulsar, MaintenanceReport};
 use crate::transport::Envelope;
 use crate::wire;
@@ -65,6 +68,12 @@ pub struct ClusterStackConfig {
     pub rpc_timeout: Duration,
     /// Attempts per client operation (1 = no retry).
     pub rpc_attempts: u32,
+    /// Deploy the observability plane ([`crate::obs::ClusterObs`]): a
+    /// collector node plus per-node telemetry agents. Off by default —
+    /// it adds a node to membership and telemetry traffic to the wire.
+    pub observability: bool,
+    /// Observability plane tuning (used when `observability` is set).
+    pub obs: ObsConfig,
 }
 
 impl Default for ClusterStackConfig {
@@ -81,6 +90,8 @@ impl Default for ClusterStackConfig {
             tick: Duration::from_millis(1),
             rpc_timeout: Duration::from_millis(250),
             rpc_attempts: 4,
+            observability: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -105,6 +116,7 @@ pub struct ClusterStack {
     faas: ClusterFaas,
     jiffy: JiffyFabric,
     client: NodeId,
+    obs: Option<ClusterObs>,
     next_req: u64,
     responses: HashMap<u64, Envelope>,
     worker_rr: usize,
@@ -125,6 +137,9 @@ impl ClusterStack {
         let faas = ClusterFaas::new(&mut fabric, cfg.workers, cfg.faas.clone());
         let jiffy = JiffyFabric::new(&mut fabric, cfg.jiffy.clone());
         let client = fabric.add_node(NodeRole::Client);
+        let obs = cfg
+            .observability
+            .then(|| ClusterObs::new(&mut fabric, cfg.obs.clone(), client));
         let warmup = cfg.membership.failure_timeout * 2;
         fabric.run_for(warmup, cfg.tick);
         Self {
@@ -134,6 +149,7 @@ impl ClusterStack {
             faas,
             jiffy,
             client,
+            obs,
             next_req: 1,
             responses: HashMap::new(),
             worker_rr: 0,
@@ -182,13 +198,56 @@ impl ClusterStack {
         self.fabric.now()
     }
 
+    /// The observability plane, when deployed.
+    pub fn obs(&self) -> Option<&ClusterObs> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable observability plane access (timelines, blackbox dumps).
+    pub fn obs_mut(&mut self) -> Option<&mut ClusterObs> {
+        self.obs.as_mut()
+    }
+
+    /// The single cluster-wide health report, merged from the collector
+    /// node's state: per-`(op, node)` latency rows, telemetry-plane
+    /// counters, and grey-failure flags as active alerts. `None` when the
+    /// plane is not deployed.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        let now = self.fabric.now();
+        self.obs.as_ref().map(|o| o.health_report(now))
+    }
+
+    /// Pump the stack until every telemetry agent's final cumulative
+    /// count has reached the collector (loss accounting is exact from
+    /// then on), or `max` elapses. Returns whether sync was reached —
+    /// it never will be while an agent's node is dead.
+    pub fn drain_telemetry(&mut self, max: Duration) -> bool {
+        let deadline = self.now() + max;
+        loop {
+            match &self.obs {
+                None => return true,
+                Some(obs) if obs.telemetry_synced() => return true,
+                _ => {}
+            }
+            if self.now() >= deadline {
+                return false;
+            }
+            self.step();
+        }
+    }
+
     // -- lifecycle -----------------------------------------------------------
 
     /// Kill a node, with role side effects (a bookie node's death crashes
     /// its bookie). Detection still takes the failure timeout.
     pub fn kill(&mut self, node: NodeId) {
+        let role = self.fabric.role(node);
         self.pulsar.on_kill(node);
         self.fabric.kill(node);
+        if let Some(obs) = &mut self.obs {
+            let now = self.fabric.now();
+            obs.on_kill(node, role, now);
+        }
     }
 
     /// Revive a node, with role side effects (a bookie restarts with its
@@ -199,8 +258,22 @@ impl ClusterStack {
     }
 
     /// One maintenance round (failover + replacement + repair chunk).
+    /// When a failover fires and the observability plane is deployed, the
+    /// reconstructed timeline and collector trace are dumped to Jiffy
+    /// `/blackbox/<incident>/` — the flight recorder writes while the
+    /// incident is still hot.
     pub fn maintain(&mut self) -> MaintenanceReport {
-        self.pulsar.maintain(&mut self.fabric)
+        let report = self.pulsar.maintain(&mut self.fabric);
+        if report.topics_failed_over > 0 {
+            if let Some(obs) = &mut self.obs {
+                // Pull the lease-move events the round just generated
+                // into the plane before dumping.
+                obs.step(&self.fabric, &mut self.pulsar);
+                let now = self.fabric.now();
+                obs.dump_failover(self.jiffy.jiffy(), now);
+            }
+        }
+        report
     }
 
     /// Run maintenance rounds (interleaved with fabric time) until no
@@ -222,6 +295,7 @@ impl ClusterStack {
     /// table.
     pub fn step(&mut self) {
         self.fabric.tick(self.cfg.tick);
+        let now = self.fabric.now();
         let roles: Vec<(NodeId, NodeRole)> = (0..)
             .map(NodeId)
             .map_while(|n| self.fabric.role(n).map(|r| (n, r)))
@@ -242,8 +316,18 @@ impl ClusterStack {
                         }
                     }
                     NodeRole::Bookie => {} // bookie I/O is modeled in-process
+                    NodeRole::Collector => {
+                        if let Some(obs) = &mut self.obs {
+                            obs.ingest(&env, now);
+                        }
+                    }
                 }
             }
+        }
+        // The plane ticks after service mail: route freshly-recorded
+        // spans/control events to agents and flush due batches.
+        if let Some(obs) = &mut self.obs {
+            obs.step(&self.fabric, &mut self.pulsar);
         }
     }
 
@@ -260,7 +344,28 @@ impl ClusterStack {
     /// One request/response exchange with a service node. Returns the
     /// decoded `ok` frames, [`ClusterError::Remote`] for a service `err`,
     /// or [`ClusterError::Unreachable`] on deadline.
+    ///
+    /// Every exchange is also a latency sample for the grey-failure
+    /// detector: the client-observed round trip (success or not) is
+    /// recorded on the client's telemetry agent.
     pub fn rpc(
+        &mut self,
+        to: NodeId,
+        kind: &str,
+        frames: &[Bytes],
+        ctx: Option<SpanContext>,
+    ) -> Result<Vec<Bytes>> {
+        let role = self.fabric.role(to);
+        let t0 = self.now();
+        let result = self.rpc_inner(to, kind, frames, ctx);
+        if let (Some(obs), Some(role)) = (&mut self.obs, role) {
+            let now = self.fabric.now();
+            obs.record_rpc(now, to, role, now - t0, result.is_ok());
+        }
+        result
+    }
+
+    fn rpc_inner(
         &mut self,
         to: NodeId,
         kind: &str,

@@ -9,6 +9,10 @@
 //!    partitions ends with a heal and the cluster runs quietly, every
 //!    live node's membership view converges to the same single view —
 //!    the full live set.
+//! 3. **HLC causal ordering**: hybrid logical clock stamps order every
+//!    send before its receive in the merged timeline, whatever the
+//!    SimNet delivery delays and per-node clock skews do — the
+//!    observability plane's merged event stream depends on it.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -21,6 +25,7 @@ use taureau_cluster::fabric::{ClusterFabric, NodeRole};
 use taureau_cluster::membership::MembershipConfig;
 use taureau_cluster::transport::{LinkFaults, SimNet};
 use taureau_core::id::NodeId;
+use taureau_core::trace::{HlcClock, HlcStamp};
 
 /// One step of an arbitrary fault schedule.
 #[derive(Debug, Clone)]
@@ -162,6 +167,83 @@ proptest! {
         prop_assert!(
             fabric.control().lock().epoch() > 0,
             "epoch never advanced"
+        );
+    }
+
+    /// HLC stamps order causally: for every message carried over the
+    /// SimNet — arbitrary latency and jitter, arbitrary per-node physical
+    /// clock skew — the receive stamp strictly exceeds the send stamp, so
+    /// sorting the merged timeline by HLC never shows an effect before
+    /// its cause. All stamps across all nodes are also pairwise distinct
+    /// (node id breaks ties), so the merged order is total.
+    #[test]
+    fn hlc_merged_timeline_orders_sends_before_receives(
+        seed in any::<u64>(),
+        skews in (0u64..2_000, 0u64..2_000, 0u64..2_000, 0u64..2_000)
+            .prop_map(|(a, b, c, d)| [a, b, c, d]),
+        latency_us in 1u64..5_000,
+        jitter_us in 0u64..5_000,
+        steps in vec((0u8..4, 0u8..4, 1u8..10), 1..80),
+    ) {
+        let net = SimNet::new(seed);
+        net.set_default_faults(LinkFaults {
+            latency: Duration::from_micros(latency_us),
+            jitter: Duration::from_micros(jitter_us),
+            drop_p: 0.0,
+            dup_p: 0.0,
+        });
+        let mut clocks: Vec<HlcClock> = (0..4).map(|n| HlcClock::new(n as u64)).collect();
+        let local = |now: Duration, node: usize| now.as_micros() as u64 + skews[node];
+        // msg seq (per link) -> send stamp; merged timeline of all stamps.
+        let mut in_flight: HashMap<(NodeId, NodeId, u64), HlcStamp> = HashMap::new();
+        let mut timeline: Vec<(HlcStamp, &'static str)> = Vec::new();
+        let drain = |net: &SimNet,
+                         clocks: &mut Vec<HlcClock>,
+                         in_flight: &mut HashMap<(NodeId, NodeId, u64), HlcStamp>,
+                         timeline: &mut Vec<(HlcStamp, &'static str)>|
+         -> Result<(), String> {
+            let now = net.now();
+            for node in 0..4u64 {
+                for env in net.drain(NodeId(node)) {
+                    let sent = HlcStamp::from_bytes(&env.body).expect("stamp frame");
+                    let recv = clocks[node as usize].observe(local(now, node as usize), sent);
+                    prop_assert!(
+                        sent < recv,
+                        "receive {recv:?} does not follow send {sent:?} (skews {skews:?})"
+                    );
+                    if let Some(orig) = in_flight.remove(&(env.from, env.to, env.seq)) {
+                        prop_assert_eq!(orig, sent, "stamp mutated in flight");
+                    }
+                    timeline.push((recv, "recv"));
+                }
+            }
+            Ok(())
+        };
+        for (a, b, advance_ms) in steps {
+            if a != b {
+                let now = net.now();
+                let stamp = clocks[a as usize].tick(local(now, a as usize));
+                timeline.push((stamp, "send"));
+                let body = Bytes::copy_from_slice(&stamp.to_bytes());
+                if let Some(seq) =
+                    net.send(NodeId(a as u64), NodeId(b as u64), 0, "hlc", body, None)
+                {
+                    in_flight.insert((NodeId(a as u64), NodeId(b as u64), seq), stamp);
+                }
+            }
+            net.advance(Duration::from_millis(advance_ms as u64));
+            drain(&net, &mut clocks, &mut in_flight, &mut timeline)?;
+        }
+        net.advance(Duration::from_secs(60));
+        drain(&net, &mut clocks, &mut in_flight, &mut timeline)?;
+        prop_assert!(in_flight.is_empty(), "lossless net must deliver everything");
+        // Total order: stamps are pairwise distinct, so the HLC-sorted
+        // merged timeline is unambiguous.
+        let mut stamps: Vec<HlcStamp> = timeline.iter().map(|&(s, _)| s).collect();
+        stamps.sort();
+        prop_assert!(
+            stamps.windows(2).all(|w| w[0] < w[1]),
+            "merged timeline has colliding stamps"
         );
     }
 }

@@ -108,6 +108,138 @@ impl SpanContext {
     }
 }
 
+/// A hybrid-logical-clock stamp: physical microseconds, a logical
+/// counter that breaks ties among events within one microsecond, and the
+/// stamping node's id as the final tiebreaker.
+///
+/// HLC (Kulkarni et al.) gives cross-node events a total order that is
+/// consistent with causality even when each node reads a skewed local
+/// clock: a message's receive stamp is always greater than its send
+/// stamp, because the receiver folds the sender's stamp into its own
+/// clock ([`HlcClock::observe`]) before stamping. The derived `Ord` is
+/// exactly the HLC order — `(physical_us, logical, node)` lexicographic —
+/// so sorting a merged event stream by stamp yields one timeline that
+/// every observer agrees on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HlcStamp {
+    /// Max physical clock reading (µs) this stamp has absorbed.
+    pub physical_us: u64,
+    /// Logical counter: orders events sharing one physical microsecond.
+    pub logical: u32,
+    /// Stamping node — the final tiebreaker, so two distinct events never
+    /// compare equal unless stamped by the same node at the same (pt, l).
+    pub node: u64,
+}
+
+impl HlcStamp {
+    /// Encoded size of [`HlcStamp::to_bytes`].
+    pub const WIRE_LEN: usize = 20;
+
+    /// The zero stamp (sorts before every real stamp).
+    pub const ZERO: Self = Self {
+        physical_us: 0,
+        logical: 0,
+        node: 0,
+    };
+
+    /// The stamp's physical component as a [`Duration`] since the clock
+    /// epoch. Node clock skew is baked in — treat it as approximate
+    /// wall-time, exact order.
+    pub fn time(&self) -> Duration {
+        Duration::from_micros(self.physical_us)
+    }
+
+    /// Fixed-width wire form: `physical_us`, `logical`, `node`,
+    /// little-endian.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.physical_us.to_le_bytes());
+        out[8..12].copy_from_slice(&self.logical.to_le_bytes());
+        out[12..].copy_from_slice(&self.node.to_le_bytes());
+        out
+    }
+
+    /// Decode a stamp encoded with [`HlcStamp::to_bytes`]; `None` when
+    /// `bytes` is not exactly [`HlcStamp::WIRE_LEN`] long.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        Some(Self {
+            physical_us: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            logical: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            node: u64::from_le_bytes(bytes[12..].try_into().ok()?),
+        })
+    }
+}
+
+/// One node's hybrid logical clock. Thread-safe; every stamp it issues is
+/// strictly greater than the previous one, and a stamp issued after
+/// [`HlcClock::observe`]-ing a remote stamp is strictly greater than that
+/// remote stamp — the two invariants that make merged timelines causal.
+#[derive(Debug)]
+pub struct HlcClock {
+    node: u64,
+    /// (max physical seen, logical counter at that physical).
+    state: Mutex<(u64, u32)>,
+}
+
+impl HlcClock {
+    /// A fresh clock for `node`, at (0, 0).
+    pub fn new(node: u64) -> Self {
+        Self {
+            node,
+            state: Mutex::new((0, 0)),
+        }
+    }
+
+    /// The node this clock stamps for.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Stamp a local or send event, given the node's current physical
+    /// clock reading in microseconds (skew included).
+    pub fn tick(&self, physical_us: u64) -> HlcStamp {
+        let mut st = self.state.lock();
+        if physical_us > st.0 {
+            st.0 = physical_us;
+            st.1 = 0;
+        } else {
+            st.1 += 1;
+        }
+        HlcStamp {
+            physical_us: st.0,
+            logical: st.1,
+            node: self.node,
+        }
+    }
+
+    /// Stamp a receive event: fold `remote` into this clock so the result
+    /// exceeds both the remote stamp and everything stamped locally so
+    /// far, even when the local physical clock lags the sender's.
+    pub fn observe(&self, physical_us: u64, remote: HlcStamp) -> HlcStamp {
+        let mut st = self.state.lock();
+        let merged = st.0.max(remote.physical_us).max(physical_us);
+        let logical = if merged == st.0 && merged == remote.physical_us {
+            st.1.max(remote.logical) + 1
+        } else if merged == st.0 {
+            st.1 + 1
+        } else if merged == remote.physical_us {
+            remote.logical + 1
+        } else {
+            0
+        };
+        st.0 = merged;
+        st.1 = logical;
+        HlcStamp {
+            physical_us: merged,
+            logical,
+            node: self.node,
+        }
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -693,6 +825,65 @@ impl Drop for SpanGuard {
 mod tests {
     use super::*;
     use crate::clock::VirtualClock;
+
+    #[test]
+    fn hlc_tick_is_strictly_monotonic() {
+        let clock = HlcClock::new(7);
+        let mut prev = clock.tick(100);
+        // Physical clock stuck, then jumping backwards: stamps still grow.
+        for physical in [100, 100, 50, 200, 200, 150] {
+            let next = clock.tick(physical);
+            assert!(next > prev, "{next:?} !> {prev:?}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn hlc_observe_exceeds_remote_and_local() {
+        let receiver = HlcClock::new(2);
+        let local = receiver.tick(1_000);
+        // Sender's clock runs 500µs ahead of the receiver's.
+        let remote = HlcStamp {
+            physical_us: 1_500,
+            logical: 3,
+            node: 1,
+        };
+        let merged = receiver.observe(1_010, remote);
+        assert!(merged > remote, "{merged:?} !> remote {remote:?}");
+        assert!(merged > local, "{merged:?} !> local {local:?}");
+        // A later local event still orders after the merge.
+        assert!(receiver.tick(1_020) > merged);
+    }
+
+    #[test]
+    fn hlc_orders_send_before_receive_despite_skew() {
+        // Sender's physical clock lags the receiver's by 400µs; the
+        // receive stamp must still sort after the send stamp.
+        let sender = HlcClock::new(1);
+        let receiver = HlcClock::new(2);
+        let sent = sender.tick(600); // true time 1000µs, skew -400
+        let received = receiver.observe(1_050, sent);
+        assert!(received > sent);
+
+        // And the reverse skew: sender ahead of receiver.
+        let sent = sender.tick(2_000); // true time 1600µs, skew +400
+        let received = receiver.observe(1_650, sent);
+        assert!(received > sent);
+    }
+
+    #[test]
+    fn hlc_stamp_wire_roundtrip() {
+        let stamp = HlcStamp {
+            physical_us: 123_456_789,
+            logical: 42,
+            node: 9,
+        };
+        let bytes = stamp.to_bytes();
+        assert_eq!(bytes.len(), HlcStamp::WIRE_LEN);
+        assert_eq!(HlcStamp::from_bytes(&bytes), Some(stamp));
+        assert_eq!(HlcStamp::from_bytes(&bytes[..19]), None);
+        assert!(HlcStamp::ZERO < stamp);
+    }
 
     fn virtual_tracer() -> (Tracer, std::sync::Arc<VirtualClock>) {
         let clock = std::sync::Arc::new(VirtualClock::new());

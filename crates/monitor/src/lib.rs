@@ -37,7 +37,7 @@ pub mod slo;
 pub mod window;
 pub mod wire;
 
-pub use monitor::{Monitor, MonitorConfig, MonitorError, PollSummary};
+pub use monitor::{render_trace_json, Monitor, MonitorConfig, MonitorError, PollSummary};
 pub use pump::{TelemetryPump, METRICS_TOPIC, SPANS_TOPIC};
 pub use report::{HealthReport, OpHealth};
 pub use slo::{AlertEvent, AlertState, SloParseError, SloPolicy};

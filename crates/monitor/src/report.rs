@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use taureau_core::metrics::escape_label_value;
+
 use crate::slo::{AlertEvent, AlertState};
 
 /// Folded health of one traced operation.
@@ -14,6 +16,10 @@ use crate::slo::{AlertEvent, AlertState};
 pub struct OpHealth {
     /// Operation (span name), e.g. `faas.invoke`.
     pub op: String,
+    /// Originating node for remote (cluster-collected) operations; `None`
+    /// for in-process measurements. Rendered as a `node` Prometheus label
+    /// and an `@nN` suffix in text output.
+    pub node: Option<u64>,
     /// All-time event count.
     pub count: u64,
     /// All-time p50 latency, microseconds.
@@ -77,10 +83,14 @@ impl HealthReport {
             "operation", "count", "p50(us)", "p90(us)", "p99(us)", "max(us)", "err%"
         );
         for op in &self.ops {
+            let name = match op.node {
+                Some(node) => format!("{}@n{node}", op.op),
+                None => op.op.clone(),
+            };
             let _ = writeln!(
                 out,
                 "{:<24} {:>9} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>6.2}%",
-                op.op,
+                name,
                 op.count,
                 op.p50_us,
                 op.p90_us,
@@ -131,33 +141,46 @@ impl HealthReport {
     /// prefixed `taureau_monitor_`.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
+        // `op="..."` or `op="...",node="N"` — op escaped, node numeric.
+        let op_labels = |op: &OpHealth| {
+            let name = escape_label_value(&op.op);
+            match op.node {
+                Some(node) => format!("op=\"{name}\",node=\"{node}\""),
+                None => format!("op=\"{name}\""),
+            }
+        };
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE taureau_monitor_op_latency_us summary");
         for op in &self.ops {
+            let labels = op_labels(op);
             for (q, v) in [(0.5, op.p50_us), (0.9, op.p90_us), (0.99, op.p99_us)] {
                 let _ = writeln!(
                     out,
-                    "taureau_monitor_op_latency_us{{op=\"{}\",quantile=\"{q}\"}} {v:.0}",
-                    op.op
+                    "taureau_monitor_op_latency_us{{{labels},quantile=\"{q}\"}} {v:.0}",
                 );
             }
             let _ = writeln!(
                 out,
-                "taureau_monitor_op_latency_us_count{{op=\"{}\"}} {}",
-                op.op, op.count
+                "taureau_monitor_op_latency_us_count{{{labels}}} {}",
+                op.count
             );
         }
         let _ = writeln!(out, "# TYPE taureau_monitor_op_error_rate gauge");
         for op in &self.ops {
             let _ = writeln!(
                 out,
-                "taureau_monitor_op_error_rate{{op=\"{}\"}} {:.6}",
-                op.op, op.error_rate
+                "taureau_monitor_op_error_rate{{{}}} {:.6}",
+                op_labels(op),
+                op.error_rate
             );
         }
         let _ = writeln!(out, "# TYPE taureau_monitor_alert_active gauge");
         for name in &self.active_alerts {
-            let _ = writeln!(out, "taureau_monitor_alert_active{{policy=\"{name}\"}} 1");
+            let _ = writeln!(
+                out,
+                "taureau_monitor_alert_active{{policy=\"{}\"}} 1",
+                escape_label_value(name)
+            );
         }
         let _ = writeln!(
             out,
@@ -181,7 +204,8 @@ impl HealthReport {
         for (function, count) in &self.top_functions {
             let _ = writeln!(
                 out,
-                "taureau_monitor_hot_function{{function=\"{function}\"}} {count}"
+                "taureau_monitor_hot_function{{function=\"{}\"}} {count}",
+                escape_label_value(function)
             );
         }
         let _ = writeln!(out, "# TYPE taureau_monitor_cold_start_rate gauge");
@@ -194,7 +218,8 @@ impl HealthReport {
         for (name, value) in &self.counters {
             let _ = writeln!(
                 out,
-                "taureau_monitor_telemetry_counter{{name=\"{name}\"}} {value}"
+                "taureau_monitor_telemetry_counter{{name=\"{}\"}} {value}",
+                escape_label_value(name)
             );
         }
         out
@@ -208,15 +233,28 @@ mod tests {
     fn sample_report() -> HealthReport {
         HealthReport {
             at: Duration::from_secs(12),
-            ops: vec![OpHealth {
-                op: "faas.invoke".to_string(),
-                count: 1000,
-                p50_us: 2_100.0,
-                p90_us: 4_000.0,
-                p99_us: 9_500.0,
-                max_us: 52_000.0,
-                error_rate: 0.015,
-            }],
+            ops: vec![
+                OpHealth {
+                    op: "faas.invoke".to_string(),
+                    node: None,
+                    count: 1000,
+                    p50_us: 2_100.0,
+                    p90_us: 4_000.0,
+                    p99_us: 9_500.0,
+                    max_us: 52_000.0,
+                    error_rate: 0.015,
+                },
+                OpHealth {
+                    op: "cluster.publish".to_string(),
+                    node: Some(3),
+                    count: 120,
+                    p50_us: 900.0,
+                    p90_us: 1_800.0,
+                    p99_us: 6_200.0,
+                    max_us: 9_000.0,
+                    error_rate: 0.0,
+                },
+            ],
             top_functions: vec![("thumbnail".to_string(), 640)],
             counters: vec![("faas.invocations_ok".to_string(), 985)],
             active_alerts: vec!["p99-faas.invoke-lt-60000us".to_string()],
@@ -241,6 +279,7 @@ mod tests {
         let text = sample_report().render_text();
         assert!(text.contains("1 ALERT(S) FIRING"));
         assert!(text.contains("faas.invoke"));
+        assert!(text.contains("cluster.publish@n3"));
         assert!(text.contains("thumbnail"));
         assert!(text.contains("faas.invocations_ok"));
         assert!(text.contains("faas_exec_duration_us"));
@@ -273,5 +312,24 @@ mod tests {
         for line in prom.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "line: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_node_labels_and_escaping() {
+        let mut report = sample_report();
+        report.ops[0].op = "weird\"op\\n".to_string();
+        let prom = report.render_prometheus();
+        // Remote ops carry a node label; local ops don't.
+        assert!(prom.contains(
+            "taureau_monitor_op_latency_us{op=\"cluster.publish\",node=\"3\",quantile=\"0.5\"} 900"
+        ));
+        assert!(prom.contains(
+            "taureau_monitor_op_latency_us_count{op=\"cluster.publish\",node=\"3\"} 120"
+        ));
+        assert!(prom
+            .contains("taureau_monitor_op_error_rate{op=\"cluster.publish\",node=\"3\"} 0.000000"));
+        // Quote and backslash in an op name are escaped, not emitted raw.
+        assert!(prom.contains("op=\"weird\\\"op\\\\n\""));
+        assert!(!prom.contains("op=\"weird\"op"));
     }
 }

@@ -81,6 +81,31 @@ impl TraceGraph {
         &self.roots
     }
 
+    /// Spans that *recorded* a parent which was never captured: they
+    /// surface as roots, but a fully stitched cross-node trace should
+    /// have none. The cluster observability acceptance test asserts this
+    /// is empty after reassembling collector-side captures.
+    pub fn orphans(&self) -> Vec<usize> {
+        self.roots
+            .iter()
+            .copied()
+            .filter(|&i| self.spans[i].parent.is_some())
+            .collect()
+    }
+
+    /// Distinct subsystem names across all spans, sorted — a quick check
+    /// that a stitched trace really crosses the tiers it should.
+    pub fn systems(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.system) {
+                out.push(s.system);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Distinct trace ids, in root order.
     pub fn traces(&self) -> Vec<TraceId> {
         let mut out: Vec<TraceId> = Vec::new();
@@ -199,6 +224,23 @@ mod tests {
         assert_eq!(g.children(root).len(), 2);
         assert_eq!(g.trace_spans(TraceId(1)).len(), 3);
         assert!(g.root_of(TraceId(7)).is_none());
+    }
+
+    #[test]
+    fn orphans_are_roots_with_uncaptured_parents() {
+        let g = TraceGraph::build(vec![
+            span(1, 10, None, "root", 0, 100),
+            span(1, 11, Some(10), "child", 10, 40),
+            span(2, 20, Some(99), "orphan", 0, 10),
+        ]);
+        assert_eq!(g.orphans(), vec![2]);
+        assert_eq!(g.systems(), vec!["test"]);
+
+        let stitched = TraceGraph::build(vec![
+            span(1, 10, None, "root", 0, 100),
+            span(1, 11, Some(10), "child", 10, 40),
+        ]);
+        assert!(stitched.orphans().is_empty());
     }
 
     #[test]
